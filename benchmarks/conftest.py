@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md's per-experiment
+index.  The fixtures here build the simulated audit datasets once per session
+so individual benchmarks measure query/extraction work, not data generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.workload.attacks import (
+    DataLeakageAttack,
+    Figure2DataLeakageChain,
+    PasswordCrackingAttack,
+)
+from repro.auditing.workload.benign import NoisyFileServerWorkload
+from repro.auditing.workload.generator import HostSimulator, SimulationResult
+from repro.storage.loader import AuditStore
+
+
+def build_simulation(scale: float, seed: int = 29) -> SimulationResult:
+    """A demo-style host (benign mix + both demo attacks) at a given scale."""
+    simulator = (
+        HostSimulator(seed=seed, benign_scale=scale)
+        .add_default_benign()
+        .add_attack(PasswordCrackingAttack())
+        .add_attack(DataLeakageAttack())
+        .add_attack(Figure2DataLeakageChain())
+    )
+    simulator.add_benign(
+        NoisyFileServerWorkload(
+            sessions=max(2, int(6 * scale)), operations_per_session=max(10, int(60 * scale))
+        )
+    )
+    return simulator.run()
+
+
+def build_store(simulation: SimulationResult, apply_reduction: bool = True) -> AuditStore:
+    """Load a simulation into a fresh audit store."""
+    store = AuditStore(apply_reduction=apply_reduction)
+    store.load_trace(simulation.trace)
+    return store
+
+
+@pytest.fixture(scope="session")
+def small_simulation() -> SimulationResult:
+    """~10k events."""
+    return build_simulation(scale=2.0)
+
+
+@pytest.fixture(scope="session")
+def large_simulation() -> SimulationResult:
+    """~40-60k events."""
+    return build_simulation(scale=10.0)
+
+
+@pytest.fixture(scope="session")
+def small_store(small_simulation) -> AuditStore:
+    return build_store(small_simulation)
+
+
+@pytest.fixture(scope="session")
+def large_store(large_simulation) -> AuditStore:
+    return build_store(large_simulation)

@@ -1,0 +1,86 @@
+"""EXP-E2E-ATTACKS — end-to-end hunting accuracy on the two demo attacks.
+
+Section III of the paper demonstrates ThreatRaptor on two multi-step attacks
+performed while the server "continues to resume its routine tasks".  This
+experiment reproduces that setting at two benign-noise scales and reports the
+hunting precision/recall of the matched audit records against the injected
+attack ground truth, plus the end-to-end hunting latency.
+
+Expected shape: precision stays at 1.0 (the multi-step query does not match
+benign look-alikes such as the nightly tar→gpg→curl backup), recall covers the
+steps the report text describes, and latency grows roughly linearly with the
+audit data size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ThreatRaptor
+from repro.data import report_by_name
+from repro.evaluation import score_hunting
+
+_ATTACKS = ("password-cracking", "data-leakage")
+
+
+@pytest.mark.parametrize("attack_name", _ATTACKS)
+@pytest.mark.parametrize("dataset", ["small", "large"])
+def test_bench_hunt_attack(benchmark, attack_name, dataset, small_simulation, large_simulation):
+    simulation = small_simulation if dataset == "small" else large_simulation
+    raptor = ThreatRaptor()
+    raptor.load_trace(simulation.trace)
+    report_text = report_by_name(attack_name).text
+
+    hunt = benchmark(raptor.hunt, report_text)
+
+    truth = simulation.ground_truth(attack_name)
+    matched = hunt.result.all_matched_event_ids()
+    score = score_hunting(matched, truth.event_ids)
+    benign_false_positives = len(matched - truth.event_ids)
+
+    print(
+        f"\n[EXP-E2E-ATTACKS] {attack_name} on {dataset} "
+        f"({len(simulation.trace.events)} events): "
+        f"precision={score.precision:.2f} recall={score.recall:.2f} "
+        f"false positives={benign_false_positives}"
+    )
+    assert matched, "hunt returned no audit records"
+    assert score.precision == 1.0
+    assert benign_false_positives == 0
+    benchmark.extra_info["attack"] = attack_name
+    benchmark.extra_info["dataset_events"] = len(simulation.trace.events)
+    benchmark.extra_info["hunting"] = score.as_dict()
+
+
+@pytest.mark.parametrize("attack_name", _ATTACKS)
+def test_hunting_recall_covers_described_steps(attack_name, small_simulation):
+    """Recall against only the steps the OSCTI description actually mentions.
+
+    The injected scenarios contain more events than the report prose describes
+    (e.g. every scanned file); a fair recall denominator is the set of steps
+    whose subject and object appear in the report's relation ground truth.
+    """
+    report = report_by_name(attack_name)
+    raptor = ThreatRaptor()
+    raptor.load_trace(small_simulation.trace)
+    hunt = raptor.hunt(report.text)
+    truth = small_simulation.ground_truth(attack_name)
+
+    described_objects = {obj for _, _, obj in report.relation_ground_truth}
+    described_subjects = {subj for subj, _, _ in report.relation_ground_truth}
+    described_event_ids = {
+        step.event_id
+        for step in truth.steps
+        if step.object_identifier in described_objects and step.subject_exe in described_subjects
+    }
+    matched = hunt.result.all_matched_event_ids()
+    covered = len(matched & described_event_ids)
+    print(
+        f"\n[EXP-E2E-ATTACKS] {attack_name}: described steps covered "
+        f"{covered}/{len(described_event_ids)}"
+    )
+    assert described_event_ids
+    # The denominator still contains a few low-level steps the prose implies
+    # but never states as a relation (the recv paired with each connect, the
+    # self-execute of the dropped binary), so full coverage is not expected.
+    assert covered / len(described_event_ids) >= 0.6

@@ -1,0 +1,91 @@
+"""EXP-CPR — Causality Preserved Reduction: data size and query latency impact.
+
+The paper stores audit data after applying the Causality Preserved Reduction
+technique "to reduce the data size" by merging excessive events between the
+same pair of entities.  This experiment measures (a) the reduction factor on a
+bursty workload, (b) the latency of the reduction pass itself, and (c) how the
+reduction affects the latency of a representative hunting query.
+
+Expected shape: a reduction factor of roughly 1.5–3× on the mixed workload
+(much higher on the bursty file-server sessions alone), unchanged query
+results, and equal-or-lower query latency on the reduced store.
+"""
+
+from __future__ import annotations
+
+from repro.auditing.reduction import CausalityPreservedReducer
+from repro.auditing.workload.base import ScenarioBuilder
+from repro.auditing.workload.benign import NoisyFileServerWorkload
+from repro.storage.loader import AuditStore
+from repro.tbql.executor import TBQLExecutionEngine
+
+_QUERY = (
+    'proc p["%/usr/sbin/smbd%"] read file f as e1 '
+    'proc p send ip c as e2 '
+    "with e1 before e2 return distinct p, f, c"
+)
+
+
+def _bursty_trace(sessions: int = 20, operations: int = 150):
+    builder = ScenarioBuilder(seed=31)
+    NoisyFileServerWorkload(sessions=sessions, operations_per_session=operations).generate(builder)
+    return builder.build()
+
+
+def test_bench_reduction_pass(benchmark):
+    """Latency and factor of the CPR pass on a bursty trace."""
+    trace = _bursty_trace()
+    reducer = CausalityPreservedReducer()
+    reduced, stats = benchmark(reducer.reduce, trace)
+    print(
+        f"\n[EXP-CPR] events {stats.events_before} -> {stats.events_after} "
+        f"({stats.reduction_factor:.2f}x) on the bursty file-server workload"
+    )
+    assert stats.reduction_factor > 5.0
+    assert len(reduced.events) == stats.events_after
+    benchmark.extra_info["reduction_factor"] = round(stats.reduction_factor, 2)
+    benchmark.extra_info["events_before"] = stats.events_before
+    benchmark.extra_info["events_after"] = stats.events_after
+
+
+def test_bench_mixed_workload_reduction(benchmark, large_simulation):
+    """Reduction factor on the realistic mixed demo workload."""
+    reducer = CausalityPreservedReducer()
+    _, stats = benchmark(reducer.reduce, large_simulation.trace)
+    print(f"\n[EXP-CPR] mixed workload reduction factor: {stats.reduction_factor:.2f}x")
+    assert stats.reduction_factor >= 1.2
+    benchmark.extra_info["reduction_factor"] = round(stats.reduction_factor, 2)
+
+
+def test_bench_query_on_raw_store(benchmark):
+    # A moderate burst size keeps the un-reduced join tractable while still
+    # showing the latency gap against the reduced store.
+    trace = _bursty_trace(sessions=6, operations=40)
+    store = AuditStore(apply_reduction=False)
+    store.load_trace(trace)
+    engine = TBQLExecutionEngine(store)
+    result = benchmark(engine.execute, _QUERY)
+    benchmark.extra_info["events"] = len(store.loaded_trace.events)
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_bench_query_on_reduced_store(benchmark):
+    trace = _bursty_trace(sessions=6, operations=40)
+    store = AuditStore(apply_reduction=True)
+    store.load_trace(trace)
+    engine = TBQLExecutionEngine(store)
+    result = benchmark(engine.execute, _QUERY)
+    benchmark.extra_info["events"] = len(store.loaded_trace.events)
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_reduction_preserves_query_answers():
+    trace = _bursty_trace(sessions=8, operations=60)
+    raw_store = AuditStore(apply_reduction=False)
+    raw_store.load_trace(trace)
+    reduced_store = AuditStore(apply_reduction=True)
+    reduced_store.load_trace(trace)
+    raw = TBQLExecutionEngine(raw_store).execute(_QUERY)
+    reduced = TBQLExecutionEngine(reduced_store).execute(_QUERY)
+    assert set(raw.rows) == set(reduced.rows)
+    assert len(reduced_store.loaded_trace.events) < len(raw_store.loaded_trace.events)

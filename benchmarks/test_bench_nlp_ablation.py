@@ -1,0 +1,78 @@
+"""EXP-ABL-NLP — ablation of the extraction pipeline's design choices.
+
+The paper motivates three specific design choices in the NLP pipeline: IOC
+protection (so general NLP modules survive IOC-internal punctuation),
+coreference resolution within a block (so pronoun subjects inherit the right
+IOC), and dependency-tree simplification (so later stages only traverse
+relevant structure).  This experiment removes each in turn and measures the
+relation-extraction F1 over the annotated corpus plus the extraction latency.
+
+Expected shape: disabling IOC protection or coreference resolution costs
+recall/precision; disabling simplification does not change accuracy but
+increases the work done by later stages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ALL_REPORTS
+from repro.evaluation import score_relation_extraction
+from repro.nlp.extractor import ThreatBehaviorExtractor
+
+_SCORED_REPORTS = [report for report in ALL_REPORTS if report.relation_ground_truth]
+
+_VARIANTS: dict[str, dict[str, bool]] = {
+    "full": {},
+    "no-ioc-protection": {"protect_iocs_enabled": False},
+    "no-coreference": {"resolve_coreference": False},
+    "no-simplification": {"simplify_trees": False},
+}
+
+
+def _corpus_relation_f1(**kwargs) -> float:
+    extractor = ThreatBehaviorExtractor(**kwargs)
+    scores = [
+        score_relation_extraction(extractor.extract(report.text), report)
+        for report in _SCORED_REPORTS
+    ]
+    return sum(score.f1 for score in scores) / len(scores)
+
+
+@pytest.mark.parametrize("variant", list(_VARIANTS), ids=list(_VARIANTS))
+def test_bench_ablation_variant(benchmark, variant):
+    """Extraction latency and accuracy for one ablation variant."""
+    kwargs = _VARIANTS[variant]
+
+    def run_corpus():
+        extractor = ThreatBehaviorExtractor(**kwargs)
+        return [extractor.extract(report.text) for report in _SCORED_REPORTS]
+
+    benchmark(run_corpus)
+    f1 = _corpus_relation_f1(**kwargs)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["relation_f1"] = round(f1, 3)
+    print(f"\n[EXP-ABL-NLP] {variant}: corpus relation F1 = {f1:.3f}")
+
+
+def test_ioc_protection_matters():
+    """Removing IOC protection must hurt relation extraction accuracy."""
+    full = _corpus_relation_f1()
+    ablated = _corpus_relation_f1(protect_iocs_enabled=False)
+    print(f"\n[EXP-ABL-NLP] relation F1 full={full:.3f} vs no-protection={ablated:.3f}")
+    assert full > ablated
+
+
+def test_coreference_matters():
+    """Removing coreference resolution must lose the pronoun-subject relations."""
+    full = _corpus_relation_f1()
+    ablated = _corpus_relation_f1(resolve_coreference=False)
+    print(f"\n[EXP-ABL-NLP] relation F1 full={full:.3f} vs no-coreference={ablated:.3f}")
+    assert full > ablated
+
+
+def test_simplification_preserves_accuracy():
+    """Tree simplification is a performance optimisation, not an accuracy one."""
+    full = _corpus_relation_f1()
+    ablated = _corpus_relation_f1(simplify_trees=False)
+    assert abs(full - ablated) < 0.05

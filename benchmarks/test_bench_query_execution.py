@@ -1,0 +1,90 @@
+"""EXP-QUERY-LAT — TBQL query execution efficiency.
+
+The paper's central systems claim is that complex multi-pattern TBQL queries
+"can be efficiently executed in different database backends seamlessly" thanks
+to (a) compiling patterns to the appropriate backend and (b) scheduling data
+queries by pruning score and constraining later queries with earlier results.
+
+This experiment measures the execution latency of the synthesized Figure 2
+hunting query over simulated audit datasets of two sizes, comparing:
+
+* **scheduled** execution (pruning-score order + constraint propagation) —
+  the ThreatRaptor engine's default;
+* **unscheduled** execution (declaration order, no propagation) — the baseline;
+* the **relational** and **graph** backends for single-event-pattern queries.
+
+Expected shape: scheduled beats unscheduled, and the gap grows with data size;
+both return identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FIGURE2_REPORT
+from repro.nlp.extractor import ThreatBehaviorExtractor
+from repro.tbql.executor import TBQLExecutionEngine
+from repro.tbql.synthesis import QuerySynthesizer
+
+_QUERY = QuerySynthesizer().synthesize(
+    ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text).graph
+)
+
+_SINGLE_PATTERN = 'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e return distinct p, f'
+
+
+@pytest.mark.parametrize("dataset", ["small", "large"])
+def test_bench_scheduled_execution(benchmark, dataset, small_store, large_store):
+    store = small_store if dataset == "small" else large_store
+    engine = TBQLExecutionEngine(store)
+    result = benchmark(engine.execute, _QUERY, True)
+    assert len(result) >= 1
+    benchmark.extra_info["dataset_events"] = len(store.loaded_trace.events)
+    benchmark.extra_info["strategy"] = "scheduled"
+
+
+@pytest.mark.parametrize("dataset", ["small", "large"])
+def test_bench_unscheduled_execution(benchmark, dataset, small_store, large_store):
+    store = small_store if dataset == "small" else large_store
+    engine = TBQLExecutionEngine(store)
+    result = benchmark(engine.execute, _QUERY, False)
+    assert len(result) >= 1
+    benchmark.extra_info["dataset_events"] = len(store.loaded_trace.events)
+    benchmark.extra_info["strategy"] = "unscheduled"
+
+
+def test_scheduled_and_unscheduled_agree(large_store):
+    engine = TBQLExecutionEngine(large_store)
+    optimized = engine.execute(_QUERY, optimize=True)
+    unoptimized = engine.execute(_QUERY, optimize=False)
+    assert set(optimized.rows) == set(unoptimized.rows)
+    assert optimized.all_matched_event_ids() == unoptimized.all_matched_event_ids()
+
+
+def test_scheduling_reduces_intermediate_work(large_store):
+    """The scheduled plan touches far fewer candidate records per pattern."""
+    engine = TBQLExecutionEngine(large_store)
+    optimized = engine.execute(_QUERY, optimize=True)
+    unoptimized = engine.execute(_QUERY, optimize=False)
+    scheduled_candidates = sum(optimized.statistics["pattern_matches"].values())
+    unscheduled_candidates = sum(unoptimized.statistics["pattern_matches"].values())
+    print(
+        f"\n[EXP-QUERY-LAT] per-pattern candidate records: scheduled={scheduled_candidates} "
+        f"unscheduled={unscheduled_candidates}"
+    )
+    assert scheduled_candidates <= unscheduled_candidates
+
+
+@pytest.mark.parametrize("backend", ["relational", "graph"])
+def test_bench_single_pattern_backend(benchmark, backend, large_store):
+    """Single heavily-filtered event pattern on each backend."""
+    engine = TBQLExecutionEngine(large_store, backend=backend)
+    result = benchmark(engine.execute, _SINGLE_PATTERN)
+    assert ("/bin/tar", "/etc/passwd") in set(result.rows)
+    benchmark.extra_info["backend"] = backend
+
+
+def test_backends_return_identical_rows(large_store):
+    relational = TBQLExecutionEngine(large_store, backend="relational").execute(_QUERY)
+    graph = TBQLExecutionEngine(large_store, backend="graph").execute(_QUERY)
+    assert set(relational.rows) == set(graph.rows)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Write TBQL queries by hand: event patterns, path patterns, filters, windows.
+
+Besides automatic query synthesis, TBQL is a concise language for analysts to
+hunt manually.  This example loads a simulated trace and runs a progression of
+hand-written queries, from a single event pattern to a multi-pattern query
+with variable-length paths and temporal constraints, showing the EXPLAIN-style
+scheduling statistics for each.
+
+Run with::
+
+    python examples/custom_tbql_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import ThreatRaptor
+from repro.auditing.workload import (
+    DataLeakageAttack,
+    HostSimulator,
+    PasswordCrackingAttack,
+)
+
+QUERIES: list[tuple[str, str]] = [
+    (
+        "Who read the password database?",
+        'proc p read file f["%/etc/shadow%" or "%/etc/passwd%"] as evt\n'
+        "return distinct p, f",
+    ),
+    (
+        "Processes talking to the C2 address",
+        'proc p connect ip i["192.168.29.128"] as evt\n'
+        "return distinct p, i.dstip, i.dstport",
+    ),
+    (
+        "Downloaded-then-executed binaries (classic dropper shape)",
+        'proc downloader["%wget%" or "%curl%"] write file payload as evt1\n'
+        "proc runner execute file payload as evt2\n"
+        "with evt1 before evt2\n"
+        "return distinct downloader, payload, runner",
+    ),
+    (
+        "Shell that eventually exfiltrates via any forked helper (path pattern)",
+        'proc shell["%/bin/bash%"] ~>(1~3)[connect] ip c2["192.168.29.128"] as evt\n'
+        "return distinct shell, c2",
+    ),
+    (
+        "Sensitive read followed by a staging write from the same process",
+        'proc p read file f["%/etc/%"] as evt1\n'
+        'proc p write file staged["%/tmp/%"] as evt2\n'
+        "with evt1 before evt2\n"
+        "return distinct p, f, staged",
+    ),
+]
+
+
+def main() -> None:
+    simulation = (
+        HostSimulator(seed=41)
+        .add_default_benign()
+        .add_attack(PasswordCrackingAttack())
+        .add_attack(DataLeakageAttack())
+        .run()
+    )
+    raptor = ThreatRaptor()
+    raptor.load_trace(simulation.trace)
+    print("Loaded trace:", simulation.trace.summary(), "\n")
+
+    for title, query in QUERIES:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(query)
+        result = raptor.execute_query(query)
+        print("\nResults:")
+        print(result.to_table(limit=8))
+        statistics = result.statistics
+        print(
+            f"\nschedule: {statistics['schedule']}  "
+            f"per-pattern matches: {statistics['pattern_matches']}  "
+            f"({statistics['total_seconds'] * 1000:.1f} ms)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

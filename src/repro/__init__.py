@@ -1,0 +1,66 @@
+"""ThreatRaptor reproduction: threat hunting in system audit logs using OSCTI.
+
+The package reproduces the ICDE 2021 demonstration paper *"A System for
+Efficiently Hunting for Cyber Threats in Computer Systems Using Threat
+Intelligence"* (ThreatRaptor) end to end in pure Python:
+
+* :mod:`repro.auditing` — the system auditing substrate (entities, events,
+  Sysdig-style logs, workload/attack simulators, Causality Preserved
+  Reduction);
+* :mod:`repro.storage` — the relational (PostgreSQL-like) and graph
+  (Neo4j-like) audit stores;
+* :mod:`repro.nlp` — the unsupervised threat behavior extraction pipeline;
+* :mod:`repro.tbql` — the Threat Behavior Query Language (parser, synthesis,
+  compilers, scheduler, execution engine);
+* :mod:`repro.core` — the :class:`~repro.core.pipeline.ThreatRaptor` facade
+  tying everything together.
+
+Quickstart::
+
+    from repro import ThreatRaptor
+    from repro.auditing.workload import simulate_demo_host
+
+    raptor = ThreatRaptor()
+    raptor.load_trace(simulate_demo_host().trace)
+    report = raptor.hunt(open("report.txt").read())
+    print(report.query_text)
+    print(report.result.to_table())
+"""
+
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import HuntReport, ThreatRaptor
+from repro.errors import (
+    AuditLogError,
+    ConfigurationError,
+    ExecutionError,
+    ExtractionError,
+    QueryError,
+    SchemaError,
+    StorageError,
+    SynthesisError,
+    TBQLError,
+    TBQLSemanticError,
+    TBQLSyntaxError,
+    ThreatRaptorError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditLogError",
+    "ConfigurationError",
+    "ExecutionError",
+    "ExtractionError",
+    "HuntReport",
+    "QueryError",
+    "SchemaError",
+    "StorageError",
+    "SynthesisError",
+    "TBQLError",
+    "TBQLSemanticError",
+    "TBQLSyntaxError",
+    "ThreatRaptor",
+    "ThreatRaptorConfig",
+    "ThreatRaptorError",
+    "__version__",
+]

@@ -1,0 +1,290 @@
+"""System entity model for audit logging data.
+
+Following the convention established by prior audit-log query systems (AIQL,
+SAQL) and adopted by ThreatRaptor, system entities are **files**, **processes**
+and **network connections**.  Every entity carries a stable integer id that is
+unique within a host trace, a type tag, and a set of descriptive attributes
+used by TBQL attribute filters:
+
+* files expose ``name`` (absolute path);
+* processes expose ``exename`` (executable path), ``pid`` and the ``cmdline``;
+* network connections expose ``srcip``/``srcport``/``dstip``/``dstport`` and
+  the transport ``protocol``.
+
+Entities are plain frozen dataclasses so they hash, compare and serialise
+cheaply; the storage layer converts them into rows / nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class EntityType(enum.Enum):
+    """The three system entity types captured by the auditing component."""
+
+    FILE = "file"
+    PROCESS = "process"
+    NETWORK = "network"
+
+    @classmethod
+    def from_string(cls, value: str) -> "EntityType":
+        """Parse an entity type from its lowercase textual name.
+
+        Accepts the TBQL keywords (``file``, ``proc``, ``ip``) as well as the
+        canonical names used in storage.
+        """
+        normalized = value.strip().lower()
+        aliases = {
+            "file": cls.FILE,
+            "proc": cls.PROCESS,
+            "process": cls.PROCESS,
+            "ip": cls.NETWORK,
+            "network": cls.NETWORK,
+            "conn": cls.NETWORK,
+            "connection": cls.NETWORK,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown entity type: {value!r}") from None
+
+
+#: The attribute used when a TBQL entity filter omits the attribute name.
+DEFAULT_ATTRIBUTE: dict[EntityType, str] = {
+    EntityType.FILE: "name",
+    EntityType.PROCESS: "exename",
+    EntityType.NETWORK: "dstip",
+}
+
+#: Every attribute exposed per entity type, in storage column order.
+ENTITY_ATTRIBUTES: dict[EntityType, tuple[str, ...]] = {
+    EntityType.FILE: ("name",),
+    EntityType.PROCESS: ("exename", "pid", "cmdline", "owner"),
+    EntityType.NETWORK: ("srcip", "srcport", "dstip", "dstport", "protocol"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SystemEntity:
+    """Base class for system entities.
+
+    Attributes:
+        entity_id: Trace-unique integer identifier assigned by the collector.
+        host: Hostname of the monitored machine the entity was observed on.
+    """
+
+    entity_id: int
+    host: str = "localhost"
+
+    @property
+    def entity_type(self) -> EntityType:
+        raise NotImplementedError
+
+    def attributes(self) -> dict[str, Any]:
+        """Return the entity's descriptive attributes as a plain dict."""
+        raise NotImplementedError
+
+    def attribute(self, name: str) -> Any:
+        """Look up one attribute by name.
+
+        Raises:
+            KeyError: if the attribute does not exist for this entity type.
+        """
+        return self.attributes()[name]
+
+    def default_attribute_value(self) -> Any:
+        """Value of the type's default attribute (used by TBQL shorthand)."""
+        return self.attribute(DEFAULT_ATTRIBUTE[self.entity_type])
+
+    def to_row(self) -> dict[str, Any]:
+        """Serialise the entity into a storage row."""
+        row: dict[str, Any] = {
+            "id": self.entity_id,
+            "type": self.entity_type.value,
+            "host": self.host,
+        }
+        row.update(self.attributes())
+        return row
+
+
+@dataclass(frozen=True, slots=True)
+class FileEntity(SystemEntity):
+    """A file system object identified by its absolute path."""
+
+    name: str = ""
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.FILE
+
+    def attributes(self) -> dict[str, Any]:
+        return {"name": self.name}
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessEntity(SystemEntity):
+    """A running process originating from a software application."""
+
+    exename: str = ""
+    pid: int = 0
+    cmdline: str = ""
+    owner: str = "root"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.PROCESS
+
+    def attributes(self) -> dict[str, Any]:
+        return {
+            "exename": self.exename,
+            "pid": self.pid,
+            "cmdline": self.cmdline,
+            "owner": self.owner,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkEntity(SystemEntity):
+    """A network connection described by its 5-tuple (minus state)."""
+
+    srcip: str = ""
+    srcport: int = 0
+    dstip: str = ""
+    dstport: int = 0
+    protocol: str = "tcp"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.NETWORK
+
+    def attributes(self) -> dict[str, Any]:
+        return {
+            "srcip": self.srcip,
+            "srcport": self.srcport,
+            "dstip": self.dstip,
+            "dstport": self.dstport,
+            "protocol": self.protocol,
+        }
+
+
+def entity_from_row(row: Mapping[str, Any]) -> SystemEntity:
+    """Reconstruct a :class:`SystemEntity` from a storage row.
+
+    The row must contain at least ``id`` and ``type``; missing attributes fall
+    back to the dataclass defaults so partially projected rows still work.
+    """
+    entity_type = EntityType(row["type"])
+    entity_id = int(row["id"])
+    host = row.get("host", "localhost")
+    if entity_type is EntityType.FILE:
+        return FileEntity(entity_id=entity_id, host=host, name=row.get("name", ""))
+    if entity_type is EntityType.PROCESS:
+        return ProcessEntity(
+            entity_id=entity_id,
+            host=host,
+            exename=row.get("exename", ""),
+            pid=int(row.get("pid", 0) or 0),
+            cmdline=row.get("cmdline", ""),
+            owner=row.get("owner", "root"),
+        )
+    return NetworkEntity(
+        entity_id=entity_id,
+        host=host,
+        srcip=row.get("srcip", ""),
+        srcport=int(row.get("srcport", 0) or 0),
+        dstip=row.get("dstip", ""),
+        dstport=int(row.get("dstport", 0) or 0),
+        protocol=row.get("protocol", "tcp"),
+    )
+
+
+@dataclass
+class EntityFactory:
+    """Allocates trace-unique entity ids and de-duplicates identical entities.
+
+    The collector observes the same file path or the same process many times;
+    the factory guarantees a single :class:`SystemEntity` (and id) per distinct
+    key so events can reference entities consistently.
+    """
+
+    host: str = "localhost"
+    _next_id: int = 1
+    _files: dict[str, FileEntity] = field(default_factory=dict)
+    _processes: dict[tuple[str, int], ProcessEntity] = field(default_factory=dict)
+    _networks: dict[tuple[str, int, str, int, str], NetworkEntity] = field(
+        default_factory=dict
+    )
+
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def file(self, name: str) -> FileEntity:
+        """Return the unique file entity for ``name``, creating it if needed."""
+        existing = self._files.get(name)
+        if existing is not None:
+            return existing
+        created = FileEntity(entity_id=self._allocate_id(), host=self.host, name=name)
+        self._files[name] = created
+        return created
+
+    def process(
+        self, exename: str, pid: int, cmdline: str = "", owner: str = "root"
+    ) -> ProcessEntity:
+        """Return the unique process entity for ``(exename, pid)``."""
+        key = (exename, pid)
+        existing = self._processes.get(key)
+        if existing is not None:
+            return existing
+        created = ProcessEntity(
+            entity_id=self._allocate_id(),
+            host=self.host,
+            exename=exename,
+            pid=pid,
+            cmdline=cmdline or exename,
+            owner=owner,
+        )
+        self._processes[key] = created
+        return created
+
+    def network(
+        self,
+        srcip: str,
+        srcport: int,
+        dstip: str,
+        dstport: int,
+        protocol: str = "tcp",
+    ) -> NetworkEntity:
+        """Return the unique network entity for the connection 5-tuple."""
+        key = (srcip, srcport, dstip, dstport, protocol)
+        existing = self._networks.get(key)
+        if existing is not None:
+            return existing
+        created = NetworkEntity(
+            entity_id=self._allocate_id(),
+            host=self.host,
+            srcip=srcip,
+            srcport=srcport,
+            dstip=dstip,
+            dstport=dstport,
+            protocol=protocol,
+        )
+        self._networks[key] = created
+        return created
+
+    def all_entities(self) -> list[SystemEntity]:
+        """Every distinct entity allocated so far, ordered by id."""
+        entities: list[SystemEntity] = [
+            *self._files.values(),
+            *self._processes.values(),
+            *self._networks.values(),
+        ]
+        entities.sort(key=lambda entity: entity.entity_id)
+        return entities
+
+    def __len__(self) -> int:
+        return len(self._files) + len(self._processes) + len(self._networks)

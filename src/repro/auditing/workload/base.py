@@ -1,0 +1,179 @@
+"""Shared machinery for workload generators.
+
+Workload generators simulate the system activity of a monitored host.  They
+all build on :class:`ScenarioBuilder`, which owns the entity/event factories
+and a monotonically advancing virtual clock so that every generator produces a
+deterministic, time-ordered stream of events for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.auditing.entities import (
+    EntityFactory,
+    FileEntity,
+    NetworkEntity,
+    ProcessEntity,
+)
+from repro.auditing.events import EventFactory, Operation, SystemEvent
+from repro.auditing.trace import AuditTrace
+
+#: Nanoseconds per second, used throughout the simulator clock arithmetic.
+NS_PER_SECOND = 1_000_000_000
+
+#: Nanoseconds per millisecond.
+NS_PER_MS = 1_000_000
+
+
+@dataclass
+class VirtualClock:
+    """A virtual nanosecond clock that only moves forward."""
+
+    now_ns: int = 0
+
+    def advance(self, delta_ns: int) -> int:
+        """Advance the clock by ``delta_ns`` (must be non-negative)."""
+        if delta_ns < 0:
+            raise ValueError("clock cannot move backwards")
+        self.now_ns += delta_ns
+        return self.now_ns
+
+    def advance_ms(self, delta_ms: float) -> int:
+        """Advance the clock by a (possibly fractional) millisecond count."""
+        return self.advance(int(delta_ms * NS_PER_MS))
+
+
+@dataclass
+class ScenarioBuilder:
+    """Builds audit traces event by event with shared factories and a clock.
+
+    A single builder is shared by the benign workload and the attack scenarios
+    running on the same simulated host so that entity ids and event ids never
+    collide and the timeline interleaves naturally.
+    """
+
+    host: str = "victim-host"
+    seed: int = 7
+    clock: VirtualClock = field(default_factory=VirtualClock)
+
+    def __post_init__(self) -> None:
+        self.entities = EntityFactory(host=self.host)
+        self.events = EventFactory(host=self.host)
+        self.random = random.Random(self.seed)
+        self._trace = AuditTrace(host=self.host)
+        self._next_pid = 1000
+
+    # -- entity helpers ----------------------------------------------------
+
+    def spawn_process(
+        self, exename: str, cmdline: str = "", owner: str = "root"
+    ) -> ProcessEntity:
+        """Create a process entity with a fresh simulated pid."""
+        self._next_pid += 1
+        return self.entities.process(
+            exename=exename, pid=self._next_pid, cmdline=cmdline or exename, owner=owner
+        )
+
+    def file(self, path: str) -> FileEntity:
+        """The (deduplicated) file entity for ``path``."""
+        return self.entities.file(path)
+
+    def connection(
+        self, dstip: str, dstport: int, srcip: str = "10.0.0.5", protocol: str = "tcp"
+    ) -> NetworkEntity:
+        """A network connection entity toward ``dstip:dstport``."""
+        srcport = self.random.randint(32768, 60999)
+        return self.entities.network(
+            srcip=srcip, srcport=srcport, dstip=dstip, dstport=dstport, protocol=protocol
+        )
+
+    # -- event helpers -----------------------------------------------------
+
+    def emit(
+        self,
+        subject: ProcessEntity,
+        operation: Operation,
+        obj: FileEntity | ProcessEntity | NetworkEntity,
+        duration_ms: float = 1.0,
+        amount: int = 0,
+        malicious: bool = False,
+        gap_ms: float | None = None,
+    ) -> SystemEvent:
+        """Emit one event at the current virtual time and advance the clock.
+
+        Args:
+            subject: The acting process.
+            operation: Operation performed on ``obj``.
+            obj: Object entity.
+            duration_ms: How long the operation takes.
+            amount: Bytes transferred.
+            malicious: Whether the event belongs to an injected attack.
+            gap_ms: Idle time before the event starts; a small random jitter is
+                used when not given, keeping traces deterministic per seed.
+        """
+        if gap_ms is None:
+            gap_ms = self.random.uniform(0.1, 5.0)
+        start = self.clock.advance_ms(gap_ms)
+        end = start + int(duration_ms * NS_PER_MS)
+        self.clock.now_ns = end
+        event = self.events.create(
+            subject=subject,
+            operation=operation,
+            obj=obj,
+            start_time=start,
+            end_time=end,
+            amount=amount,
+        )
+        self._trace.add_events([event], malicious=malicious)
+        return event
+
+    def read(self, subject, obj, **kwargs) -> SystemEvent:
+        """Shorthand for a ``read`` event."""
+        return self.emit(subject, Operation.READ, obj, **kwargs)
+
+    def write(self, subject, obj, **kwargs) -> SystemEvent:
+        """Shorthand for a ``write`` event."""
+        return self.emit(subject, Operation.WRITE, obj, **kwargs)
+
+    def execute(self, subject, obj, **kwargs) -> SystemEvent:
+        """Shorthand for an ``execute`` event (process executes a file)."""
+        return self.emit(subject, Operation.EXECUTE, obj, **kwargs)
+
+    def fork(self, subject, child, **kwargs) -> SystemEvent:
+        """Shorthand for a ``fork`` event (process forks a child process)."""
+        return self.emit(subject, Operation.FORK, child, **kwargs)
+
+    def connect(self, subject, conn, **kwargs) -> SystemEvent:
+        """Shorthand for a ``connect`` event toward a network connection."""
+        return self.emit(subject, Operation.CONNECT, conn, **kwargs)
+
+    def send(self, subject, conn, **kwargs) -> SystemEvent:
+        """Shorthand for a ``send`` event over a network connection."""
+        return self.emit(subject, Operation.SEND, conn, **kwargs)
+
+    def recv(self, subject, conn, **kwargs) -> SystemEvent:
+        """Shorthand for a ``recv`` event over a network connection."""
+        return self.emit(subject, Operation.RECV, conn, **kwargs)
+
+    # -- trace -------------------------------------------------------------
+
+    def build(self) -> AuditTrace:
+        """Finish the scenario: register entities and return the trace."""
+        self._trace.add_entities(self.entities.all_entities())
+        return self._trace
+
+
+class WorkloadGenerator:
+    """Base class for workload generators.
+
+    Subclasses implement :meth:`generate` and append their activity onto a
+    shared :class:`ScenarioBuilder`.
+    """
+
+    name = "workload"
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        """Append this workload's events onto ``builder``."""
+        raise NotImplementedError

@@ -1,0 +1,237 @@
+"""Benign background workload generators.
+
+The paper's demo keeps the deployed server running "its routine tasks to
+emulate the real-world deployment, where benign system activities and
+malicious system activities co-exist".  These generators produce that benign
+background: web serving, log rotation, software updates, developer shell
+activity, backups and periodic cron jobs.  They are deliberately "noisy" in
+ways that stress the hunting pipeline — e.g. they touch ``/etc/passwd`` and
+use ``tar``/``curl`` in legitimate ways so that naive single-IOC matching
+produces false positives that only multi-step behaviour queries eliminate.
+"""
+
+from __future__ import annotations
+
+from repro.auditing.events import Operation
+from repro.auditing.workload.base import ScenarioBuilder, WorkloadGenerator
+
+
+class WebServerWorkload(WorkloadGenerator):
+    """An nginx-like web server handling client requests.
+
+    Each request: accept a connection, read a static file, send a response and
+    append to the access log.  Generates ``4 * requests`` events.
+    """
+
+    name = "web-server"
+
+    def __init__(self, requests: int = 100) -> None:
+        self.requests = requests
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        nginx = builder.spawn_process(
+            "/usr/sbin/nginx", cmdline="nginx: worker process", owner="www-data"
+        )
+        access_log = builder.file("/var/log/nginx/access.log")
+        documents = [
+            builder.file(f"/var/www/html/page{i}.html") for i in range(1, 9)
+        ]
+        for _ in range(self.requests):
+            client_ip = (
+                f"203.0.113.{builder.random.randint(1, 254)}"
+            )
+            conn = builder.connection(dstip=client_ip, dstport=443, srcip="10.0.0.5")
+            builder.emit(nginx, Operation.ACCEPT, conn)
+            builder.read(nginx, builder.random.choice(documents), amount=builder.random.randint(512, 8192))
+            builder.send(nginx, conn, amount=builder.random.randint(512, 8192))
+            builder.write(nginx, access_log, amount=builder.random.randint(64, 256))
+
+
+class LogRotationWorkload(WorkloadGenerator):
+    """logrotate compressing and truncating system logs (uses bzip2 benignly)."""
+
+    name = "log-rotation"
+
+    def __init__(self, rotations: int = 5) -> None:
+        self.rotations = rotations
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        logrotate = builder.spawn_process("/usr/sbin/logrotate", cmdline="logrotate /etc/logrotate.conf")
+        config = builder.file("/etc/logrotate.conf")
+        builder.read(logrotate, config, amount=1024)
+        for index in range(self.rotations):
+            syslog = builder.file("/var/log/syslog")
+            rotated = builder.file(f"/var/log/syslog.{index + 1}")
+            compressed = builder.file(f"/var/log/syslog.{index + 1}.bz2")
+            bzip2 = builder.spawn_process("/bin/bzip2", cmdline=f"bzip2 /var/log/syslog.{index + 1}")
+            builder.read(logrotate, syslog, amount=1 << 16)
+            builder.write(logrotate, rotated, amount=1 << 16)
+            builder.fork(logrotate, bzip2)
+            builder.read(bzip2, rotated, amount=1 << 16)
+            builder.write(bzip2, compressed, amount=1 << 14)
+            builder.emit(logrotate, Operation.DELETE, rotated)
+
+
+class SoftwareUpdateWorkload(WorkloadGenerator):
+    """apt-like package updates: download with curl, unpack with tar.
+
+    This intentionally exercises ``/usr/bin/curl`` and ``/bin/tar`` in a
+    benign context so IOC-only matching yields false positives.
+    """
+
+    name = "software-update"
+
+    def __init__(self, packages: int = 6) -> None:
+        self.packages = packages
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        apt = builder.spawn_process("/usr/bin/apt-get", cmdline="apt-get upgrade -y")
+        sources = builder.file("/etc/apt/sources.list")
+        builder.read(apt, sources, amount=2048)
+        for index in range(self.packages):
+            mirror = builder.connection(dstip="151.101.2.132", dstport=443)
+            curl = builder.spawn_process(
+                "/usr/bin/curl", cmdline=f"curl -O https://mirror/pkg{index}.tar"
+            )
+            archive = builder.file(f"/var/cache/apt/archives/pkg{index}.tar")
+            unpack_dir = builder.file(f"/usr/lib/pkg{index}/payload.so")
+            tar = builder.spawn_process("/bin/tar", cmdline=f"tar -xf pkg{index}.tar")
+            builder.fork(apt, curl)
+            builder.connect(curl, mirror)
+            builder.recv(curl, mirror, amount=1 << 20)
+            builder.write(curl, archive, amount=1 << 20)
+            builder.fork(apt, tar)
+            builder.read(tar, archive, amount=1 << 20)
+            builder.write(tar, unpack_dir, amount=1 << 20)
+
+
+class DeveloperShellWorkload(WorkloadGenerator):
+    """An interactive developer session: editing, compiling, running tests."""
+
+    name = "developer-shell"
+
+    def __init__(self, iterations: int = 20) -> None:
+        self.iterations = iterations
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        bash = builder.spawn_process("/bin/bash", cmdline="-bash", owner="alice")
+        bashrc = builder.file("/home/alice/.bashrc")
+        builder.read(bash, bashrc, amount=512)
+        source = builder.file("/home/alice/project/main.c")
+        binary = builder.file("/home/alice/project/a.out")
+        for _ in range(self.iterations):
+            editor = builder.spawn_process("/usr/bin/vim", cmdline="vim main.c", owner="alice")
+            compiler = builder.spawn_process("/usr/bin/gcc", cmdline="gcc main.c", owner="alice")
+            runner = builder.spawn_process("/home/alice/project/a.out", cmdline="./a.out", owner="alice")
+            builder.fork(bash, editor)
+            builder.read(editor, source, amount=4096)
+            builder.write(editor, source, amount=4096)
+            builder.fork(bash, compiler)
+            builder.read(compiler, source, amount=4096)
+            builder.write(compiler, binary, amount=16384)
+            builder.fork(bash, runner)
+            builder.execute(runner, binary)
+
+
+class BackupWorkload(WorkloadGenerator):
+    """A nightly backup job: tar + gpg + remote upload.
+
+    The step structure intentionally resembles the data-leakage attack (read,
+    compress, encrypt, upload) but starts from benign directories and uploads
+    to the corporate backup server, so only queries constraining the actual
+    IOC values (paths, IPs) distinguish it from the attack.
+    """
+
+    name = "backup"
+
+    def __init__(self, files_per_run: int = 10, runs: int = 2) -> None:
+        self.files_per_run = files_per_run
+        self.runs = runs
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        cron = builder.spawn_process("/usr/sbin/cron", cmdline="cron -f")
+        for run in range(self.runs):
+            tar = builder.spawn_process("/bin/tar", cmdline="tar -cf /backup/home.tar /home")
+            gpg = builder.spawn_process("/usr/bin/gpg", cmdline="gpg -c /backup/home.tar")
+            curl = builder.spawn_process("/usr/bin/curl", cmdline="curl -T /backup/home.tar.gpg backup.corp")
+            archive = builder.file(f"/backup/home-{run}.tar")
+            encrypted = builder.file(f"/backup/home-{run}.tar.gpg")
+            backup_server = builder.connection(dstip="10.1.1.9", dstport=443)
+            builder.fork(cron, tar)
+            for index in range(self.files_per_run):
+                source = builder.file(f"/home/alice/documents/doc{index}.txt")
+                builder.read(tar, source, amount=8192)
+            builder.write(tar, archive, amount=8192 * self.files_per_run)
+            builder.fork(cron, gpg)
+            builder.read(gpg, archive, amount=8192 * self.files_per_run)
+            builder.write(gpg, encrypted, amount=8192 * self.files_per_run)
+            builder.fork(cron, curl)
+            builder.read(curl, encrypted, amount=8192 * self.files_per_run)
+            builder.connect(curl, backup_server)
+            builder.send(curl, backup_server, amount=8192 * self.files_per_run)
+
+
+class AuthenticationWorkload(WorkloadGenerator):
+    """sshd sessions reading /etc/passwd and /etc/shadow legitimately."""
+
+    name = "authentication"
+
+    def __init__(self, logins: int = 15) -> None:
+        self.logins = logins
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        sshd = builder.spawn_process("/usr/sbin/sshd", cmdline="sshd: alice [priv]")
+        passwd = builder.file("/etc/passwd")
+        shadow = builder.file("/etc/shadow")
+        auth_log = builder.file("/var/log/auth.log")
+        for _ in range(self.logins):
+            client = builder.connection(
+                dstip=f"198.51.100.{builder.random.randint(1, 254)}", dstport=22
+            )
+            builder.emit(sshd, Operation.ACCEPT, client)
+            builder.read(sshd, passwd, amount=2048)
+            builder.read(sshd, shadow, amount=1024)
+            builder.write(sshd, auth_log, amount=128)
+
+
+class NoisyFileServerWorkload(WorkloadGenerator):
+    """A file server generating many repeated same-edge events.
+
+    Used by the Causality Preserved Reduction benchmark: each client session
+    produces a long burst of reads on one file and writes to one socket, which
+    CPR should collapse dramatically.
+    """
+
+    name = "noisy-file-server"
+
+    def __init__(self, sessions: int = 10, operations_per_session: int = 100) -> None:
+        self.sessions = sessions
+        self.operations_per_session = operations_per_session
+
+    def generate(self, builder: ScenarioBuilder) -> None:
+        smbd = builder.spawn_process("/usr/sbin/smbd", cmdline="smbd --foreground")
+        for session in range(self.sessions):
+            shared = builder.file(f"/srv/share/dataset-{session}.bin")
+            client = builder.connection(
+                dstip=f"192.0.2.{(session % 250) + 1}", dstport=445
+            )
+            builder.connect(smbd, client)
+            # Bursty access: a long run of reads on the shared file followed by
+            # a long run of sends to the client.  CPR collapses each burst into
+            # a single aggregated event because no other edge touches either
+            # endpoint inside the burst.
+            for _ in range(self.operations_per_session):
+                builder.read(smbd, shared, amount=4096, gap_ms=0.2)
+            for _ in range(self.operations_per_session):
+                builder.send(smbd, client, amount=4096, gap_ms=0.2)
+
+
+#: The default mix of benign workloads used by the host simulator.
+DEFAULT_BENIGN_WORKLOADS: tuple[type[WorkloadGenerator], ...] = (
+    WebServerWorkload,
+    LogRotationWorkload,
+    SoftwareUpdateWorkload,
+    DeveloperShellWorkload,
+    BackupWorkload,
+    AuthenticationWorkload,
+)

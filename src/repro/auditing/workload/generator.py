@@ -1,0 +1,140 @@
+"""Host simulator: interleaves benign workloads with injected attacks.
+
+The :class:`HostSimulator` reproduces the paper's demo deployment: "the server
+continues to resume its routine tasks ... where benign system activities and
+malicious system activities co-exist".  It drives a shared
+:class:`~repro.auditing.workload.base.ScenarioBuilder` so benign and malicious
+events share one timeline, one entity id space and one event id space, exactly
+like a real audit log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auditing.trace import AuditTrace
+from repro.auditing.workload.attacks import AttackGroundTruth, AttackScenario
+from repro.auditing.workload.base import ScenarioBuilder, WorkloadGenerator
+from repro.auditing.workload.benign import (
+    DEFAULT_BENIGN_WORKLOADS,
+    AuthenticationWorkload,
+    BackupWorkload,
+    DeveloperShellWorkload,
+    LogRotationWorkload,
+    SoftwareUpdateWorkload,
+    WebServerWorkload,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one host simulation run."""
+
+    trace: AuditTrace
+    ground_truths: list[AttackGroundTruth] = field(default_factory=list)
+
+    def ground_truth(self, attack_name: str) -> AttackGroundTruth:
+        """Look up the ground truth for one injected attack by name."""
+        for truth in self.ground_truths:
+            if truth.name == attack_name:
+                return truth
+        raise KeyError(f"no attack named {attack_name!r} was injected")
+
+
+class HostSimulator:
+    """Simulates one monitored host running benign workloads plus attacks.
+
+    Args:
+        host: Simulated hostname.
+        seed: Random seed controlling jitter, client IPs and file choices; the
+            same seed always produces an identical trace.
+        benign_scale: Multiplier applied to every benign workload's size, used
+            by benchmarks to sweep total event count.
+    """
+
+    def __init__(self, host: str = "victim-host", seed: int = 7, benign_scale: float = 1.0) -> None:
+        self._host = host
+        self._seed = seed
+        self._benign_scale = benign_scale
+        self._benign: list[WorkloadGenerator] = []
+        self._attacks: list[AttackScenario] = []
+
+    # -- configuration -----------------------------------------------------
+
+    def add_benign(self, workload: WorkloadGenerator) -> "HostSimulator":
+        """Add one benign workload generator."""
+        self._benign.append(workload)
+        return self
+
+    def add_default_benign(self) -> "HostSimulator":
+        """Add the default benign mix, scaled by ``benign_scale``."""
+        scale = self._benign_scale
+        self._benign.extend(
+            [
+                WebServerWorkload(requests=max(1, int(100 * scale))),
+                LogRotationWorkload(rotations=max(1, int(5 * scale))),
+                SoftwareUpdateWorkload(packages=max(1, int(6 * scale))),
+                DeveloperShellWorkload(iterations=max(1, int(20 * scale))),
+                BackupWorkload(files_per_run=max(1, int(10 * scale)), runs=max(1, int(2 * scale))),
+                AuthenticationWorkload(logins=max(1, int(15 * scale))),
+            ]
+        )
+        return self
+
+    def add_attack(self, attack: AttackScenario) -> "HostSimulator":
+        """Inject one attack scenario."""
+        self._attacks.append(attack)
+        return self
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the simulation and return the trace plus attack ground truth.
+
+        Benign workloads and attacks are interleaved: each generator is split
+        around the attack injection points so malicious events are buried in
+        the middle of the benign timeline rather than appended at the end.
+        """
+        builder = ScenarioBuilder(host=self._host, seed=self._seed)
+
+        # Interleave: first half of the benign generators, then the attacks,
+        # then the second half — a close approximation of the paper's demo
+        # where attacks happen while routine tasks keep running.
+        benign = list(self._benign)
+        midpoint = max(1, len(benign) // 2) if benign else 0
+        for workload in benign[:midpoint]:
+            workload.generate(builder)
+        for attack in self._attacks:
+            attack.generate(builder)
+        for workload in benign[midpoint:]:
+            workload.generate(builder)
+
+        trace = builder.build()
+        return SimulationResult(
+            trace=trace,
+            ground_truths=[attack.ground_truth for attack in self._attacks],
+        )
+
+
+def simulate_demo_host(
+    seed: int = 7, benign_scale: float = 1.0, attacks: list[AttackScenario] | None = None
+) -> SimulationResult:
+    """Build the paper's demo deployment in one call.
+
+    When ``attacks`` is ``None`` both demo attacks (password cracking and data
+    leakage after Shellshock penetration) are injected.
+    """
+    from repro.auditing.workload.attacks import DataLeakageAttack, PasswordCrackingAttack
+
+    simulator = HostSimulator(seed=seed, benign_scale=benign_scale).add_default_benign()
+    for attack in attacks if attacks is not None else [PasswordCrackingAttack(), DataLeakageAttack()]:
+        simulator.add_attack(attack)
+    return simulator.run()
+
+
+__all__ = [
+    "HostSimulator",
+    "SimulationResult",
+    "simulate_demo_host",
+    "DEFAULT_BENIGN_WORKLOADS",
+]

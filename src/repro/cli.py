@@ -1,0 +1,184 @@
+"""Command-line interface for the ThreatRaptor reproduction.
+
+The CLI exposes the same end-to-end flow the paper demonstrates through its
+web UI, as four subcommands:
+
+* ``threatraptor simulate`` — generate a simulated audit log (benign workload
+  plus the demo attacks) and write it in Sysdig format;
+* ``threatraptor extract`` — run threat behavior extraction on an OSCTI report
+  and print the threat behavior graph;
+* ``threatraptor synthesize`` — additionally synthesize and print the TBQL
+  query;
+* ``threatraptor hunt`` — full pipeline: load an audit log, extract, synthesize
+  and execute, printing the matched system auditing records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.auditing.sysdig import write_trace
+from repro.auditing.workload.attacks import ATTACK_SCENARIOS
+from repro.auditing.workload.generator import HostSimulator
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import ThreatRaptor
+from repro.errors import ThreatRaptorError
+from repro.tbql.formatter import format_query
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="threatraptor",
+        description="Threat hunting in system audit logs using OSCTI (ThreatRaptor reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="generate a simulated audit log")
+    simulate.add_argument("output", help="path of the Sysdig-format log file to write")
+    simulate.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+    simulate.add_argument(
+        "--scale", type=float, default=1.0, help="benign workload scale factor (default: 1.0)"
+    )
+    simulate.add_argument(
+        "--attack",
+        action="append",
+        choices=sorted(ATTACK_SCENARIOS),
+        default=None,
+        help="attack scenario to inject (repeatable; default: both demo attacks)",
+    )
+
+    extract = subparsers.add_parser("extract", help="extract a threat behavior graph from a report")
+    extract.add_argument("report", help="path of the OSCTI report text file")
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="extract a behavior graph and synthesize a TBQL query"
+    )
+    synthesize.add_argument("report", help="path of the OSCTI report text file")
+    synthesize.add_argument(
+        "--path-patterns", action="store_true", help="synthesize variable-length path patterns"
+    )
+
+    hunt = subparsers.add_parser("hunt", help="run the full hunting pipeline")
+    hunt.add_argument("report", help="path of the OSCTI report text file")
+    hunt.add_argument("log", help="path of the Sysdig-format audit log to search")
+    hunt.add_argument(
+        "--backend",
+        choices=("auto", "relational", "graph"),
+        default="auto",
+        help="query execution backend (default: auto)",
+    )
+    hunt.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable pruning-score scheduling and constraint propagation",
+    )
+    hunt.add_argument("--limit", type=int, default=20, help="max result rows to print")
+
+    query = subparsers.add_parser("query", help="run a hand-written TBQL query over an audit log")
+    query.add_argument("tbql", help="path of the TBQL query file (or '-' for stdin)")
+    query.add_argument("log", help="path of the Sysdig-format audit log to search")
+    query.add_argument("--limit", type=int, default=20, help="max result rows to print")
+    return parser
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    simulator = HostSimulator(seed=args.seed, benign_scale=args.scale).add_default_benign()
+    attack_names = args.attack or ["password-cracking", "data-leakage"]
+    for name in attack_names:
+        simulator.add_attack(ATTACK_SCENARIOS[name]())
+    result = simulator.run()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        count = write_trace(result.trace, handle)
+    summary = result.trace.summary()
+    print(f"wrote {count} audit records to {args.output}")
+    print(f"entities={summary['entities']} events={summary['events']} malicious={summary['malicious_events']}")
+    return 0
+
+
+def _command_extract(args: argparse.Namespace) -> int:
+    with open(args.report, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    raptor = ThreatRaptor()
+    extraction = raptor.extract_behavior_graph(text)
+    print(f"IOCs recognised: {len({ioc.normalized() for ioc in extraction.iocs})}")
+    print("Threat behavior graph:")
+    for line in extraction.graph.to_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _command_synthesize(args: argparse.Namespace) -> int:
+    with open(args.report, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    config = ThreatRaptorConfig(synthesis_use_path_patterns=args.path_patterns)
+    raptor = ThreatRaptor(config)
+    extraction = raptor.extract_behavior_graph(text)
+    query = raptor.synthesize_query(extraction.graph)
+    print(format_query(query))
+    return 0
+
+
+def _command_hunt(args: argparse.Namespace) -> int:
+    config = ThreatRaptorConfig(
+        execution_backend=args.backend, optimize_execution=not args.no_optimize
+    )
+    raptor = ThreatRaptor(config)
+    raptor.load_log_file(args.log)
+    with open(args.report, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    report = raptor.hunt(text)
+    print("Synthesized TBQL query:")
+    print(report.query_text)
+    print()
+    print("Matched system auditing records:")
+    print(report.result.to_table(limit=args.limit))
+    summary = report.summary()
+    print()
+    print(
+        f"behavior edges={summary['behavior_edges']} patterns={summary['query_patterns']} "
+        f"rows={summary['result_rows']} matched events={summary['matched_events']}"
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.tbql == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.tbql, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    raptor = ThreatRaptor()
+    raptor.load_log_file(args.log)
+    result = raptor.execute_query(source)
+    print(result.to_table(limit=args.limit))
+    print(f"({len(result)} rows, {len(result.all_matched_event_ids())} matched events)")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "extract": _command_extract,
+    "synthesize": _command_synthesize,
+    "hunt": _command_hunt,
+    "query": _command_query,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ThreatRaptorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Core orchestration: the ThreatRaptor facade and its configuration."""
+
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import HuntReport, ThreatRaptor
+
+__all__ = ["HuntReport", "ThreatRaptor", "ThreatRaptorConfig"]

@@ -1,0 +1,58 @@
+"""Configuration for the end-to-end ThreatRaptor pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ThreatRaptorConfig:
+    """Settings controlling the end-to-end pipeline.
+
+    Attributes:
+        apply_reduction: Run Causality Preserved Reduction before storage.
+        reduction_merge_window_ns: CPR merge window in nanoseconds
+            (``None`` = unlimited).
+        resolve_nominal_coreference: Enable definite-noun-phrase coreference in
+            the NLP pipeline (pronoun-only when False).
+        synthesis_wildcard_filters: Wrap synthesized entity filters in ``%``
+            wildcards.
+        synthesis_use_path_patterns: Synthesize variable-length path patterns
+            instead of single event patterns.
+        synthesis_path_max_length: Maximum path length for synthesized path
+            patterns.
+        execution_backend: ``"auto"``, ``"relational"`` or ``"graph"``.
+        optimize_execution: Use pruning-score scheduling with constraint
+            propagation.
+    """
+
+    apply_reduction: bool = True
+    reduction_merge_window_ns: int | None = 10_000_000_000
+    resolve_nominal_coreference: bool = False
+    synthesis_wildcard_filters: bool = True
+    synthesis_use_path_patterns: bool = False
+    synthesis_path_max_length: int = 4
+    execution_backend: str = "auto"
+    optimize_execution: bool = True
+
+    def validate(self) -> "ThreatRaptorConfig":
+        """Validate the configuration, returning ``self`` for chaining.
+
+        Raises:
+            ConfigurationError: when a setting is out of range.
+        """
+        if self.execution_backend not in ("auto", "relational", "graph"):
+            raise ConfigurationError(
+                f"execution_backend must be 'auto', 'relational' or 'graph', "
+                f"got {self.execution_backend!r}"
+            )
+        if self.synthesis_path_max_length < 1:
+            raise ConfigurationError("synthesis_path_max_length must be at least 1")
+        if (
+            self.reduction_merge_window_ns is not None
+            and self.reduction_merge_window_ns < 0
+        ):
+            raise ConfigurationError("reduction_merge_window_ns must be non-negative")
+        return self

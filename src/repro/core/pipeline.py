@@ -1,0 +1,127 @@
+"""The ThreatRaptor facade: OSCTI report text → matched audit records.
+
+:class:`ThreatRaptor` wires the subsystems together exactly as Figure 1 of the
+paper describes: system audit logging data is parsed and stored in the
+relational and graph backends; an OSCTI report goes through the threat
+behavior extraction pipeline to produce a threat behavior graph; the graph is
+synthesized into a TBQL query; and the query execution engine searches the
+stored audit data, returning the matched system auditing records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.auditing.parser import AuditLogParser
+from repro.auditing.trace import AuditTrace
+from repro.core.config import ThreatRaptorConfig
+from repro.nlp.behavior_graph import ThreatBehaviorGraph
+from repro.nlp.extractor import ExtractionResult, ThreatBehaviorExtractor
+from repro.storage.loader import AuditStore, LoadReport
+from repro.tbql.ast import Query
+from repro.tbql.executor import TBQLExecutionEngine
+from repro.tbql.formatter import format_query
+from repro.tbql.result import TBQLResult
+from repro.tbql.synthesis import QuerySynthesizer, SynthesisPlan
+
+
+@dataclass
+class HuntReport:
+    """Everything produced by one end-to-end hunt."""
+
+    extraction: ExtractionResult
+    behavior_graph: ThreatBehaviorGraph
+    query: Query
+    query_text: str
+    result: TBQLResult
+    load_report: LoadReport | None = None
+
+    def summary(self) -> dict[str, object]:
+        """Compact summary used by the CLI and the examples."""
+        return {
+            "iocs": len({ioc.normalized() for ioc in self.extraction.iocs}),
+            "behavior_edges": len(self.behavior_graph.edges),
+            "query_patterns": len(self.query.patterns),
+            "result_rows": len(self.result),
+            "matched_events": len(self.result.all_matched_event_ids()),
+        }
+
+
+class ThreatRaptor:
+    """The end-to-end threat hunting system.
+
+    Typical usage::
+
+        raptor = ThreatRaptor()
+        raptor.load_trace(trace)               # from the simulator or a log file
+        report = raptor.hunt(osint_report_text)
+        print(report.query_text)
+        print(report.result.to_table())
+    """
+
+    def __init__(self, config: ThreatRaptorConfig | None = None) -> None:
+        self.config = (config or ThreatRaptorConfig()).validate()
+        self.store = AuditStore(
+            apply_reduction=self.config.apply_reduction,
+            merge_window_ns=self.config.reduction_merge_window_ns,
+        )
+        self._extractor = ThreatBehaviorExtractor(
+            resolve_nominal_coreference=self.config.resolve_nominal_coreference
+        )
+        self._synthesizer = QuerySynthesizer(
+            SynthesisPlan(
+                use_path_patterns=self.config.synthesis_use_path_patterns,
+                path_max_length=self.config.synthesis_path_max_length,
+                wildcard_filters=self.config.synthesis_wildcard_filters,
+            )
+        )
+        self._engine = TBQLExecutionEngine(self.store, backend=self.config.execution_backend)
+        self._load_report: LoadReport | None = None
+
+    # -- data collection / storage --------------------------------------------------
+
+    def load_trace(self, trace: AuditTrace) -> LoadReport:
+        """Load an in-memory audit trace into the storage backends."""
+        self._load_report = self.store.load_trace(trace)
+        return self._load_report
+
+    def load_log(self, stream: TextIO, host: str = "localhost") -> LoadReport:
+        """Parse a Sysdig-style audit log stream and load it."""
+        trace, _ = AuditLogParser(host=host).parse(stream)
+        return self.load_trace(trace)
+
+    def load_log_file(self, path: str, host: str = "localhost") -> LoadReport:
+        """Parse and load an audit log file from disk."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.load_log(handle, host=host)
+
+    # -- pipeline stages --------------------------------------------------------------
+
+    def extract_behavior_graph(self, report_text: str) -> ExtractionResult:
+        """Run threat behavior extraction on an OSCTI report."""
+        return self._extractor.extract(report_text)
+
+    def synthesize_query(self, graph: ThreatBehaviorGraph) -> Query:
+        """Synthesize a TBQL query from a threat behavior graph."""
+        return self._synthesizer.synthesize(graph)
+
+    def execute_query(self, query: Query | str) -> TBQLResult:
+        """Execute a TBQL query (AST or source text) over the stored audit data."""
+        return self._engine.execute(query, optimize=self.config.optimize_execution)
+
+    # -- end to end ----------------------------------------------------------------------
+
+    def hunt(self, report_text: str) -> HuntReport:
+        """Run the full pipeline: extract → synthesize → execute."""
+        extraction = self.extract_behavior_graph(report_text)
+        query = self.synthesize_query(extraction.graph)
+        result = self.execute_query(query)
+        return HuntReport(
+            extraction=extraction,
+            behavior_graph=extraction.graph,
+            query=query,
+            query_text=format_query(query),
+            result=result,
+            load_report=self._load_report,
+        )

@@ -1,0 +1,10 @@
+"""Bundled OSCTI report corpus with ground-truth annotations."""
+
+from repro.data.osctireports import (
+    ALL_REPORTS,
+    FIGURE2_REPORT,
+    AnnotatedReport,
+    report_by_name,
+)
+
+__all__ = ["ALL_REPORTS", "FIGURE2_REPORT", "AnnotatedReport", "report_by_name"]

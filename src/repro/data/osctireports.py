@@ -1,0 +1,286 @@
+"""Annotated OSCTI report corpus.
+
+The paper's pipeline was demonstrated on attack descriptions "constructed
+according to the way the attacks were performed" (Section III).  This module
+bundles an equivalent corpus: the verbatim Figure 2 data-leakage text, prose
+descriptions of the two demo attacks that mirror the injected attack
+scenarios of :mod:`repro.auditing.workload.attacks`, and several additional
+synthetic reports exercising other linguistic phenomena (passive voice,
+pronoun chains, non-auditable IOC types, defanged indicators).
+
+Every report carries ground-truth annotations — the set of IOC strings and
+the set of ⟨subject, verb, object⟩ behaviour triplets a correct extraction
+should produce — which the extraction-accuracy experiment (EXP-NLP-ACC)
+scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AnnotatedReport:
+    """One OSCTI report with extraction ground truth.
+
+    Attributes:
+        name: Short identifier for the report.
+        title: Human-readable title.
+        text: The report body handed to the extraction pipeline.
+        ioc_ground_truth: The distinct IOC surface strings a correct extractor
+            should recognise (after merging; canonical/longest forms).
+        relation_ground_truth: ⟨subject, verb, object⟩ triplets (canonical IOC
+            text, lemmatised verb) that constitute the threat behaviour.
+        auditable: Whether the described behaviour is expected to be huntable
+            in system audit logs (False for reports dominated by
+            registry/hash/URL IOCs that the auditing component does not
+            capture).
+    """
+
+    name: str
+    title: str
+    text: str
+    ioc_ground_truth: frozenset[str] = field(default_factory=frozenset)
+    relation_ground_truth: frozenset[tuple[str, str, str]] = field(default_factory=frozenset)
+    auditable: bool = True
+
+
+FIGURE2_REPORT = AnnotatedReport(
+    name="figure2-data-leakage",
+    title="Data leakage attack walk-through (paper Figure 2)",
+    text=(
+        "After the lateral movement stage, the attacker attempts to steal valuable assets "
+        "from the host. This stage mainly involves the behaviors of local and remote file "
+        "system scanning activities, copying and compressing of important files, and "
+        "transferring the files to its C2 host. The details of the data leakage attack are "
+        "as follows. As a first step, the attacker used /bin/tar to read user credentials "
+        "from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. "
+        "Then, the attacker leveraged /bin/bzip2 utility to compress the tar file. /bin/bzip2 "
+        "read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After compression, the "
+        "attacker used Gnu Privacy Guard (GnuPG) tool to encrypt the zipped file, which "
+        "corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. "
+        "/usr/bin/gpg then wrote the sensitive information to /tmp/upload. Finally, the "
+        "attacker leveraged the curl utility (/usr/bin/curl) to read the data from "
+        "/tmp/upload. He leaked the gathered sensitive information back to the attacker C2 "
+        "host by using /usr/bin/curl to connect to 192.168.29.128."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "/bin/tar",
+            "/etc/passwd",
+            "/tmp/upload.tar",
+            "/bin/bzip2",
+            "/tmp/upload.tar.bz2",
+            "/usr/bin/gpg",
+            "/tmp/upload",
+            "/usr/bin/curl",
+            "192.168.29.128",
+        }
+    ),
+    relation_ground_truth=frozenset(
+        {
+            ("/bin/tar", "read", "/etc/passwd"),
+            ("/bin/tar", "write", "/tmp/upload.tar"),
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "write", "/tmp/upload"),
+            ("/usr/bin/curl", "read", "/tmp/upload"),
+            ("/usr/bin/curl", "connect", "192.168.29.128"),
+        }
+    ),
+)
+
+
+PASSWORD_CRACKING_REPORT = AnnotatedReport(
+    name="password-cracking",
+    title="Password cracking after Shellshock penetration (demo attack 1)",
+    text=(
+        "The attacker penetrated into the victim host by exploiting the Shellshock "
+        "vulnerability CVE-2014-6271 against the web server. After the penetration, the "
+        "attacker first used /usr/bin/curl to connect to 162.125.248.18 and download an "
+        "image /tmp/c2.jpg where the C2 server address is encoded in the EXIF metadata. "
+        "Based on the address, the attacker leveraged /usr/bin/wget to connect to "
+        "192.168.29.128. /usr/bin/wget wrote the downloaded password cracker to /tmp/crack. "
+        "Then the attacker launched /tmp/crack to read the shadow file /etc/shadow. "
+        "/tmp/crack also read /etc/passwd. Finally, /tmp/crack wrote the extracted clear "
+        "text credentials to /tmp/passwords.txt."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "CVE-2014-6271",
+            "/usr/bin/curl",
+            "162.125.248.18",
+            "/tmp/c2.jpg",
+            "/usr/bin/wget",
+            "192.168.29.128",
+            "/tmp/crack",
+            "/etc/shadow",
+            "/etc/passwd",
+            "/tmp/passwords.txt",
+        }
+    ),
+    relation_ground_truth=frozenset(
+        {
+            ("/usr/bin/curl", "connect", "162.125.248.18"),
+            ("/usr/bin/wget", "connect", "192.168.29.128"),
+            ("/usr/bin/wget", "write", "/tmp/crack"),
+            ("/tmp/crack", "read", "/etc/shadow"),
+            ("/tmp/crack", "read", "/etc/passwd"),
+            ("/tmp/crack", "write", "/tmp/passwords.txt"),
+        }
+    ),
+)
+
+
+DATA_LEAKAGE_REPORT = AnnotatedReport(
+    name="data-leakage",
+    title="Data leakage after Shellshock penetration (demo attack 2)",
+    text=(
+        "The attacker attempts to steal all the valuable assets from the victim host. "
+        "After the Shellshock penetration, the attacker used /usr/bin/find to scan the "
+        "file system for sensitive documents. Then the attacker used /bin/tar to read "
+        "user credentials from /etc/passwd. It wrote the scraped data to /tmp/upload.tar. "
+        "Next, /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. "
+        "/usr/bin/gpg read /tmp/upload.tar.bz2 and wrote the encrypted archive to "
+        "/tmp/upload. Finally the attacker leveraged /usr/bin/curl to read /tmp/upload "
+        "and send the stolen data to 192.168.29.128."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "/usr/bin/find",
+            "/bin/tar",
+            "/etc/passwd",
+            "/tmp/upload.tar",
+            "/bin/bzip2",
+            "/tmp/upload.tar.bz2",
+            "/usr/bin/gpg",
+            "/tmp/upload",
+            "/usr/bin/curl",
+            "192.168.29.128",
+        }
+    ),
+    relation_ground_truth=frozenset(
+        {
+            ("/bin/tar", "read", "/etc/passwd"),
+            ("/bin/tar", "write", "/tmp/upload.tar"),
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "write", "/tmp/upload"),
+            ("/usr/bin/curl", "read", "/tmp/upload"),
+            ("/usr/bin/curl", "send", "192.168.29.128"),
+        }
+    ),
+)
+
+
+RANSOMWARE_REPORT = AnnotatedReport(
+    name="ransomware-dropper",
+    title="Ransomware dropper with passive-voice prose",
+    text=(
+        "A malicious document invoice.doc was delivered through a phishing campaign. "
+        "When opened, the document launched /usr/bin/python3 to download the payload. "
+        "/usr/bin/python3 connected to 203.0.113.77 and wrote the received payload to "
+        "/tmp/locker.elf. The payload /tmp/locker.elf was then executed by /bin/sh. "
+        "/tmp/locker.elf read the document directory /home/victim/documents and wrote "
+        "the encrypted archive to /home/victim/documents.locked."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "invoice.doc",
+            "/usr/bin/python3",
+            "203.0.113.77",
+            "/tmp/locker.elf",
+            "/bin/sh",
+            "/home/victim/documents",
+            "/home/victim/documents.locked",
+        }
+    ),
+    relation_ground_truth=frozenset(
+        {
+            ("/usr/bin/python3", "connect", "203.0.113.77"),
+            ("/usr/bin/python3", "write", "/tmp/locker.elf"),
+            ("/bin/sh", "execute", "/tmp/locker.elf"),
+            ("/tmp/locker.elf", "read", "/home/victim/documents"),
+            ("/tmp/locker.elf", "write", "/home/victim/documents.locked"),
+        }
+    ),
+)
+
+
+CREDENTIAL_THEFT_REPORT = AnnotatedReport(
+    name="credential-theft",
+    title="Credential theft with pronoun chains",
+    text=(
+        "During the intrusion the adversary deployed /opt/tools/mimipy to harvest "
+        "credentials. It read the memory snapshot /var/tmp/lsass.dmp. It wrote the "
+        "recovered secrets to /var/tmp/creds.txt. Afterwards the adversary used "
+        "/usr/bin/scp to read /var/tmp/creds.txt. /usr/bin/scp sent the file to "
+        "198.51.100.23."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "/opt/tools/mimipy",
+            "/var/tmp/lsass.dmp",
+            "/var/tmp/creds.txt",
+            "/usr/bin/scp",
+            "198.51.100.23",
+        }
+    ),
+    relation_ground_truth=frozenset(
+        {
+            ("/opt/tools/mimipy", "read", "/var/tmp/lsass.dmp"),
+            ("/opt/tools/mimipy", "write", "/var/tmp/creds.txt"),
+            ("/usr/bin/scp", "read", "/var/tmp/creds.txt"),
+            ("/usr/bin/scp", "send", "198.51.100.23"),
+        }
+    ),
+)
+
+
+PHISHING_INFRASTRUCTURE_REPORT = AnnotatedReport(
+    name="phishing-infrastructure",
+    title="Phishing infrastructure (non-auditable IOC types)",
+    text=(
+        "The campaign relied on the domain login-secure-update.com and the URL "
+        "hxxp://login-secure-update[.]com/portal/index.php to harvest credentials. "
+        "Victims received mail from billing@secure-pay.biz. The attachment carried the "
+        "MD5 hash 9e107d9d372bb6826bd81d3542a419d6. The implant persisted through the "
+        "registry key HKEY_LOCAL_MACHINE\\Software\\Microsoft\\Windows\\CurrentVersion\\Run\\updater."
+    ),
+    ioc_ground_truth=frozenset(
+        {
+            "login-secure-update.com",
+            "hxxp://login-secure-update[.]com/portal/index.php",
+            "billing@secure-pay.biz",
+            "9e107d9d372bb6826bd81d3542a419d6",
+            "HKEY_LOCAL_MACHINE\\Software\\Microsoft\\Windows\\CurrentVersion\\Run\\updater",
+        }
+    ),
+    relation_ground_truth=frozenset(),
+    auditable=False,
+)
+
+
+#: All bundled reports, in corpus order.
+ALL_REPORTS: tuple[AnnotatedReport, ...] = (
+    FIGURE2_REPORT,
+    PASSWORD_CRACKING_REPORT,
+    DATA_LEAKAGE_REPORT,
+    RANSOMWARE_REPORT,
+    CREDENTIAL_THEFT_REPORT,
+    PHISHING_INFRASTRUCTURE_REPORT,
+)
+
+
+def report_by_name(name: str) -> AnnotatedReport:
+    """Look up a bundled report by its short name.
+
+    Raises:
+        KeyError: if no report with that name exists.
+    """
+    for report in ALL_REPORTS:
+        if report.name == name:
+            return report
+    raise KeyError(f"no bundled report named {name!r}")

@@ -1,0 +1,72 @@
+"""Exception hierarchy shared by every ThreatRaptor reproduction subsystem.
+
+All exceptions raised by this package derive from :class:`ThreatRaptorError`
+so callers can catch a single type at the API boundary while subsystems keep
+precise error categories internally.
+"""
+
+from __future__ import annotations
+
+
+class ThreatRaptorError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class AuditLogError(ThreatRaptorError):
+    """Raised when an audit log record cannot be emitted or parsed."""
+
+
+class StorageError(ThreatRaptorError):
+    """Base class for storage-backend errors."""
+
+
+class SchemaError(StorageError):
+    """Raised when a table/graph schema is violated (unknown column, bad type)."""
+
+
+class QueryError(StorageError):
+    """Raised when a backend data query is malformed or cannot be executed."""
+
+
+class ExtractionError(ThreatRaptorError):
+    """Raised when the NLP extraction pipeline cannot process an OSCTI report."""
+
+
+class TBQLError(ThreatRaptorError):
+    """Base class for TBQL language errors."""
+
+
+class TBQLSyntaxError(TBQLError):
+    """Raised when TBQL source text cannot be lexed or parsed.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TBQLSemanticError(TBQLError):
+    """Raised when a syntactically valid TBQL query is semantically invalid.
+
+    Examples include referencing an undeclared entity identifier, declaring the
+    same event identifier twice, or using an attribute that does not exist for
+    the entity's type.
+    """
+
+
+class SynthesisError(TBQLError):
+    """Raised when a TBQL query cannot be synthesized from a behavior graph."""
+
+
+class ExecutionError(TBQLError):
+    """Raised when TBQL query execution fails inside the execution engine."""
+
+
+class ConfigurationError(ThreatRaptorError):
+    """Raised when a configuration object contains invalid settings."""

@@ -1,0 +1,121 @@
+"""Evaluation metrics shared by the tests, examples and benchmark harness.
+
+Two kinds of scoring are needed to reproduce the paper's evaluation axes:
+
+* **extraction accuracy** — precision/recall/F1 of the IOCs and of the
+  ⟨subject, verb, object⟩ relations produced by the NLP pipeline against the
+  corpus ground truth (EXP-NLP-ACC);
+* **hunting accuracy** — precision/recall/F1 of the audit events matched by an
+  executed TBQL query against the event ids injected by an attack scenario
+  (EXP-E2E-ATTACKS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.data.osctireports import AnnotatedReport
+from repro.nlp.behavior_graph import ThreatBehaviorGraph
+from repro.nlp.extractor import ExtractionResult
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """A precision/recall/F1 triple with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+        }
+
+
+def score_sets(predicted: Iterable, expected: Iterable) -> PrecisionRecall:
+    """Score a predicted set against an expected set."""
+    predicted_set = set(predicted)
+    expected_set = set(expected)
+    true_positives = len(predicted_set & expected_set)
+    return PrecisionRecall(
+        true_positives=true_positives,
+        false_positives=len(predicted_set - expected_set),
+        false_negatives=len(expected_set - predicted_set),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extraction accuracy.
+# ---------------------------------------------------------------------------
+
+
+def _normalize_ioc_text(text: str) -> str:
+    return text.strip().rstrip(".,;:").lower()
+
+
+def score_ioc_extraction(result: ExtractionResult, report: AnnotatedReport) -> PrecisionRecall:
+    """Score recognised IOCs (after merging) against a report's ground truth."""
+    if result.merge_result is not None:
+        predicted = {
+            _normalize_ioc_text(ioc.text) for ioc in result.merge_result.canonical_iocs()
+        }
+    else:
+        predicted = {_normalize_ioc_text(ioc.text) for ioc in result.iocs}
+    expected = {_normalize_ioc_text(text) for text in report.ioc_ground_truth}
+    return score_sets(predicted, expected)
+
+
+def _graph_triplets(graph: ThreatBehaviorGraph) -> set[tuple[str, str, str]]:
+    return {
+        (
+            _normalize_ioc_text(edge.subject.text),
+            edge.verb,
+            _normalize_ioc_text(edge.obj.text),
+        )
+        for edge in graph.edges
+    }
+
+
+def score_relation_extraction(
+    result: ExtractionResult, report: AnnotatedReport
+) -> PrecisionRecall:
+    """Score extracted behaviour edges against a report's relation ground truth."""
+    predicted = _graph_triplets(result.graph)
+    expected = {
+        (_normalize_ioc_text(subject), verb, _normalize_ioc_text(obj))
+        for subject, verb, obj in report.relation_ground_truth
+    }
+    return score_sets(predicted, expected)
+
+
+# ---------------------------------------------------------------------------
+# Hunting accuracy.
+# ---------------------------------------------------------------------------
+
+
+def score_hunting(
+    matched_event_ids: Iterable[int], ground_truth_event_ids: Iterable[int]
+) -> PrecisionRecall:
+    """Score matched audit events against an attack's injected event ids."""
+    return score_sets(matched_event_ids, ground_truth_event_ids)

@@ -1,0 +1,72 @@
+"""Unsupervised NLP pipeline for threat behavior extraction from OSCTI text."""
+
+from repro.nlp.behavior_graph import (
+    BehaviorEdge,
+    BehaviorGraphBuilder,
+    BehaviorNode,
+    ThreatBehaviorGraph,
+)
+from repro.nlp.coref import CoreferenceResolver
+from repro.nlp.depparse import DependencyParser, parse_sentence
+from repro.nlp.deptree import DependencyNode, DependencyTree
+from repro.nlp.extractor import (
+    ExtractionResult,
+    NaiveCooccurrenceExtractor,
+    ThreatBehaviorExtractor,
+)
+from repro.nlp.ioc import (
+    IOC,
+    IOCMatch,
+    IOCType,
+    PROTECTION_WORD,
+    ProtectedText,
+    protect_iocs,
+    recognize_iocs,
+)
+from repro.nlp.lemmatizer import Lemmatizer, lemmatize
+from repro.nlp.merge import IOCMerger, MergeResult, merge_iocs, should_merge
+from repro.nlp.pos import PosTagger
+from repro.nlp.relation import IOCRelation, RelationExtractor
+from repro.nlp.segmentation import TextSpan, segment_blocks, segment_sentences
+from repro.nlp.tokenizer import Token, Tokenizer, tokenize
+from repro.nlp.wordvec import character_overlap, cosine_similarity, vectorize
+
+__all__ = [
+    "BehaviorEdge",
+    "BehaviorGraphBuilder",
+    "BehaviorNode",
+    "CoreferenceResolver",
+    "DependencyNode",
+    "DependencyParser",
+    "DependencyTree",
+    "ExtractionResult",
+    "IOC",
+    "IOCMatch",
+    "IOCMerger",
+    "IOCRelation",
+    "IOCType",
+    "Lemmatizer",
+    "MergeResult",
+    "NaiveCooccurrenceExtractor",
+    "PROTECTION_WORD",
+    "PosTagger",
+    "ProtectedText",
+    "RelationExtractor",
+    "TextSpan",
+    "ThreatBehaviorExtractor",
+    "ThreatBehaviorGraph",
+    "Token",
+    "Tokenizer",
+    "character_overlap",
+    "cosine_similarity",
+    "lemmatize",
+    "merge_iocs",
+    "parse_sentence",
+    "protect_iocs",
+    "recognize_iocs",
+    "segment_blocks",
+    "segment_sentences",
+    "should_merge",
+    "tokenize",
+    "vectorize",
+]

@@ -1,0 +1,147 @@
+"""Threat behavior graph construction.
+
+The extracted IOCs and IOC relations form a **threat behavior graph**: nodes
+are (canonical) IOCs, edges are verb relations between them, and each edge
+carries a sequence number indicating the step order, assigned by iterating
+over the triplets "sorted by the occurrence offset of the relation verb in
+OSCTI text" (Section II-C, step 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.nlp.ioc import IOC, IOCType
+from repro.nlp.merge import MergeResult
+from repro.nlp.relation import IOCRelation
+
+
+@dataclass(frozen=True)
+class BehaviorNode:
+    """One node of the threat behavior graph: a canonical IOC."""
+
+    ioc: IOC
+
+    @property
+    def text(self) -> str:
+        return self.ioc.text
+
+    @property
+    def ioc_type(self) -> IOCType:
+        return self.ioc.ioc_type
+
+
+@dataclass(frozen=True)
+class BehaviorEdge:
+    """One edge of the threat behavior graph: subject --verb--> object.
+
+    Attributes:
+        subject: Node the action originates from (the actor/tool IOC).
+        verb: Lemmatised relation verb.
+        obj: Node the action targets.
+        sequence: 1-based step order of this behaviour in the report.
+    """
+
+    subject: BehaviorNode
+    verb: str
+    obj: BehaviorNode
+    sequence: int
+
+
+@dataclass
+class ThreatBehaviorGraph:
+    """The threat behavior graph extracted from one OSCTI report."""
+
+    nodes: list[BehaviorNode] = field(default_factory=list)
+    edges: list[BehaviorEdge] = field(default_factory=list)
+
+    def node_for(self, ioc: IOC) -> BehaviorNode | None:
+        """The node holding ``ioc`` (by normalised text and type), if any."""
+        for node in self.nodes:
+            if node.ioc.normalized() == ioc.normalized() and node.ioc_type == ioc.ioc_type:
+                return node
+        return None
+
+    def edges_in_order(self) -> list[BehaviorEdge]:
+        """Edges sorted by sequence number."""
+        return sorted(self.edges, key=lambda edge: edge.sequence)
+
+    def adjacent_edges(self, node: BehaviorNode) -> list[BehaviorEdge]:
+        """Edges touching ``node`` (as subject or object)."""
+        return [edge for edge in self.edges if edge.subject == node or edge.obj == node]
+
+    def remove_nodes(self, nodes: Iterable[BehaviorNode]) -> None:
+        """Remove nodes and every edge connected to them (used by synthesis screening)."""
+        to_remove = set(nodes)
+        self.edges = [
+            edge
+            for edge in self.edges
+            if edge.subject not in to_remove and edge.obj not in to_remove
+        ]
+        self.nodes = [node for node in self.nodes if node not in to_remove]
+
+    def summary(self) -> dict[str, int]:
+        """Node/edge counts for reports and tests."""
+        return {"nodes": len(self.nodes), "edges": len(self.edges)}
+
+    def to_lines(self) -> list[str]:
+        """Readable rendering: one line per edge in step order."""
+        return [
+            f"{edge.sequence}. {edge.subject.text} --[{edge.verb}]--> {edge.obj.text}"
+            for edge in self.edges_in_order()
+        ]
+
+
+class BehaviorGraphBuilder:
+    """Builds a :class:`ThreatBehaviorGraph` from triplets and merge results."""
+
+    def build(
+        self, relations: list[IOCRelation], merge_result: MergeResult
+    ) -> ThreatBehaviorGraph:
+        """Construct the graph.
+
+        Triplets are processed in occurrence order; duplicate edges (same
+        canonical subject, verb and object) keep their first sequence number,
+        and sequence numbers are re-numbered densely from 1.
+        """
+        graph = ThreatBehaviorGraph()
+        nodes_by_key: dict[tuple[str, IOCType], BehaviorNode] = {}
+        edge_keys: set[tuple[str, str, str]] = set()
+        ordered = sorted(relations, key=lambda relation: relation.order_key)
+        sequence = 0
+        for relation in ordered:
+            subject_ioc = merge_result.resolve(relation.subject)
+            object_ioc = merge_result.resolve(relation.obj)
+            if subject_ioc.normalized() == object_ioc.normalized():
+                continue
+            subject_node = self._node(graph, nodes_by_key, subject_ioc)
+            object_node = self._node(graph, nodes_by_key, object_ioc)
+            edge_key = (subject_ioc.normalized(), relation.verb, object_ioc.normalized())
+            if edge_key in edge_keys:
+                continue
+            edge_keys.add(edge_key)
+            sequence += 1
+            graph.edges.append(
+                BehaviorEdge(
+                    subject=subject_node,
+                    verb=relation.verb,
+                    obj=object_node,
+                    sequence=sequence,
+                )
+            )
+        return graph
+
+    @staticmethod
+    def _node(
+        graph: ThreatBehaviorGraph,
+        nodes_by_key: dict[tuple[str, IOCType], BehaviorNode],
+        ioc: IOC,
+    ) -> BehaviorNode:
+        key = (ioc.normalized(), ioc.ioc_type)
+        node = nodes_by_key.get(key)
+        if node is None:
+            node = BehaviorNode(ioc=ioc)
+            nodes_by_key[key] = node
+            graph.nodes.append(node)
+        return node

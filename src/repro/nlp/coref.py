@@ -1,0 +1,149 @@
+"""Coreference resolution across the dependency trees of one block.
+
+"Across all trees of all sentences within a block, we resolve the coreference
+nodes for the same IOC by checking their POS tags and dependencies, and create
+connections between the nodes in the trees" (Section II-C, step 6).
+
+This implementation resolves:
+
+* neuter pronouns (``it``, ``they``, ``them``) to the most recent preceding
+  IOC node that served as a *subject-side* argument — the actor of the
+  previous step, which is what reports refer back to ("It wrote the gathered
+  information ...");
+* optionally (off by default to match the paper's Figure 2 output), definite
+  noun phrases whose head is a coreferent noun ("the file", "this tool") to
+  the most recent preceding IOC node of a compatible IOC type whose text
+  contains one of the noun phrase's modifiers.
+
+Animate pronouns (``he``, ``she``) are never resolved to IOCs: they refer to
+the attacker, not to an indicator.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.deptree import DependencyNode, DependencyTree
+from repro.nlp.ioc import IOCType
+from repro.nlp.relation import is_subject_like
+
+#: Coreferent head nouns mapped to the IOC types they may refer to.
+_NOMINAL_TYPE_COMPATIBILITY: dict[str, frozenset[IOCType]] = {
+    "file": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "files": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "archive": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "document": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "image": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "binary": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "executable": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "script": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "payload": frozenset({IOCType.FILEPATH, IOCType.FILENAME, IOCType.URL}),
+    "tool": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "utility": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "program": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "process": frozenset({IOCType.FILEPATH, IOCType.FILENAME}),
+    "sample": frozenset({IOCType.FILEPATH, IOCType.FILENAME, IOCType.HASH}),
+    "malware": frozenset({IOCType.FILEPATH, IOCType.FILENAME, IOCType.HASH}),
+    "host": frozenset({IOCType.IP, IOCType.DOMAIN}),
+    "server": frozenset({IOCType.IP, IOCType.DOMAIN}),
+    "machine": frozenset({IOCType.IP, IOCType.DOMAIN}),
+    "address": frozenset({IOCType.IP, IOCType.DOMAIN, IOCType.EMAIL}),
+    "domain": frozenset({IOCType.DOMAIN}),
+    "connection": frozenset({IOCType.IP, IOCType.DOMAIN}),
+}
+
+
+class CoreferenceResolver:
+    """Resolves pronoun (and optionally nominal) references to IOC nodes.
+
+    Args:
+        resolve_nominal: Also resolve definite noun phrases ("the file") to
+            IOCs.  Disabled by default: pronoun-only resolution reproduces the
+            paper's Figure 2 behaviour exactly, while nominal resolution can
+            introduce extra (usually redundant) behaviour edges.
+    """
+
+    def __init__(self, resolve_nominal: bool = False) -> None:
+        self._resolve_nominal = resolve_nominal
+
+    def resolve_block(self, trees: list[DependencyTree]) -> int:
+        """Resolve coreference across the trees of one block.
+
+        Returns:
+            The number of coreference links created.
+        """
+        links = 0
+        for tree_index, tree in enumerate(trees):
+            for node in tree.pronoun_nodes():
+                if node.coref is not None or node.ioc is not None:
+                    continue
+                antecedent = self._find_antecedent(node, tree_index, trees)
+                if antecedent is not None:
+                    node.coref = antecedent
+                    links += 1
+        return links
+
+    # -- antecedent search -----------------------------------------------------
+
+    def _find_antecedent(
+        self,
+        pronoun: DependencyNode,
+        tree_index: int,
+        trees: list[DependencyTree],
+    ) -> DependencyNode | None:
+        is_nominal = pronoun.pos in ("NN", "NNS")
+        if is_nominal and not self._resolve_nominal:
+            return None
+
+        candidates = self._preceding_ioc_nodes(pronoun, tree_index, trees)
+        if not candidates:
+            return None
+
+        if not is_nominal:
+            # Pronoun: prefer the most recent subject-side IOC (the actor of a
+            # previous step), falling back to the most recent IOC.
+            for candidate in reversed(candidates):
+                if is_subject_like(candidate):
+                    return candidate
+            return candidates[-1]
+
+        # Nominal: type compatibility plus modifier overlap.
+        head = pronoun.token.lower
+        compatible_types = _NOMINAL_TYPE_COMPATIBILITY.get(head)
+        modifiers = {
+            child.token.lower
+            for child in pronoun.children
+            if child.label in ("amod", "compound")
+        }
+        typed = [
+            candidate
+            for candidate in candidates
+            if candidate.ioc is not None
+            and (compatible_types is None or candidate.ioc.ioc_type in compatible_types)
+        ]
+        if not typed:
+            return None
+        if modifiers:
+            for candidate in reversed(typed):
+                text = candidate.ioc.text.lower() if candidate.ioc else ""
+                if any(modifier in text for modifier in modifiers):
+                    return candidate
+        return typed[-1]
+
+    @staticmethod
+    def _preceding_ioc_nodes(
+        pronoun: DependencyNode,
+        tree_index: int,
+        trees: list[DependencyTree],
+    ) -> list[DependencyNode]:
+        """Direct IOC nodes occurring before ``pronoun`` within the block."""
+        preceding: list[DependencyNode] = []
+        for index in range(tree_index + 1):
+            tree = trees[index]
+            for node in tree.direct_ioc_nodes():
+                if index < tree_index or node.offset < pronoun.offset:
+                    preceding.append(node)
+        return preceding
+
+
+def resolve_block(trees: list[DependencyTree], resolve_nominal: bool = False) -> int:
+    """Module-level convenience wrapper around :class:`CoreferenceResolver`."""
+    return CoreferenceResolver(resolve_nominal=resolve_nominal).resolve_block(trees)

@@ -1,0 +1,415 @@
+"""Rule-based dependency parser (spaCy parser substitute).
+
+The parser targets the declarative prose style of OSCTI reports: subjects,
+relation verbs, objects, prepositional arguments, infinitive purpose clauses
+("used X to read Y"), passives ("was downloaded by X"), verb conjunction
+("read A and wrote B"), participial clauses ("the process X reading from Y"),
+relative clauses ("..., which corresponds to ...") and parenthetical
+appositions ("the curl utility (/usr/bin/curl)").
+
+It proceeds in two passes:
+
+1. **Chunking** — group the tagged tokens into noun phrases, verb groups,
+   prepositions, conjunctions and punctuation.
+2. **Attachment** — walk the chunk sequence with a small state machine and
+   attach chunk heads to each other with labelled dependency arcs, producing a
+   :class:`~repro.nlp.deptree.DependencyTree`.
+
+The produced label inventory (a subset of Universal/Stanford dependencies) is
+what the relation-extraction rules in :mod:`repro.nlp.relation` consume:
+``nsubj``, ``nsubjpass``, ``dobj``, ``xcomp``, ``acl``, ``relcl``, ``conj``,
+``prep_<word>``, ``pobj``, ``pcomp``, ``agent``, ``appos``, ``det``, ``amod``,
+``compound``, ``aux``, ``auxpass``, ``advmod``, ``punct``, ``dep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.deptree import DependencyNode, DependencyTree
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.pos import PosTagger
+from repro.nlp.tokenizer import Token, Tokenizer
+
+#: Verbs whose direct object acts as the *instrument/agent* of a following
+#: purpose clause ("the attacker used /bin/tar to read ...").  The relation
+#: extractor treats such objects as subject-side arguments.
+INSTRUMENT_VERBS = frozenset(
+    {"use", "leverage", "employ", "utilize", "run", "launch", "execute", "invoke", "deploy"}
+)
+
+_NOUN_TAGS = {"NN", "NNS", "NNP", "NNPS", "PRP", "CD"}
+_ADJ_TAGS = {"JJ", "JJR", "JJS"}
+_VERB_TAGS = {"VB", "VBD", "VBZ", "VBG", "VBN", "VBP"}
+
+
+@dataclass
+class _Chunk:
+    """A contiguous group of tokens treated as one attachment unit."""
+
+    kind: str  # "NP", "VG", "IN", "TO", "CC", "WDT", "RB", "PUNCT", "OTHER"
+    nodes: list[DependencyNode] = field(default_factory=list)
+
+    @property
+    def head(self) -> DependencyNode:
+        """The chunk head: last noun for NPs, main verb for verb groups."""
+        if self.kind == "NP":
+            nouns = [node for node in self.nodes if node.pos in _NOUN_TAGS]
+            return nouns[-1] if nouns else self.nodes[-1]
+        if self.kind == "VG":
+            verbs = [node for node in self.nodes if node.pos in _VERB_TAGS]
+            return verbs[-1] if verbs else self.nodes[-1]
+        return self.nodes[-1]
+
+    @property
+    def first(self) -> DependencyNode:
+        return self.nodes[0]
+
+    def is_passive_verb_group(self) -> bool:
+        """True for "was/is/been + past participle" verb groups."""
+        if self.kind != "VG":
+            return False
+        has_aux_be = any(
+            node.pos == "AUX" and lemmatize(node.text, "AUX") == "be" for node in self.nodes
+        )
+        head = self.head
+        return has_aux_be and head.pos in ("VBD", "VBN")
+
+
+class DependencyParser:
+    """Parses one (protected) sentence into a dependency tree."""
+
+    def __init__(self) -> None:
+        self._tokenizer = Tokenizer()
+        self._tagger = PosTagger()
+
+    # -- public API ----------------------------------------------------------
+
+    def parse(self, sentence: str, sentence_offset: int = 0) -> DependencyTree:
+        """Parse ``sentence`` (already IOC-protected) into a dependency tree."""
+        tokens = self._tokenizer.tokenize(sentence)
+        self._tagger.tag(tokens)
+        for token in tokens:
+            token.lemma = lemmatize(token.text, token.pos)
+        nodes = [DependencyNode(token=token) for token in tokens]
+        if not nodes:
+            # Degenerate sentence (only whitespace): synthesise an empty root.
+            empty = DependencyNode(token=Token(text="", start=0))
+            return DependencyTree(sentence=sentence, root=empty, nodes=[empty], sentence_offset=sentence_offset)
+        chunks = self._chunk(nodes)
+        root = self._attach(chunks, nodes)
+        return DependencyTree(
+            sentence=sentence, root=root, nodes=nodes, sentence_offset=sentence_offset
+        )
+
+    # -- pass 1: chunking ------------------------------------------------------
+
+    def _chunk(self, nodes: list[DependencyNode]) -> list[_Chunk]:
+        chunks: list[_Chunk] = []
+        i = 0
+        count = len(nodes)
+        while i < count:
+            node = nodes[i]
+            pos = node.pos
+            if pos in ("DT",) or pos in _ADJ_TAGS or pos in _NOUN_TAGS:
+                chunk = _Chunk(kind="NP")
+                while i < count and (
+                    nodes[i].pos in ("DT",)
+                    or nodes[i].pos in _ADJ_TAGS
+                    or nodes[i].pos in _NOUN_TAGS
+                ):
+                    chunk.nodes.append(nodes[i])
+                    i += 1
+                chunks.append(chunk)
+                continue
+            if pos in ("AUX", "MD") or pos in _VERB_TAGS:
+                chunk = _Chunk(kind="VG")
+                while i < count and (
+                    nodes[i].pos in ("AUX", "MD", "RB") or nodes[i].pos in _VERB_TAGS
+                ):
+                    # Stop a verb group before a second content verb when the
+                    # current group already has one (keeps "read ... wrote"
+                    # as two groups even without an intervening conjunction).
+                    if (
+                        nodes[i].pos in _VERB_TAGS
+                        and any(existing.pos in _VERB_TAGS for existing in chunk.nodes)
+                        and nodes[i].pos not in ("VBN",)
+                    ):
+                        break
+                    chunk.nodes.append(nodes[i])
+                    i += 1
+                chunks.append(chunk)
+                continue
+            if pos == "TO" or (pos == "IN" and node.token.lower == "to" and i + 1 < count and nodes[i + 1].pos in _VERB_TAGS):
+                chunks.append(_Chunk(kind="TO", nodes=[node]))
+                i += 1
+                continue
+            if pos == "IN":
+                chunks.append(_Chunk(kind="IN", nodes=[node]))
+                i += 1
+                continue
+            if pos == "CC":
+                chunks.append(_Chunk(kind="CC", nodes=[node]))
+                i += 1
+                continue
+            if pos == "WDT":
+                chunks.append(_Chunk(kind="WDT", nodes=[node]))
+                i += 1
+                continue
+            if pos == "RB":
+                chunks.append(_Chunk(kind="RB", nodes=[node]))
+                i += 1
+                continue
+            if pos == "PUNCT":
+                chunks.append(_Chunk(kind="PUNCT", nodes=[node]))
+                i += 1
+                continue
+            chunks.append(_Chunk(kind="OTHER", nodes=[node]))
+            i += 1
+        return chunks
+
+    # -- pass 2: attachment ------------------------------------------------------
+
+    def _attach(self, chunks: list[_Chunk], nodes: list[DependencyNode]) -> DependencyNode:
+        state = _AttachmentState()
+        for position, chunk in enumerate(chunks):
+            previous = chunks[position - 1] if position > 0 else None
+            if chunk.kind == "NP":
+                self._attach_noun_phrase(chunk, state)
+            elif chunk.kind == "VG":
+                self._attach_verb_group(chunk, state, previous)
+            elif chunk.kind == "IN":
+                self._handle_preposition(chunk, state, previous)
+            elif chunk.kind == "TO":
+                state.pending_to = chunk.first
+            elif chunk.kind == "CC":
+                state.pending_conjunction = chunk.first
+            elif chunk.kind == "WDT":
+                state.pending_relative = chunk.first
+            elif chunk.kind == "RB":
+                state.pending_adverbs.append(chunk.first)
+            elif chunk.kind == "PUNCT":
+                self._handle_punctuation(chunk, state)
+            else:
+                state.leftovers.append(chunk.first)
+
+        root = state.root
+        if root is None:
+            # No verb found: promote the first NP head (or first token).
+            root = state.last_subject_head or nodes[0]
+        self._attach_leftovers(state, root, nodes)
+        return root
+
+    # -- chunk handlers -----------------------------------------------------------
+
+    def _attach_noun_phrase(self, chunk: _Chunk, state: "_AttachmentState") -> None:
+        head = chunk.head
+        self._build_noun_phrase_internal(chunk, head)
+
+        if state.in_parenthesis and state.last_noun_head is not None and state.last_noun_head is not head:
+            state.last_noun_head.attach(head, "appos")
+            state.last_noun_head = head
+            return
+        if state.pending_preposition is not None:
+            preposition = state.pending_preposition
+            preposition.attach(head, "pobj")
+            state.pending_preposition = None
+            state.last_noun_head = head
+            return
+        if state.current_verb is None:
+            # Pre-verbal NP: subject of the upcoming verb.
+            state.pending_subject = head
+            state.last_subject_head = head
+            state.last_noun_head = head
+            return
+        # Post-verbal NP.
+        verb = state.attachment_verb or state.current_verb
+        if state.verb_has_object.get(id(verb)):
+            # A second bare NP after the object — treat as apposition to the
+            # previous noun ("a file /tmp/upload.tar" already chunks together,
+            # so this mostly covers stray nominals).
+            if state.last_noun_head is not None:
+                state.last_noun_head.attach(head, "appos")
+            else:
+                verb.attach(head, "dep")
+        else:
+            verb.attach(head, "dobj")
+            state.verb_has_object[id(verb)] = True
+        state.last_noun_head = head
+
+    def _build_noun_phrase_internal(self, chunk: _Chunk, head: DependencyNode) -> None:
+        for node in chunk.nodes:
+            if node is head:
+                continue
+            if node.pos == "DT":
+                head.attach(node, "det")
+            elif node.pos in _ADJ_TAGS:
+                head.attach(node, "amod")
+            elif node.pos in _NOUN_TAGS:
+                head.attach(node, "compound")
+            else:
+                head.attach(node, "dep")
+
+    def _attach_verb_group(
+        self, chunk: _Chunk, state: "_AttachmentState", previous: _Chunk | None
+    ) -> None:
+        head = chunk.head
+        is_passive = chunk.is_passive_verb_group()
+        # Internal structure: auxiliaries, modals and adverbs under the head.
+        for node in chunk.nodes:
+            if node is head:
+                continue
+            if node.pos == "AUX":
+                head.attach(node, "auxpass" if is_passive else "aux")
+            elif node.pos == "MD":
+                head.attach(node, "aux")
+            elif node.pos == "RB":
+                head.attach(node, "advmod")
+            else:
+                head.attach(node, "dep")
+        for adverb in state.pending_adverbs:
+            head.attach(adverb, "advmod")
+        state.pending_adverbs.clear()
+
+        gerund_after_noun = (
+            head.pos == "VBG"
+            and previous is not None
+            and previous.kind == "NP"
+            and state.pending_to is None
+            and state.pending_conjunction is None
+        )
+
+        if state.pending_to is not None:
+            # Infinitive purpose clause: "used X to read Y".
+            governor = state.attachment_verb or state.current_verb or state.root
+            if governor is not None and governor is not head:
+                governor.attach(head, "xcomp")
+                head.attach(state.pending_to, "aux")
+            else:
+                self._make_root_or_conj(head, state)
+                head.attach(state.pending_to, "aux")
+            state.pending_to = None
+        elif state.pending_preposition is not None and head.pos == "VBG":
+            # "by using ...": gerund complement of the preposition.
+            state.pending_preposition.attach(head, "pcomp")
+            state.pending_preposition = None
+        elif state.pending_relative is not None:
+            # Relative clause: "..., which corresponds to ...".
+            governor = state.last_noun_head or state.current_verb or state.root
+            if governor is not None:
+                governor.attach(head, "relcl")
+                head.attach(state.pending_relative, "nsubj")
+            else:
+                self._make_root_or_conj(head, state)
+            state.pending_relative = None
+        elif gerund_after_noun and state.last_noun_head is not None:
+            # Participial clause: "the process /usr/bin/gpg reading from ...".
+            state.last_noun_head.attach(head, "acl")
+        elif state.pending_conjunction is not None and state.current_verb is not None:
+            state.current_verb.attach(head, "conj")
+            head.attach(state.pending_conjunction, "cc")
+            state.pending_conjunction = None
+        else:
+            self._make_root_or_conj(head, state)
+            if state.pending_subject is not None:
+                label = "nsubjpass" if is_passive else "nsubj"
+                head.attach(state.pending_subject, label)
+                state.pending_subject = None
+
+        if is_passive:
+            state.passive_verbs.add(id(head))
+        state.current_verb = head
+        state.attachment_verb = head
+        state.verb_has_object.setdefault(id(head), False)
+
+    def _make_root_or_conj(self, head: DependencyNode, state: "_AttachmentState") -> None:
+        if state.root is None:
+            state.root = head
+        else:
+            state.root.attach(head, "conj")
+
+    def _handle_preposition(
+        self, chunk: _Chunk, state: "_AttachmentState", previous: _Chunk | None
+    ) -> None:
+        preposition = chunk.first
+        word = preposition.token.lower
+        # Attachment point: "of" (and "for" after a noun) modify the preceding
+        # noun; everything else modifies the current verb — prepositional
+        # arguments like "from /etc/passwd" belong to the action.
+        if word in ("of",) and state.last_noun_head is not None:
+            governor: DependencyNode | None = state.last_noun_head
+        elif previous is not None and previous.kind == "NP" and word == "for" and state.last_noun_head is not None:
+            governor = state.last_noun_head
+        else:
+            governor = state.attachment_verb or state.current_verb or state.last_noun_head
+        if governor is None:
+            # Sentence-initial preposition ("As a first step, ..."): hold it
+            # and attach once the root verb exists.
+            state.orphan_prepositions.append(preposition)
+            state.pending_preposition = preposition
+            return
+        label = "agent" if word == "by" and id(governor) in state.passive_verbs else f"prep_{word}"
+        governor.attach(preposition, label)
+        state.pending_preposition = preposition
+
+    def _handle_punctuation(self, chunk: _Chunk, state: "_AttachmentState") -> None:
+        node = chunk.first
+        text = node.text
+        if text == "(":
+            state.in_parenthesis = True
+        elif text == ")":
+            state.in_parenthesis = False
+        elif text == ",":
+            # A comma closes an open conjunction flag between clauses.
+            state.pending_conjunction = None
+        state.punctuation.append(node)
+
+    def _attach_leftovers(
+        self, state: "_AttachmentState", root: DependencyNode, nodes: list[DependencyNode]
+    ) -> None:
+        # Orphan prepositions recorded before a root existed.
+        for preposition in state.orphan_prepositions:
+            if preposition.parent is None and preposition is not root:
+                root.attach(preposition, f"prep_{preposition.token.lower}")
+        if state.pending_subject is not None and state.pending_subject.parent is None and state.pending_subject is not root:
+            root.attach(state.pending_subject, "nsubj")
+        for adverb in state.pending_adverbs:
+            if adverb.parent is None and adverb is not root:
+                root.attach(adverb, "advmod")
+        for node in state.punctuation + state.leftovers:
+            if node.parent is None and node is not root:
+                root.attach(node, "punct" if node.pos == "PUNCT" else "dep")
+        # Absolute safety net: every node must be reachable from the root.
+        for node in nodes:
+            if node is root:
+                continue
+            if node.parent is None:
+                root.attach(node, "dep")
+
+
+@dataclass
+class _AttachmentState:
+    """Mutable state threaded through the attachment pass."""
+
+    root: DependencyNode | None = None
+    current_verb: DependencyNode | None = None
+    attachment_verb: DependencyNode | None = None
+    pending_subject: DependencyNode | None = None
+    last_subject_head: DependencyNode | None = None
+    last_noun_head: DependencyNode | None = None
+    pending_preposition: DependencyNode | None = None
+    pending_to: DependencyNode | None = None
+    pending_conjunction: DependencyNode | None = None
+    pending_relative: DependencyNode | None = None
+    pending_adverbs: list[DependencyNode] = field(default_factory=list)
+    orphan_prepositions: list[DependencyNode] = field(default_factory=list)
+    punctuation: list[DependencyNode] = field(default_factory=list)
+    leftovers: list[DependencyNode] = field(default_factory=list)
+    verb_has_object: dict[int, bool] = field(default_factory=dict)
+    passive_verbs: set[int] = field(default_factory=set)
+    in_parenthesis: bool = False
+
+
+def parse_sentence(sentence: str, sentence_offset: int = 0) -> DependencyTree:
+    """Module-level convenience wrapper around :class:`DependencyParser`."""
+    return DependencyParser().parse(sentence, sentence_offset=sentence_offset)

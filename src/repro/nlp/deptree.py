@@ -1,0 +1,280 @@
+"""Dependency tree structure, annotation and simplification.
+
+The extraction pipeline (Algorithm 1) builds one dependency tree per sentence,
+then annotates nodes "whose associated tokens are useful for coreference
+resolution and relation extraction tasks (e.g., IOCs, candidate IOC relation
+verbs, pronouns)" and simplifies the trees "by removing paths without IOC
+nodes down to the leaves".  This module provides the tree data structure plus
+those two transformations; the parser that *produces* trees lives in
+:mod:`repro.nlp.depparse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.nlp import lexicon
+from repro.nlp.ioc import IOC, PROTECTION_WORD
+from repro.nlp.pos import is_relation_verb_form
+from repro.nlp.tokenizer import Token
+
+
+@dataclass
+class DependencyNode:
+    """One node of a dependency tree (one token).
+
+    Attributes:
+        token: The underlying token (text, offset, POS, lemma).
+        label: Dependency label of the arc from this node to its parent
+            (empty for the root).
+        parent: Parent node (``None`` for the root).
+        children: Child nodes in sentence order.
+        ioc: The original IOC when the token is a protected IOC dummy word
+            (filled in by :meth:`DependencyTree.restore_iocs`).
+        is_candidate_verb: Annotation flag: this node is a candidate IOC
+            relation verb.
+        is_pronoun: Annotation flag: this node may corefer to an IOC.
+        coref: The IOC node this node was resolved to by coreference
+            resolution (possibly in a different tree of the same block).
+    """
+
+    token: Token
+    label: str = ""
+    parent: Optional["DependencyNode"] = None
+    children: list["DependencyNode"] = field(default_factory=list)
+    ioc: IOC | None = None
+    is_candidate_verb: bool = False
+    is_pronoun: bool = False
+    coref: Optional["DependencyNode"] = None
+
+    # -- convenience accessors ----------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return self.token.text
+
+    @property
+    def lemma(self) -> str:
+        return self.token.lemma or self.token.text.lower()
+
+    @property
+    def pos(self) -> str:
+        return self.token.pos
+
+    @property
+    def index(self) -> int:
+        return self.token.index
+
+    @property
+    def offset(self) -> int:
+        """Character offset of the token in the sentence text."""
+        return self.token.start
+
+    def is_ioc(self) -> bool:
+        """True when the node carries an IOC (directly or via coreference)."""
+        return self.ioc is not None or (self.coref is not None and self.coref.ioc is not None)
+
+    def effective_ioc(self) -> IOC | None:
+        """The IOC this node stands for, following one coreference link."""
+        if self.ioc is not None:
+            return self.ioc
+        if self.coref is not None:
+            return self.coref.ioc
+        return None
+
+    def attach(self, child: "DependencyNode", label: str) -> None:
+        """Attach ``child`` under this node with dependency ``label``."""
+        child.parent = self
+        child.label = label
+        self.children.append(child)
+
+    def detach(self, child: "DependencyNode") -> None:
+        """Remove ``child`` from this node's children."""
+        self.children.remove(child)
+        child.parent = None
+
+    def ancestors(self) -> Iterator["DependencyNode"]:
+        """Yield ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["DependencyNode"]:
+        """Yield all descendants in depth-first order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def subtree_has_ioc(self) -> bool:
+        """True when this node or any descendant is an IOC node."""
+        if self.is_ioc():
+            return True
+        return any(child.subtree_has_ioc() for child in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DependencyNode({self.text!r}, pos={self.pos}, label={self.label})"
+
+
+@dataclass
+class DependencyTree:
+    """The dependency tree of one sentence.
+
+    Attributes:
+        sentence: The (protected) sentence text the tree was parsed from.
+        sentence_offset: Character offset of the sentence within its block.
+        root: The root node.
+        nodes: Every node, in token order.
+    """
+
+    sentence: str
+    root: DependencyNode
+    nodes: list[DependencyNode]
+    sentence_offset: int = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def ioc_nodes(self) -> list[DependencyNode]:
+        """Nodes carrying an IOC directly or through coreference, in order."""
+        return [node for node in self.nodes if node.is_ioc()]
+
+    def direct_ioc_nodes(self) -> list[DependencyNode]:
+        """Nodes carrying an IOC directly (excluding coreference links)."""
+        return [node for node in self.nodes if node.ioc is not None]
+
+    def candidate_verb_nodes(self) -> list[DependencyNode]:
+        """Nodes annotated as candidate relation verbs, in order."""
+        return [node for node in self.nodes if node.is_candidate_verb]
+
+    def pronoun_nodes(self) -> list[DependencyNode]:
+        """Nodes annotated as potentially coreferring pronouns, in order."""
+        return [node for node in self.nodes if node.is_pronoun]
+
+    def node_at_offset(self, offset: int) -> DependencyNode | None:
+        """The node whose token starts at ``offset``, if any."""
+        for node in self.nodes:
+            if node.offset == offset:
+                return node
+        return None
+
+    def lowest_common_ancestor(
+        self, first: DependencyNode, second: DependencyNode
+    ) -> DependencyNode:
+        """The lowest common ancestor of two nodes of this tree."""
+        first_chain = [first, *first.ancestors()]
+        first_set = set(map(id, first_chain))
+        if id(second) in first_set:
+            return second
+        for ancestor in [second, *second.ancestors()]:
+            if id(ancestor) in first_set:
+                return ancestor
+        return self.root
+
+    def path_from_ancestor(
+        self, ancestor: DependencyNode, descendant: DependencyNode
+    ) -> list[DependencyNode]:
+        """Nodes from ``ancestor`` (exclusive) down to ``descendant`` (inclusive).
+
+        Returns an empty list when ``descendant`` *is* ``ancestor``.
+        """
+        if descendant is ancestor:
+            return []
+        chain: list[DependencyNode] = []
+        node: DependencyNode | None = descendant
+        while node is not None and node is not ancestor:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        return chain
+
+    def path_from_root(self, node: DependencyNode) -> list[DependencyNode]:
+        """Nodes from the root (inclusive) down to ``node`` (inclusive)."""
+        chain = [node, *node.ancestors()]
+        chain.reverse()
+        return chain
+
+    # -- transformations ---------------------------------------------------------
+
+    def restore_iocs(self, replacements: list[tuple[int, IOC]]) -> None:
+        """Replace protection dummy words with their original IOCs.
+
+        Args:
+            replacements: ``(offset, ioc)`` pairs where the offset is relative
+                to the *block* text; the tree's ``sentence_offset`` is used to
+                translate into sentence-local token offsets.
+        """
+        by_offset = {offset: ioc for offset, ioc in replacements}
+        for node in self.nodes:
+            if node.token.text != PROTECTION_WORD:
+                continue
+            block_offset = node.offset + self.sentence_offset
+            ioc = by_offset.get(block_offset)
+            if ioc is not None:
+                node.ioc = ioc
+                node.token.lemma = ioc.text
+
+    def annotate(self) -> None:
+        """Annotate IOC nodes, candidate relation verbs and pronouns.
+
+        IOC nodes are marked by :meth:`restore_iocs`; here the verb and
+        pronoun annotations are added (Algorithm 1, AnnotateTree).
+        """
+        for node in self.nodes:
+            if node.pos.startswith("V") and is_relation_verb_form(node.text):
+                node.is_candidate_verb = True
+            lowered = node.token.lower
+            if node.pos == "PRP" and lowered in ("it", "they", "them"):
+                node.is_pronoun = True
+            if node.pos in ("NN", "NNS") and lowered in lexicon.COREFERENT_NOUNS and self._has_definite_determiner(node):
+                node.is_pronoun = True
+
+    @staticmethod
+    def _has_definite_determiner(node: DependencyNode) -> bool:
+        return any(
+            child.label == "det" and child.token.lower in ("the", "this", "that", "these", "those")
+            for child in node.children
+        )
+
+    def simplify(self) -> None:
+        """Remove paths without IOC nodes down to the leaves.
+
+        A node is kept iff it is the root, it lies on a path from the root to
+        an IOC node, it is a candidate relation verb, or it is an annotated
+        pronoun (pronouns are needed later by coreference resolution).  This is
+        the SimplifyTree step of Algorithm 1 — it shrinks the trees so later
+        stages only traverse relevant structure.
+        """
+        keep: set[int] = {id(self.root)}
+        for node in self.nodes:
+            if node.is_ioc() or node.is_candidate_verb or node.is_pronoun:
+                keep.add(id(node))
+                for ancestor in node.ancestors():
+                    keep.add(id(ancestor))
+
+        def prune(node: DependencyNode) -> None:
+            for child in list(node.children):
+                if id(child) in keep:
+                    prune(child)
+                else:
+                    node.detach(child)
+
+        prune(self.root)
+        self.nodes = [node for node in self.nodes if id(node) in keep]
+
+    # -- debugging ----------------------------------------------------------------
+
+    def to_lines(self) -> list[str]:
+        """Indented textual rendering of the tree (for tests and debugging)."""
+        lines: list[str] = []
+
+        def render(node: DependencyNode, depth: int) -> None:
+            label = node.label or "root"
+            ioc_marker = f" [IOC:{node.ioc.text}]" if node.ioc else ""
+            verb_marker = " [VERB]" if node.is_candidate_verb else ""
+            lines.append(f"{'  ' * depth}{label}: {node.text} ({node.pos}){ioc_marker}{verb_marker}")
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return lines

@@ -1,0 +1,216 @@
+"""The threat behavior extraction pipeline (Algorithm 1).
+
+:class:`ThreatBehaviorExtractor` orchestrates the full unsupervised pipeline:
+
+1. Block segmentation of the OSCTI article.
+2. IOC recognition and IOC protection per block.
+3. Sentence segmentation of the protected block.
+4. Dependency parsing of each sentence, then IOC restoration in the trees.
+5. Tree annotation (IOCs, candidate relation verbs, pronouns).
+6. Tree simplification (drop IOC-free paths).
+7. Coreference resolution across the trees of each block.
+8. IOC scan and merge across all blocks.
+9. IOC relation extraction per tree.
+10. Threat behavior graph construction.
+
+A deliberately naive :class:`NaiveCooccurrenceExtractor` baseline is also
+provided; the extraction-accuracy experiment (EXP-NLP-ACC) compares the full
+pipeline against it to show what the IOC protection and dependency-path rules
+buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.behavior_graph import BehaviorGraphBuilder, ThreatBehaviorGraph
+from repro.nlp.coref import CoreferenceResolver
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.deptree import DependencyTree
+from repro.nlp.ioc import IOC, protect_iocs, recognize_iocs
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.merge import IOCMerger, MergeResult
+from repro.nlp.pos import is_relation_verb_form
+from repro.nlp.relation import IOCRelation, RelationExtractor
+from repro.nlp.segmentation import segment_blocks, segment_sentences
+from repro.nlp.tokenizer import Tokenizer
+
+
+@dataclass
+class ExtractionResult:
+    """Everything produced by one extraction run."""
+
+    graph: ThreatBehaviorGraph
+    relations: list[IOCRelation] = field(default_factory=list)
+    iocs: list[IOC] = field(default_factory=list)
+    merge_result: MergeResult | None = None
+    trees: list[DependencyTree] = field(default_factory=list)
+    coreference_links: int = 0
+
+
+class ThreatBehaviorExtractor:
+    """The full NLP extraction pipeline of Algorithm 1.
+
+    The three ablation switches exist for the EXP-ABL-NLP experiment, which
+    quantifies what each design choice of the paper contributes; production
+    use keeps them all at their defaults.
+
+    Args:
+        resolve_nominal_coreference: Forwarded to
+            :class:`~repro.nlp.coref.CoreferenceResolver`.
+        protect_iocs_enabled: Ablation switch — when False, the raw block text
+            is parsed without replacing IOCs by the dummy word, so IOC-internal
+            punctuation corrupts sentence segmentation and parsing (IOCs are
+            still located in the raw text so relation extraction can run).
+        resolve_coreference: Ablation switch — when False, pronouns are never
+            linked to IOC antecedents.
+        simplify_trees: Ablation switch — when False, dependency trees are not
+            pruned before relation extraction.
+    """
+
+    def __init__(
+        self,
+        resolve_nominal_coreference: bool = False,
+        protect_iocs_enabled: bool = True,
+        resolve_coreference: bool = True,
+        simplify_trees: bool = True,
+    ) -> None:
+        self._parser = DependencyParser()
+        self._coref = CoreferenceResolver(resolve_nominal=resolve_nominal_coreference)
+        self._merger = IOCMerger()
+        self._relations = RelationExtractor()
+        self._builder = BehaviorGraphBuilder()
+        self._protect_iocs = protect_iocs_enabled
+        self._resolve_coref = resolve_coreference
+        self._simplify = simplify_trees
+
+    def extract(self, document: str) -> ExtractionResult:
+        """Run the pipeline on one OSCTI report and return all artefacts."""
+        all_trees: list[tuple[int, int, DependencyTree]] = []
+        all_iocs: list[IOC] = []
+        coreference_links = 0
+
+        for block_index, block in enumerate(segment_blocks(document)):
+            if self._protect_iocs:
+                protected = protect_iocs(block.text)
+                block_text = protected.text
+                replacements = protected.replacements
+                all_iocs.extend(protected.iocs())
+            else:
+                # Ablation: no protection.  IOCs are still recognised on the
+                # raw text so their offsets can be attached to whatever tokens
+                # the (now confused) parser produces at those positions.
+                matches = recognize_iocs(block.text)
+                block_text = block.text
+                replacements = [(match.start, match.ioc) for match in matches]
+                all_iocs.extend(match.ioc for match in matches)
+            block_trees: list[DependencyTree] = []
+            for sentence in segment_sentences(block_text):
+                tree = self._parser.parse(sentence.text, sentence_offset=sentence.start)
+                tree.restore_iocs(replacements)
+                if not self._protect_iocs:
+                    self._restore_unprotected(tree, replacements)
+                tree.annotate()
+                if self._simplify:
+                    tree.simplify()
+                block_trees.append(tree)
+            if self._resolve_coref:
+                coreference_links += self._coref.resolve_block(block_trees)
+            for sentence_index, tree in enumerate(block_trees):
+                all_trees.append((block_index, sentence_index, tree))
+
+        merge_result = self._merger.merge(all_iocs)
+
+        relations: list[IOCRelation] = []
+        for block_index, sentence_index, tree in all_trees:
+            relations.extend(
+                self._relations.extract(tree, block_index=block_index, sentence_index=sentence_index)
+            )
+
+        graph = self._builder.build(relations, merge_result)
+        return ExtractionResult(
+            graph=graph,
+            relations=relations,
+            iocs=all_iocs,
+            merge_result=merge_result,
+            trees=[tree for _, _, tree in all_trees],
+            coreference_links=coreference_links,
+        )
+
+    def extract_graph(self, document: str) -> ThreatBehaviorGraph:
+        """Convenience wrapper returning only the threat behavior graph."""
+        return self.extract(document).graph
+
+    @staticmethod
+    def _restore_unprotected(tree: DependencyTree, replacements: list[tuple[int, IOC]]) -> None:
+        """Best-effort IOC attachment when protection is disabled (ablation).
+
+        Without protection an IOC such as ``/tmp/upload.tar`` is shattered
+        into several tokens; the IOC is attached to the first token whose
+        block-level offset falls inside the IOC's raw-text span.
+        """
+        for node in tree.nodes:
+            if node.ioc is not None:
+                continue
+            block_offset = node.offset + tree.sentence_offset
+            for start, ioc in replacements:
+                if start <= block_offset < start + len(ioc.text):
+                    node.ioc = ioc
+                    break
+
+
+class NaiveCooccurrenceExtractor:
+    """Baseline extractor without IOC protection or dependency parsing.
+
+    It recognises IOCs directly on the raw text, splits sentences with a naive
+    period rule (so dots inside IOCs corrupt boundaries), and emits one
+    relation per ordered pair of IOCs co-occurring in a "sentence", using the
+    first verb-looking token between them.  EXP-NLP-ACC quantifies how far this
+    falls short of the full pipeline.
+    """
+
+    def __init__(self) -> None:
+        self._tokenizer = Tokenizer()
+        self._merger = IOCMerger()
+        self._builder = BehaviorGraphBuilder()
+
+    def extract(self, document: str) -> ExtractionResult:
+        """Run the naive baseline on one OSCTI report."""
+        relations: list[IOCRelation] = []
+        all_iocs: list[IOC] = []
+        # Naive sentence split: every period ends a sentence (no protection).
+        naive_sentences = [chunk for chunk in document.split(".") if chunk.strip()]
+        for sentence_index, sentence in enumerate(naive_sentences):
+            matches = recognize_iocs(sentence)
+            iocs = [match.ioc for match in matches]
+            all_iocs.extend(iocs)
+            if len(matches) < 2:
+                continue
+            tokens = self._tokenizer.tokenize(sentence)
+            for i in range(len(matches) - 1):
+                first, second = matches[i], matches[i + 1]
+                verb = self._first_verb_between(tokens, first.end, second.start)
+                if verb is None:
+                    continue
+                relations.append(
+                    IOCRelation(
+                        subject=first.ioc,
+                        verb=verb,
+                        obj=second.ioc,
+                        order_key=(0, sentence_index, first.start),
+                    )
+                )
+        merge_result = self._merger.merge(all_iocs)
+        graph = self._builder.build(relations, merge_result)
+        return ExtractionResult(
+            graph=graph, relations=relations, iocs=all_iocs, merge_result=merge_result
+        )
+
+    @staticmethod
+    def _first_verb_between(tokens, start: int, end: int) -> str | None:
+        for token in tokens:
+            if token.start < start or token.start >= end:
+                continue
+            if is_relation_verb_form(token.text):
+                return lemmatize(token.text, "VB")
+        return None

@@ -1,0 +1,252 @@
+"""IOC (Indicator of Compromise) recognition and protection.
+
+Accurately extracting threat knowledge from natural-language OSCTI text is
+hard because of "massive nuances particular to the security context, such as
+special characters (e.g., dots, underscores) in IOCs", which break generic NLP
+tokenisation.  ThreatRaptor addresses this with two steps that this module
+implements:
+
+* **IOC recognition** — a set of regex rules recognising the IOC types that
+  appear in OSCTI reports (file paths, file names, IPs, domains, URLs, email
+  addresses, hashes, registry keys, CVE identifiers).
+* **IOC protection** — every recognised IOC span is replaced by a dummy word
+  (``something``) before the general-purpose NLP modules run, and restored
+  afterwards, so tokenisation/parsing see ordinary English.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+#: The dummy word substituted for every protected IOC, per the paper.
+PROTECTION_WORD = "something"
+
+
+class IOCType(enum.Enum):
+    """IOC categories recognised by the extraction pipeline."""
+
+    FILEPATH = "filepath"
+    FILENAME = "filename"
+    IP = "ip"
+    URL = "url"
+    DOMAIN = "domain"
+    EMAIL = "email"
+    HASH = "hash"
+    REGISTRY = "registry"
+    CVE = "cve"
+
+
+@dataclass(frozen=True)
+class IOC:
+    """One recognised indicator of compromise.
+
+    Attributes:
+        text: The exact surface text of the indicator.
+        ioc_type: The recognised category.
+    """
+
+    text: str
+    ioc_type: IOCType
+
+    def normalized(self) -> str:
+        """Canonical form used for comparison (lowercased, trailing dots/commas stripped)."""
+        return self.text.strip().rstrip(".,;:").lower()
+
+
+@dataclass(frozen=True)
+class IOCMatch:
+    """An IOC occurrence located in a piece of text."""
+
+    ioc: IOC
+    start: int
+    end: int
+
+    @property
+    def text(self) -> str:
+        return self.ioc.text
+
+    @property
+    def ioc_type(self) -> IOCType:
+        return self.ioc.ioc_type
+
+
+# ---------------------------------------------------------------------------
+# Regex rules.  Order matters: more specific types are listed first so that,
+# e.g., a URL is not reported as a domain plus a path fragment.
+# ---------------------------------------------------------------------------
+
+_IOC_PATTERNS: tuple[tuple[IOCType, re.Pattern[str]], ...] = (
+    (
+        IOCType.CVE,
+        re.compile(r"\bCVE-\d{4}-\d{4,7}\b", re.IGNORECASE),
+    ),
+    (
+        IOCType.URL,
+        re.compile(
+            r"\b(?:hxxps?|https?|ftp)(?::|\[:\])//[^\s\"'<>()]+", re.IGNORECASE
+        ),
+    ),
+    (
+        IOCType.EMAIL,
+        re.compile(r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b"),
+    ),
+    (
+        IOCType.HASH,
+        re.compile(r"\b[a-fA-F0-9]{64}\b|\b[a-fA-F0-9]{40}\b|\b[a-fA-F0-9]{32}\b"),
+    ),
+    (
+        IOCType.IP,
+        re.compile(
+            r"\b(?:\d{1,3}\[?\.\]?){3}\d{1,3}(?:/\d{1,2})?(?::\d{1,5})?\b"
+        ),
+    ),
+    (
+        IOCType.REGISTRY,
+        re.compile(
+            r"\b(?:HKEY_LOCAL_MACHINE|HKEY_CURRENT_USER|HKLM|HKCU)\\[^\s\"'<>]+",
+            re.IGNORECASE,
+        ),
+    ),
+    (
+        IOCType.FILEPATH,
+        # Unix absolute paths and Windows drive paths, at least one separator.
+        re.compile(
+            r"(?:(?<=\s)|(?<=^)|(?<=[\"'(]))"
+            r"(?:/(?:[\w.+-]+/)*[\w.+-]+/?|[A-Za-z]:\\(?:[\w .+-]+\\)*[\w .+-]+)"
+        ),
+    ),
+    (
+        IOCType.FILENAME,
+        # A bare file name with a known suspicious/file extension.
+        re.compile(
+            r"\b[\w-]+\.(?:exe|dll|bat|ps1|vbs|js|jar|sh|py|elf|bin|doc|docx|xls|"
+            r"xlsx|pdf|zip|rar|7z|tar|gz|bz2|tgz|tmp|dat|cfg|conf|log|php|asp|aspx)\b",
+            re.IGNORECASE,
+        ),
+    ),
+    (
+        IOCType.DOMAIN,
+        re.compile(
+            r"\b(?:[a-zA-Z0-9](?:[a-zA-Z0-9-]{0,61}[a-zA-Z0-9])?\[?\.\]?)+"
+            r"(?:com|net|org|info|biz|ru|cn|io|onion|xyz|top|cc|su|tk|pw|edu|gov)\b",
+            re.IGNORECASE,
+        ),
+    ),
+)
+
+#: Common English words that the FILENAME/DOMAIN regexes can false-positive on.
+_STOPLIST = frozenset(
+    {
+        "e.g",
+        "i.e",
+        "etc",
+        "vs",
+        "fig",
+        "et.al",
+    }
+)
+
+
+def _defang(text: str) -> str:
+    """Remove defanging brackets commonly used in OSCTI reports (``1[.]2``)."""
+    return text.replace("[.]", ".").replace("[:]", ":").replace("hxxp", "http")
+
+
+def recognize_iocs(text: str) -> list[IOCMatch]:
+    """Recognise every IOC occurrence in ``text``.
+
+    Overlapping matches are resolved in favour of the earlier-listed (more
+    specific) type, then the longer match.  Matches are returned ordered by
+    start offset.
+    """
+    candidates: list[tuple[int, int, int, IOCMatch]] = []
+    for priority, (ioc_type, pattern) in enumerate(_IOC_PATTERNS):
+        for match in pattern.finditer(text):
+            surface = match.group(0)
+            if surface.strip().lower().strip(".") in _STOPLIST:
+                continue
+            # Trim trailing punctuation the regex may have swallowed.
+            trimmed = surface.rstrip(".,;:)\"'")
+            if not trimmed:
+                continue
+            end = match.start() + len(trimmed)
+            ioc = IOC(text=trimmed, ioc_type=ioc_type)
+            candidates.append(
+                (priority, -(end - match.start()), match.start(), IOCMatch(ioc=ioc, start=match.start(), end=end))
+            )
+
+    # Resolve overlaps: sort by priority then length (longer first), greedily
+    # keep matches whose span does not overlap an already-kept span.
+    candidates.sort(key=lambda item: (item[0], item[1], item[2]))
+    taken: list[IOCMatch] = []
+    occupied: list[tuple[int, int]] = []
+    for _, _, _, match in candidates:
+        if any(not (match.end <= start or match.start >= end) for start, end in occupied):
+            continue
+        taken.append(match)
+        occupied.append((match.start, match.end))
+    taken.sort(key=lambda match: match.start)
+    return taken
+
+
+@dataclass
+class ProtectedText:
+    """The result of protecting IOCs in a block of text.
+
+    Attributes:
+        original: The original text.
+        text: The protected text with every IOC replaced by ``PROTECTION_WORD``.
+        replacements: For each protected IOC (in occurrence order), the
+            character offset of its dummy word in the protected text and the
+            original IOC.
+    """
+
+    original: str
+    text: str
+    replacements: list[tuple[int, IOC]]
+
+    def ioc_at_offset(self, offset: int) -> IOC | None:
+        """The protected IOC whose dummy word starts at ``offset``, if any."""
+        for start, ioc in self.replacements:
+            if start == offset:
+                return ioc
+        return None
+
+    def iocs(self) -> list[IOC]:
+        """All protected IOCs in occurrence order."""
+        return [ioc for _, ioc in self.replacements]
+
+
+def protect_iocs(text: str) -> ProtectedText:
+    """Replace every recognised IOC with the dummy word and record the mapping.
+
+    The mapping is keyed by the dummy word's start offset in the *protected*
+    text so the dependency trees (whose tokens carry protected-text offsets)
+    can restore the original IOCs exactly.
+    """
+    matches = recognize_iocs(text)
+    pieces: list[str] = []
+    replacements: list[tuple[int, IOC]] = []
+    cursor = 0
+    output_length = 0
+    for match in matches:
+        prefix = text[cursor : match.start]
+        pieces.append(prefix)
+        output_length += len(prefix)
+        replacements.append((output_length, match.ioc))
+        pieces.append(PROTECTION_WORD)
+        output_length += len(PROTECTION_WORD)
+        cursor = match.end
+    pieces.append(text[cursor:])
+    return ProtectedText(original=text, text="".join(pieces), replacements=replacements)
+
+
+def ioc_type_counts(iocs: Iterable[IOC]) -> dict[str, int]:
+    """Count IOCs per type (handy for report statistics and tests)."""
+    counts: dict[str, int] = {}
+    for ioc in iocs:
+        counts[ioc.ioc_type.value] = counts.get(ioc.ioc_type.value, 0) + 1
+    return counts

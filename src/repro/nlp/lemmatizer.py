@@ -1,0 +1,95 @@
+"""Rule-based lemmatizer (spaCy lemmatizer substitute).
+
+The relation extractor stores the lemmatised relation verb on every behaviour
+edge ("the selected verb (after lemmatization)"), so query synthesis sees
+``write`` whether the report said "wrote", "writes" or "writing".  Nouns are
+also reduced to singular form for IOC merging and coreference.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import lexicon
+
+_VOWELS = set("aeiou")
+
+
+def _strip_verb_suffix(word: str) -> str:
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("es") and len(word) > 3:
+        stem = word[:-2]
+        # "uses" -> "use", "launches" -> "launch"
+        if stem.endswith(("ch", "sh", "x", "z", "s")):
+            return stem
+        return stem + "e" if stem[-1] not in _VOWELS and stem[-1] != "e" and _needs_e(stem) else stem
+    if word.endswith("s") and not word.endswith("ss") and len(word) > 3:
+        return word[:-1]
+    if word.endswith("ing") and len(word) > 4:
+        return _undouble(word[:-3])
+    if word.endswith("ed") and len(word) > 3:
+        return _undouble(word[:-2])
+    return word
+
+
+def _undouble(stem: str) -> str:
+    """Resolve a doubled final consonant ("dropped" → "drop") or restore 'e'.
+
+    Stems that are already valid relation verbs ("compress") are returned
+    unchanged so the de-doubling rule does not mangle them.
+    """
+    if stem in lexicon.RELATION_VERB_OPERATIONS:
+        return stem
+    if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+        return stem[:-1]
+    if _needs_e(stem):
+        return stem + "e"
+    return stem
+
+
+def _needs_e(stem: str) -> bool:
+    """Heuristic: does the stem need a restored trailing 'e'?
+
+    "leverag" → "leverage", "creat" → "create", but "read" stays "read".
+    Checked against the relation-verb lexicon first, so the heuristic only has
+    to cover out-of-lexicon words.
+    """
+    if stem in lexicon.RELATION_VERB_OPERATIONS:
+        return False
+    if (stem + "e") in lexicon.RELATION_VERB_OPERATIONS:
+        return True
+    # Generic heuristic: consonant-vowel-consonant endings usually take 'e'
+    # when the final consonant is soft (c, g, s, v, z).
+    return len(stem) >= 3 and stem[-1] in "cgsvz"
+
+
+def lemmatize(word: str, pos: str = "") -> str:
+    """Return the lemma of ``word`` given its (optional) POS tag."""
+    lowered = word.lower()
+    if lowered in lexicon.IRREGULAR_VERB_LEMMAS:
+        return lexicon.IRREGULAR_VERB_LEMMAS[lowered]
+    if pos.startswith("V") or pos == "AUX":
+        return _strip_verb_suffix(lowered)
+    if pos in ("NN", "NNS", "NNP", "NNPS"):
+        if lowered.endswith("ies") and len(lowered) > 4:
+            return lowered[:-3] + "y"
+        if lowered.endswith("ses") or lowered.endswith("xes") or lowered.endswith("zes"):
+            return lowered[:-2]
+        if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 3:
+            return lowered[:-1]
+        return lowered
+    if not pos:
+        # Unknown POS: try verb stripping when it lands on a known verb.
+        stripped = _strip_verb_suffix(lowered)
+        if stripped in lexicon.RELATION_VERB_OPERATIONS:
+            return stripped
+    return lowered
+
+
+class Lemmatizer:
+    """Object wrapper so the pipeline can treat lemmatisation as a component."""
+
+    def lemma(self, word: str, pos: str = "") -> str:
+        """Lemma of ``word`` with POS tag ``pos``."""
+        return lemmatize(word, pos)

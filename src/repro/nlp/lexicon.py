@@ -1,0 +1,210 @@
+"""Lexical resources for the rule-based NLP pipeline.
+
+Three resources live here so the tagger, the dependency parser, the
+coreference resolver and the relation extractor all share one vocabulary:
+
+* closed-class word lists (determiners, prepositions, pronouns, auxiliaries,
+  conjunctions, modals) used by the POS tagger;
+* an open-class lexicon of words that appear pervasively in OSCTI reports,
+  with their most likely tag in that genre;
+* the **candidate relation verbs**: the verbs whose subject–object IOC pairs
+  constitute threat behaviours, together with the TBQL operation each verb
+  maps to during query synthesis.
+"""
+
+from __future__ import annotations
+
+DETERMINERS = frozenset(
+    {"the", "a", "an", "this", "that", "these", "those", "its", "their", "his",
+     "her", "each", "every", "some", "any", "no", "another", "such", "both"}
+)
+
+PREPOSITIONS = frozenset(
+    {"of", "in", "on", "at", "by", "with", "from", "to", "into", "onto", "over",
+     "under", "through", "via", "against", "during", "after", "before", "between",
+     "within", "without", "across", "toward", "towards", "upon", "as", "for",
+     "behind", "inside", "outside", "back"}
+)
+
+PERSONAL_PRONOUNS = frozenset(
+    {"it", "they", "he", "she", "we", "you", "i", "them", "him", "her", "us"}
+)
+
+DEMONSTRATIVE_PRONOUNS = frozenset({"this", "that", "these", "those"})
+
+RELATIVE_PRONOUNS = frozenset({"which", "that", "who", "whom", "whose", "where"})
+
+AUXILIARIES = frozenset(
+    {"is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did",
+     "has", "have", "had", "having"}
+)
+
+MODALS = frozenset({"can", "could", "will", "would", "shall", "should", "may", "might", "must"})
+
+COORDINATING_CONJUNCTIONS = frozenset({"and", "or", "but", "nor", "so", "yet"})
+
+SUBORDINATING_CONJUNCTIONS = frozenset(
+    {"after", "before", "when", "while", "once", "because", "since", "although",
+     "though", "if", "unless", "until", "whereas"}
+)
+
+#: Common adjectives in OSCTI prose (suffix rules miss short ones like "large").
+COMMON_ADJECTIVES = frozenset(
+    {"large", "small", "new", "old", "first", "second", "third", "final", "last",
+     "next", "initial", "valuable", "sensitive", "important", "remote", "local",
+     "multiple", "several", "suspicious", "clear", "zipped", "same", "own",
+     "high", "low", "big", "many", "few", "other", "various", "certain"}
+)
+
+ADVERBS = frozenset(
+    {"then", "next", "finally", "first", "later", "subsequently", "afterwards",
+     "also", "again", "already", "often", "previously", "remotely", "locally",
+     "successfully", "mainly", "furthermore", "additionally", "meanwhile",
+     "eventually", "immediately", "directly", "thereby", "further", "not"}
+)
+
+#: Candidate IOC relation verbs and the TBQL operation each maps to during
+#: query synthesis (Section II-E: "maps its associated IOC relation to the
+#: TBQL operation type using a set of rules").
+RELATION_VERB_OPERATIONS: dict[str, str] = {
+    # file read-like behaviours
+    "read": "read",
+    "open": "read",
+    "access": "read",
+    "load": "read",
+    "scan": "read",
+    "collect": "read",
+    "gather": "read",
+    "harvest": "read",
+    "steal": "read",
+    "exfiltrate": "read",
+    "parse": "read",
+    "search": "read",
+    # file write-like behaviours
+    "write": "write",
+    "save": "write",
+    "store": "write",
+    "create": "write",
+    "drop": "write",
+    "download": "write",
+    "place": "write",
+    "copy": "write",
+    "compress": "write",
+    "archive": "write",
+    "encrypt": "write",
+    "modify": "write",
+    "append": "write",
+    "dump": "write",
+    "log": "write",
+    # execute-like behaviours
+    "execute": "execute",
+    "run": "execute",
+    "launch": "execute",
+    "invoke": "execute",
+    "start": "execute",
+    "use": "execute",
+    "leverage": "execute",
+    "deploy": "execute",
+    # process behaviours
+    "fork": "fork",
+    "spawn": "fork",
+    "inject": "exec",
+    "kill": "kill",
+    "terminate": "kill",
+    # network behaviours
+    "connect": "connect",
+    "communicate": "connect",
+    "contact": "connect",
+    "beacon": "connect",
+    "send": "send",
+    "transfer": "send",
+    "upload": "send",
+    "transmit": "send",
+    "leak": "send",
+    "post": "send",
+    "receive": "recv",
+    "fetch": "recv",
+    "retrieve": "recv",
+    "request": "connect",
+    "resolve": "connect",
+    "delete": "delete",
+    "remove": "delete",
+    "wipe": "delete",
+    "rename": "rename",
+}
+
+#: Verbs (beyond the relation verbs) common in reports, kept for POS accuracy.
+OTHER_COMMON_VERBS = frozenset(
+    {"be", "is", "are", "was", "were", "attempt", "attempts", "attempted",
+     "try", "tried", "involve", "involves", "involved", "correspond",
+     "corresponds", "corresponded", "perform", "performs", "performed",
+     "exploit", "exploits", "exploited", "penetrate", "penetrates",
+     "penetrated", "encode", "encoded", "extract", "extracts", "extracted",
+     "crack", "cracks", "cracked", "compromise", "compromised", "infect",
+     "infected", "install", "installs", "installed", "wrote", "written",
+     "sent", "stolen", "ran", "used"}
+)
+
+#: Nouns that frequently refer back to an IOC and therefore participate in
+#: coreference resolution ("the file", "the tool", "this utility", ...).
+COREFERENT_NOUNS = frozenset(
+    {"file", "files", "tool", "utility", "binary", "executable", "script",
+     "payload", "malware", "sample", "process", "program", "archive",
+     "document", "image", "host", "server", "machine", "address", "domain",
+     "connection", "data", "information", "credentials", "one"}
+)
+
+#: Irregular verb forms mapped to their lemma (supplement to suffix stripping).
+IRREGULAR_VERB_LEMMAS: dict[str, str] = {
+    "wrote": "write",
+    "written": "write",
+    "read": "read",
+    "ran": "run",
+    "sent": "send",
+    "stole": "steal",
+    "stolen": "steal",
+    "took": "take",
+    "taken": "take",
+    "made": "make",
+    "began": "begin",
+    "begun": "begin",
+    "got": "get",
+    "gotten": "get",
+    "held": "hold",
+    "kept": "keep",
+    "left": "leave",
+    "led": "lead",
+    "lost": "lose",
+    "put": "put",
+    "said": "say",
+    "saw": "see",
+    "seen": "see",
+    "sought": "seek",
+    "sold": "sell",
+    "set": "set",
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "is": "be",
+    "are": "be",
+    "am": "be",
+    "did": "do",
+    "done": "do",
+    "had": "have",
+    "has": "have",
+    "went": "go",
+    "gone": "go",
+    "used": "use",
+    "came": "come",
+    "found": "find",
+    "gave": "give",
+    "given": "give",
+    "knew": "know",
+    "known": "know",
+    "brought": "bring",
+    "built": "build",
+    "bought": "buy",
+    "caught": "catch",
+    "chose": "choose",
+    "chosen": "choose",
+}

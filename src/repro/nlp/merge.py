@@ -1,0 +1,152 @@
+"""IOC scan and merge (Algorithm 1, ScanMergeIoc).
+
+After all blocks are parsed, the pipeline scans all IOCs in all trees and
+"merges similar ones based on both the character-level overlap and the word
+vector similarities".  Reports routinely mention the same artefact in
+different surface forms — ``upload.tar`` in one sentence, ``/tmp/upload.tar``
+in the next — and the merge step maps every variant to one canonical IOC so
+the behaviour graph has one node per real-world artefact.
+
+Merging must be conservative: ``/tmp/upload``, ``/tmp/upload.tar`` and
+``/tmp/upload.tar.bz2`` are *different* files despite high character overlap.
+The rules below therefore require either exact normalised equality, a
+basename-level match between a bare file name and a path, or simultaneously
+very high trigram overlap and vector similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.ioc import IOC, IOCType
+from repro.nlp.wordvec import character_overlap, cosine_similarity
+
+#: Thresholds for the similarity-based merge rule.
+CHARACTER_OVERLAP_THRESHOLD = 0.90
+VECTOR_SIMILARITY_THRESHOLD = 0.92
+
+
+def _basename(text: str) -> str:
+    cleaned = text.rstrip("/\\")
+    for separator in ("/", "\\"):
+        if separator in cleaned:
+            cleaned = cleaned.rsplit(separator, 1)[1]
+    return cleaned.lower()
+
+
+def should_merge(first: IOC, second: IOC) -> bool:
+    """Decide whether two IOCs denote the same artefact."""
+    norm_first = first.normalized()
+    norm_second = second.normalized()
+    if norm_first == norm_second:
+        return True
+
+    path_like = {IOCType.FILEPATH, IOCType.FILENAME}
+    if first.ioc_type in path_like and second.ioc_type in path_like:
+        # A bare file name merges with a path whose basename equals it.
+        if first.ioc_type != second.ioc_type and _basename(norm_first) == _basename(norm_second):
+            return True
+        # Two paths (or two names): only merge when the basenames agree and
+        # the similarity is very high (e.g. "./tmp/upload.tar" vs
+        # "/tmp/upload.tar"); never merge different basenames, so
+        # upload.tar / upload.tar.bz2 / upload stay distinct.
+        if _basename(norm_first) != _basename(norm_second):
+            return False
+        return (
+            character_overlap(norm_first, norm_second) >= CHARACTER_OVERLAP_THRESHOLD
+            and cosine_similarity(norm_first, norm_second) >= VECTOR_SIMILARITY_THRESHOLD
+        )
+
+    if first.ioc_type is IOCType.IP and second.ioc_type is IOCType.IP:
+        # Defanged / CIDR-suffixed renderings of the same address.
+        return norm_first.split("/")[0] == norm_second.split("/")[0]
+
+    if first.ioc_type != second.ioc_type:
+        return False
+
+    return (
+        character_overlap(norm_first, norm_second) >= CHARACTER_OVERLAP_THRESHOLD
+        and cosine_similarity(norm_first, norm_second) >= VECTOR_SIMILARITY_THRESHOLD
+    )
+
+
+@dataclass
+class MergeResult:
+    """The outcome of an IOC merge pass.
+
+    Attributes:
+        canonical: The canonical IOC for every distinct input IOC.
+        groups: Canonical IOC → all surface variants merged into it.
+    """
+
+    canonical: dict[IOC, IOC] = field(default_factory=dict)
+    groups: dict[IOC, list[IOC]] = field(default_factory=dict)
+
+    def resolve(self, ioc: IOC) -> IOC:
+        """The canonical IOC for ``ioc`` (itself when it was never merged)."""
+        return self.canonical.get(ioc, ioc)
+
+    def canonical_iocs(self) -> list[IOC]:
+        """All canonical IOCs, in first-appearance order."""
+        return list(self.groups)
+
+
+class IOCMerger:
+    """Union-find based merger over a list of IOC occurrences."""
+
+    def merge(self, iocs: list[IOC]) -> MergeResult:
+        """Merge similar IOCs and return the canonical mapping.
+
+        The canonical representative of a group is its most specific variant:
+        the longest surface text (so ``/tmp/upload.tar`` wins over
+        ``upload.tar``), breaking ties toward earliest appearance.
+        """
+        distinct: list[IOC] = []
+        seen: set[tuple[str, IOCType]] = set()
+        for ioc in iocs:
+            key = (ioc.normalized(), ioc.ioc_type)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(ioc)
+
+        parent = {index: index for index in range(len(distinct))}
+
+        def find(index: int) -> int:
+            while parent[index] != index:
+                parent[index] = parent[parent[index]]
+                index = parent[index]
+            return index
+
+        def union(first: int, second: int) -> None:
+            root_first, root_second = find(first), find(second)
+            if root_first != root_second:
+                parent[root_second] = root_first
+
+        for i in range(len(distinct)):
+            for j in range(i + 1, len(distinct)):
+                if should_merge(distinct[i], distinct[j]):
+                    union(i, j)
+
+        groups_by_root: dict[int, list[IOC]] = {}
+        for index, ioc in enumerate(distinct):
+            groups_by_root.setdefault(find(index), []).append(ioc)
+
+        result = MergeResult()
+        for members in groups_by_root.values():
+            representative = max(members, key=lambda ioc: (len(ioc.text), -members.index(ioc)))
+            result.groups[representative] = members
+            for member in members:
+                result.canonical[member] = representative
+        # Map every original occurrence (including duplicates skipped above).
+        for ioc in iocs:
+            if ioc not in result.canonical:
+                for member, representative in list(result.canonical.items()):
+                    if member.normalized() == ioc.normalized() and member.ioc_type == ioc.ioc_type:
+                        result.canonical[ioc] = representative
+                        break
+        return result
+
+
+def merge_iocs(iocs: list[IOC]) -> MergeResult:
+    """Module-level convenience wrapper around :class:`IOCMerger`."""
+    return IOCMerger().merge(iocs)

@@ -1,0 +1,206 @@
+"""Rule-and-lexicon part-of-speech tagger (spaCy tagger substitute).
+
+The tagger assigns a coarse Penn-style tag to every token using, in order:
+
+1. closed-class word lists (determiners, prepositions, pronouns, auxiliaries,
+   modals, conjunctions, adverbs);
+2. the OSCTI relation-verb lexicon (any inflection of a candidate relation
+   verb is tagged as a verb — crucial, because relation extraction depends on
+   finding these verbs);
+3. morphological suffix rules;
+4. contextual repair rules (e.g. a noun right after a determiner, a base verb
+   right after "to" or a modal);
+5. a default of ``NN``.
+
+The dummy word ``something`` used by IOC protection is tagged ``NN`` so the
+dependency parser treats protected IOCs as ordinary noun-phrase heads, which
+is the entire point of IOC protection.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import lexicon
+from repro.nlp.ioc import PROTECTION_WORD
+from repro.nlp.tokenizer import Token
+
+_VERB_SUFFIX_TAGS = (
+    ("ed", "VBD"),
+    ("ing", "VBG"),
+    ("es", "VBZ"),
+    ("s", "VBZ"),
+)
+
+_NOUN_SUFFIXES = ("tion", "ment", "ness", "ity", "ance", "ence", "ware", "age", "ist", "ism")
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ary", "less")
+_ADV_SUFFIXES = ("ly",)
+
+
+def _relation_verb_lemma_candidates(word: str) -> list[str]:
+    """Possible lemmas of ``word`` by stripping verbal suffixes."""
+    candidates = [word]
+    if word.endswith("ies"):
+        candidates.append(word[:-3] + "y")
+    if word.endswith("es"):
+        candidates.append(word[:-2])
+    if word.endswith("s"):
+        candidates.append(word[:-1])
+    if word.endswith("ed"):
+        candidates.append(word[:-2])
+        candidates.append(word[:-1])
+        if len(word) > 4 and word[-3] == word[-4]:
+            candidates.append(word[:-3])
+    if word.endswith("ing"):
+        candidates.append(word[:-3])
+        candidates.append(word[:-3] + "e")
+        if len(word) > 5 and word[-4] == word[-5]:
+            candidates.append(word[:-4])
+    return candidates
+
+
+def is_relation_verb_form(word: str) -> bool:
+    """True when ``word`` is an inflection of a candidate relation verb."""
+    lowered = word.lower()
+    if lowered in lexicon.IRREGULAR_VERB_LEMMAS:
+        lemma = lexicon.IRREGULAR_VERB_LEMMAS[lowered]
+        return lemma in lexicon.RELATION_VERB_OPERATIONS
+    return any(
+        candidate in lexicon.RELATION_VERB_OPERATIONS
+        for candidate in _relation_verb_lemma_candidates(lowered)
+    )
+
+
+class PosTagger:
+    """Assigns part-of-speech tags in place to a token sequence."""
+
+    def tag(self, tokens: list[Token]) -> list[Token]:
+        """Tag every token; returns the same list for chaining."""
+        for token in tokens:
+            token.pos = self._lexical_tag(token)
+        self._contextual_repair(tokens)
+        return tokens
+
+    # -- rules ----------------------------------------------------------------
+
+    def _lexical_tag(self, token: Token) -> str:
+        word = token.lower
+        if token.is_punctuation():
+            return "PUNCT"
+        if word == PROTECTION_WORD:
+            return "NN"
+        if word.replace(".", "").isdigit():
+            return "CD"
+        if word in lexicon.DETERMINERS:
+            return "DT"
+        if word in lexicon.MODALS:
+            return "MD"
+        if word in lexicon.AUXILIARIES:
+            return "AUX"
+        if word in lexicon.PERSONAL_PRONOUNS:
+            return "PRP"
+        if word in lexicon.RELATIVE_PRONOUNS:
+            return "WDT"
+        if word in lexicon.COORDINATING_CONJUNCTIONS:
+            return "CC"
+        if word in lexicon.PREPOSITIONS:
+            return "IN"
+        if word in lexicon.SUBORDINATING_CONJUNCTIONS:
+            return "IN"
+        if word in lexicon.ADVERBS:
+            return "RB"
+        if word in lexicon.COMMON_ADJECTIVES:
+            return "JJ"
+        if word in lexicon.IRREGULAR_VERB_LEMMAS:
+            return "VBD"
+        if is_relation_verb_form(word) or word in lexicon.OTHER_COMMON_VERBS:
+            return self._verb_tag(word)
+        for suffix in _ADV_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                return "RB"
+        for suffix in _NOUN_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                return "NN"
+        for suffix in _ADJ_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                return "JJ"
+        for suffix, tag in _VERB_SUFFIX_TAGS:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                # Ambiguous: could be a plural noun ("files") or 3sg verb
+                # ("reads"); default to noun and let contextual repair flip it.
+                return "NNS" if tag == "VBZ" else tag
+        if token.text[0].isupper():
+            return "NNP"
+        return "NN"
+
+    @staticmethod
+    def _verb_tag(word: str) -> str:
+        if word.endswith("ing"):
+            return "VBG"
+        if word.endswith("ed"):
+            return "VBD"
+        if word.endswith("s") and not word.endswith("ss"):
+            return "VBZ"
+        return "VB"
+
+    def _contextual_repair(self, tokens: list[Token]) -> None:
+        for index, token in enumerate(tokens):
+            previous = tokens[index - 1] if index > 0 else None
+            nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+
+            # "to <verb>" — infinitive marker followed by a base verb.
+            if (
+                previous is not None
+                and previous.lower == "to"
+                and is_relation_verb_form(token.lower)
+            ):
+                token.pos = "VB"
+                previous.pos = "TO"
+            # determiner/adjective followed by something tagged verb: it's a
+            # noun ("the read operation" is rare; "the compressed file" has the
+            # participle acting as an adjective).
+            if (
+                previous is not None
+                and previous.pos in ("DT", "JJ")
+                and token.pos in ("VB", "VBZ")
+            ):
+                token.pos = "NN" if token.pos == "VB" else "NNS"
+            # A bare base-form verb right after a *singular* noun is a noun
+            # head ("the large archive", "the memory dump"); after a plural
+            # noun it is a finite verb ("the attackers use ...").
+            if (
+                token.pos == "VB"
+                and previous is not None
+                and previous.pos in ("NN", "NNP")
+            ):
+                token.pos = "NN"
+            # participle between determiner and noun acts as an adjective
+            # ("the gathered information", "the launched process").
+            if (
+                previous is not None
+                and previous.pos == "DT"
+                and token.pos in ("VBD", "VBN", "VBG")
+                and nxt is not None
+                and nxt.pos in ("NN", "NNS", "NNP")
+            ):
+                token.pos = "JJ"
+            # noun tagged after a modal or auxiliary "did/does" is a verb.
+            if previous is not None and previous.pos == "MD" and token.pos in ("NN", "NNS"):
+                if is_relation_verb_form(token.lower):
+                    token.pos = "VB"
+            # plural-noun reading directly after a pronoun/noun subject and
+            # before a determiner is actually a 3sg verb ("It reads the file").
+            if (
+                token.pos == "NNS"
+                and is_relation_verb_form(token.lower)
+                and previous is not None
+                and previous.pos in ("PRP", "NN", "NNS", "NNP")
+                and nxt is not None
+                and (nxt.pos in ("DT", "PRP", "IN") or nxt.lower == PROTECTION_WORD)
+            ):
+                token.pos = "VBZ"
+
+    # ------------------------------------------------------------------------
+
+
+def tag(tokens: list[Token]) -> list[Token]:
+    """Module-level convenience wrapper around :class:`PosTagger`."""
+    return PosTagger().tag(tokens)

@@ -1,0 +1,262 @@
+"""IOC relation extraction from annotated dependency trees.
+
+For each dependency tree, the extractor enumerates all pairs of IOC nodes and,
+for each pair, checks whether they satisfy the subject–object relation by
+considering the dependency types along three parts of their connecting path:
+the common path from the root to the LCA (lowest common ancestor) and the two
+individual paths from the LCA to each node (Section II-C, step 8).  Pairs that
+pass the check yield an IOC entity-relation triplet whose verb is the
+annotated candidate verb closest to the object IOC node, lemmatised.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nlp.deptree import DependencyNode, DependencyTree
+from repro.nlp.ioc import IOC
+from repro.nlp.lemmatizer import lemmatize
+
+#: Verbs whose direct object acts as the instrument/agent of a purpose clause.
+INSTRUMENT_VERBS = frozenset(
+    {"use", "leverage", "employ", "utilize", "run", "launch", "execute", "invoke", "deploy"}
+)
+
+
+class ArgumentRole(enum.Enum):
+    """The grammatical role a node plays relative to the pair's LCA."""
+
+    SUBJECT = "subject"
+    OBJECT = "object"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class IOCRelation:
+    """One extracted IOC entity-relation triplet.
+
+    Attributes:
+        subject: The acting IOC (typically a tool/process file path).
+        verb: The lemmatised relation verb.
+        obj: The acted-upon IOC.
+        order_key: Sort key reflecting the relation verb's occurrence position
+            in the OSCTI document (block index, sentence index, verb offset);
+            the behavior graph uses it to assign step sequence numbers.
+    """
+
+    subject: IOC
+    verb: str
+    obj: IOC
+    order_key: tuple[int, int, int]
+
+
+def is_subject_like(node: DependencyNode) -> bool:
+    """True when ``node`` served as a subject-side argument in its tree.
+
+    Used by coreference resolution to prefer antecedents that were the actor
+    of a previous step (the "It" in "It wrote the gathered information ..."
+    refers to the tool used in the previous sentence, not to the file read).
+    """
+    label = node.label
+    if label in ("nsubj",):
+        return True
+    if label == "pobj" and node.parent is not None and node.parent.label == "agent":
+        return True
+    governor_verb = _governing_verb(node)
+    if (
+        label in ("dobj", "appos", "compound")
+        and governor_verb is not None
+        and governor_verb.lemma in INSTRUMENT_VERBS
+    ):
+        return True
+    return False
+
+
+def _governing_verb(node: DependencyNode) -> DependencyNode | None:
+    """Nearest ancestor whose POS is verbal."""
+    for ancestor in node.ancestors():
+        if ancestor.pos.startswith("V") or ancestor.pos == "AUX":
+            return ancestor
+    return None
+
+
+class RelationExtractor:
+    """Extracts IOC entity-relation triplets from one dependency tree."""
+
+    def extract(
+        self,
+        tree: DependencyTree,
+        block_index: int = 0,
+        sentence_index: int = 0,
+    ) -> list[IOCRelation]:
+        """Extract all triplets from ``tree``.
+
+        Args:
+            tree: An annotated, simplified, coreference-resolved tree.
+            block_index: Index of the tree's block in the document.
+            sentence_index: Index of the sentence within its block.
+        """
+        relations: list[IOCRelation] = []
+        ioc_nodes = tree.ioc_nodes()
+        for i in range(len(ioc_nodes)):
+            for j in range(i + 1, len(ioc_nodes)):
+                first, second = ioc_nodes[i], ioc_nodes[j]
+                first_ioc = first.effective_ioc()
+                second_ioc = second.effective_ioc()
+                if first_ioc is None or second_ioc is None:
+                    continue
+                if first_ioc.normalized() == second_ioc.normalized():
+                    continue
+                triplet = self._check_pair(tree, first, second, block_index, sentence_index)
+                if triplet is not None:
+                    relations.append(triplet)
+        return relations
+
+    # -- pair checking -------------------------------------------------------
+
+    def _check_pair(
+        self,
+        tree: DependencyTree,
+        first: DependencyNode,
+        second: DependencyNode,
+        block_index: int,
+        sentence_index: int,
+    ) -> IOCRelation | None:
+        lca = tree.lowest_common_ancestor(first, second)
+        path_first = tree.path_from_ancestor(lca, first)
+        path_second = tree.path_from_ancestor(lca, second)
+
+        role_first = self._role(lca, first, path_first, other_path=path_second)
+        role_second = self._role(lca, second, path_second, other_path=path_first)
+
+        if {role_first, role_second} != {ArgumentRole.SUBJECT, ArgumentRole.OBJECT}:
+            return None
+        if role_first is ArgumentRole.SUBJECT:
+            subject_node, subject_path = first, path_first
+            object_node, object_path = second, path_second
+        else:
+            subject_node, subject_path = second, path_second
+            object_node, object_path = first, path_first
+
+        verb = self._select_verb(tree, lca, subject_path, object_path, object_node)
+        if verb is None:
+            return None
+        verb_lemma = lemmatize(verb.text, verb.pos)
+        subject_ioc = subject_node.effective_ioc()
+        object_ioc = object_node.effective_ioc()
+        assert subject_ioc is not None and object_ioc is not None
+        order_key = (block_index, sentence_index, verb.offset)
+        return IOCRelation(
+            subject=subject_ioc, verb=verb_lemma, obj=object_ioc, order_key=order_key
+        )
+
+    def _role(
+        self,
+        lca: DependencyNode,
+        node: DependencyNode,
+        path: list[DependencyNode],
+        other_path: list[DependencyNode],
+    ) -> ArgumentRole:
+        # Ancestor case: the node *is* the LCA.  It is the subject when the
+        # other node hangs below it through a participial/relative clause or a
+        # preposition ("the launched process /usr/bin/gpg reading from X").
+        if not path:
+            other_labels = [step.label for step in other_path]
+            if any(label in ("acl", "relcl") or label.startswith("prep_") for label in other_labels):
+                return ArgumentRole.SUBJECT
+            return ArgumentRole.UNKNOWN
+
+        labels = [step.label for step in path]
+        head_label = labels[0]
+
+        if head_label == "nsubj":
+            return ArgumentRole.SUBJECT
+        if head_label == "agent":
+            return ArgumentRole.SUBJECT
+        if head_label == "nsubjpass":
+            return ArgumentRole.OBJECT
+        if head_label in ("dobj", "appos"):
+            # Direct object of an instrument verb acts as the subject of the
+            # purpose clause ("used /bin/tar to read ..."); otherwise it is the
+            # patient of the action.
+            lca_is_instrument = (
+                (lca.pos.startswith("V") or lca.pos == "AUX") and lca.lemma in INSTRUMENT_VERBS
+            )
+            other_descends_into_clause = any(
+                step.label in ("xcomp", "ccomp", "advcl")
+                or step.label.startswith("prep_")
+                for step in other_path
+            )
+            if lca_is_instrument and other_descends_into_clause:
+                return ArgumentRole.SUBJECT
+            return ArgumentRole.OBJECT
+        if head_label in ("xcomp", "ccomp", "advcl", "conj", "acl", "relcl", "pcomp", "pobj", "dep"):
+            # Check the remainder of the path: a nested nsubj/agent still marks
+            # a subject ("..., which was downloaded by /usr/bin/wget").
+            for depth, label in enumerate(labels[1:], start=1):
+                if label in ("nsubj", "agent"):
+                    return ArgumentRole.SUBJECT
+                if label in ("dobj", "appos") and depth < len(labels):
+                    parent_node = path[depth - 1]
+                    if parent_node.lemma in INSTRUMENT_VERBS:
+                        return ArgumentRole.SUBJECT
+            return ArgumentRole.OBJECT
+        if head_label.startswith("prep_"):
+            remaining = labels[1:]
+            if any(label in ("nsubj", "agent") for label in remaining):
+                return ArgumentRole.SUBJECT
+            # "by using X ...": the object of the instrument gerund is the actor.
+            for depth, label in enumerate(remaining, start=1):
+                if label in ("dobj", "appos"):
+                    parent_node = path[depth - 1]
+                    if parent_node.lemma in INSTRUMENT_VERBS:
+                        return ArgumentRole.SUBJECT
+            return ArgumentRole.OBJECT
+        if head_label == "compound":
+            return ArgumentRole.UNKNOWN
+        return ArgumentRole.UNKNOWN
+
+    def _select_verb(
+        self,
+        tree: DependencyTree,
+        lca: DependencyNode,
+        subject_path: list[DependencyNode],
+        object_path: list[DependencyNode],
+        object_node: DependencyNode,
+    ) -> DependencyNode | None:
+        """Pick the candidate relation verb closest to the object IOC node.
+
+        Candidates are collected from the three path parts: the common path
+        from the root to the LCA, and the two LCA-to-node paths.  Distance is
+        measured in tree hops to the object node; ties break toward later
+        sentence position (the verb immediately governing the object's
+        prepositional phrase usually follows earlier, higher verbs).
+        """
+        candidates: list[DependencyNode] = []
+        for node in tree.path_from_root(lca):
+            if node.is_candidate_verb:
+                candidates.append(node)
+        for node in subject_path + object_path:
+            if node.is_candidate_verb:
+                candidates.append(node)
+        if not candidates:
+            return None
+
+        object_chain = [object_node, *object_node.ancestors()]
+        object_positions = {id(node): depth for depth, node in enumerate(object_chain)}
+
+        def distance(verb: DependencyNode) -> int:
+            # Distance from the verb to the object node along the tree: if the
+            # verb is an ancestor of the object, it is the ancestor depth;
+            # otherwise ancestor depth of the LCA plus the verb's depth below it.
+            if id(verb) in object_positions:
+                return object_positions[id(verb)]
+            verb_chain = [verb, *verb.ancestors()]
+            for rise, node in enumerate(verb_chain):
+                if id(node) in object_positions:
+                    return object_positions[id(node)] + rise
+            return len(object_chain) + len(verb_chain)
+
+        best = min(candidates, key=lambda verb: (distance(verb), -verb.offset))
+        return best

@@ -1,0 +1,138 @@
+"""Block and sentence segmentation of OSCTI articles.
+
+Algorithm 1 first segments an input OSCTI article into natural **blocks**
+(paragraphs, list items, headings delimited by blank lines), then segments
+each block into **sentences**.  Coreference resolution later operates within a
+block, so block boundaries matter: pronouns do not resolve across blocks.
+
+Sentence segmentation operates on *protected* text, so abbreviations inside
+IOCs (e.g. dots in ``/tmp/upload.tar``) can no longer produce false sentence
+breaks — this is precisely why the paper protects IOCs first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Abbreviations that should not terminate a sentence despite the period.
+_ABBREVIATIONS = frozenset(
+    {
+        "e.g",
+        "i.e",
+        "etc",
+        "vs",
+        "fig",
+        "figs",
+        "mr",
+        "mrs",
+        "dr",
+        "inc",
+        "corp",
+        "ltd",
+        "no",
+        "al",
+        "cf",
+        "approx",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TextSpan:
+    """A segment of text with its offset in the parent text."""
+
+    text: str
+    start: int
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.text)
+
+
+def segment_blocks(document: str) -> list[TextSpan]:
+    """Split a document into natural blocks.
+
+    Blocks are separated by one or more blank lines; bullet-list items
+    (lines starting with ``-``, ``*`` or a numbered marker) become their own
+    blocks so each attack step described as a list item is processed
+    independently.
+    """
+    blocks: list[TextSpan] = []
+    pattern = re.compile(r"[^\n]+(?:\n(?!\s*\n)[^\n]*)*")
+    for match in pattern.finditer(document):
+        chunk = match.group(0)
+        offset = match.start()
+        # Split bullet lists inside the chunk.
+        lines = chunk.split("\n")
+        current: list[str] = []
+        current_start = offset
+        cursor = offset
+        for line in lines:
+            is_bullet = bool(re.match(r"\s*(?:[-*•]|\d+[.)])\s+", line))
+            if is_bullet and current:
+                text = "\n".join(current)
+                if text.strip():
+                    blocks.append(TextSpan(text=text, start=current_start))
+                current = [line]
+                current_start = cursor
+            else:
+                if not current:
+                    current_start = cursor
+                current.append(line)
+            cursor += len(line) + 1
+        if current:
+            text = "\n".join(current)
+            if text.strip():
+                blocks.append(TextSpan(text=text, start=current_start))
+    return blocks
+
+
+def segment_sentences(block: str) -> list[TextSpan]:
+    """Split one block into sentences.
+
+    A sentence ends at ``.``, ``!`` or ``?`` followed by whitespace and an
+    uppercase letter/digit (or end of block), unless the period belongs to a
+    known abbreviation.
+    """
+    sentences: list[TextSpan] = []
+    start = 0
+    i = 0
+    length = len(block)
+    while i < length:
+        char = block[i]
+        if char in ".!?":
+            # Look back for an abbreviation.
+            preceding = re.search(r"([A-Za-z.]+)$", block[start : i])
+            word = preceding.group(1).lower().rstrip(".") if preceding else ""
+            # Single letters before a period are initials / parts of "e.g.".
+            is_abbreviation = char == "." and (
+                word in _ABBREVIATIONS or len(word.replace(".", "")) == 1
+            )
+            # Look ahead: end of block, or whitespace followed by a plausible
+            # sentence start.
+            j = i + 1
+            while j < length and block[j] in ".!?":
+                j += 1
+            # The block is IOC-protected, so a period followed by whitespace is
+            # almost always a real sentence boundary (dots inside IOCs are
+            # gone); accept lowercase continuations too because protected IOCs
+            # at sentence starts render as the lowercase dummy word.
+            after = block[j:].lstrip()
+            boundary = not after or bool(re.match(r"[A-Za-z0-9\"'(/]", after))
+            if boundary and not is_abbreviation:
+                text = block[start:j]
+                if text.strip():
+                    sentences.append(TextSpan(text=text, start=start))
+                # Skip whitespace to the start of the next sentence.
+                while j < length and block[j].isspace():
+                    j += 1
+                start = j
+                i = j
+                continue
+        i += 1
+    if start < length:
+        remainder = block[start:]
+        if remainder.strip():
+            sentences.append(TextSpan(text=remainder, start=start))
+    return sentences

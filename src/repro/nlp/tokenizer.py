@@ -1,0 +1,94 @@
+"""Tokenisation for OSCTI text (spaCy tokenizer substitute).
+
+The tokenizer operates on *protected* text (IOCs already replaced by the dummy
+word), so it only has to handle ordinary English plus report punctuation.  It
+produces :class:`Token` objects carrying character offsets into the text they
+were produced from, which later stages use to restore protected IOCs and to
+order relation verbs by occurrence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Token:
+    """One token of a sentence.
+
+    Attributes:
+        text: Surface form.
+        start: Character offset of the first character (in the tokenised text).
+        index: Token index within its sentence (set by the tokenizer).
+        pos: Part-of-speech tag, filled in by the tagger.
+        lemma: Lemma, filled in by the lemmatizer.
+    """
+
+    text: str
+    start: int
+    index: int = 0
+    pos: str = ""
+    lemma: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.text)
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def is_punctuation(self) -> bool:
+        return bool(re.fullmatch(r"[^\w\s]+", self.text))
+
+
+_CONTRACTIONS = {
+    "n't": "not",
+    "'s": "'s",
+    "'re": "are",
+    "'ve": "have",
+    "'ll": "will",
+    "'d": "would",
+}
+
+#: Pattern splitting a sentence into word, number, and punctuation tokens.
+_TOKEN_PATTERN = re.compile(
+    r"[A-Za-z]+(?:'[A-Za-z]+)?"  # words with optional apostrophe part
+    r"|\d+(?:\.\d+)?"  # numbers
+    r"|[^\w\s]"  # single punctuation characters
+)
+
+
+class Tokenizer:
+    """Regex word tokenizer with contraction splitting."""
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenise ``text`` into :class:`Token` objects with offsets."""
+        tokens: list[Token] = []
+        for match in _TOKEN_PATTERN.finditer(text):
+            surface = match.group(0)
+            start = match.start()
+            split = self._split_contraction(surface, start)
+            tokens.extend(split)
+        for index, token in enumerate(tokens):
+            token.index = index
+        return tokens
+
+    @staticmethod
+    def _split_contraction(surface: str, start: int) -> list[Token]:
+        lowered = surface.lower()
+        for suffix in _CONTRACTIONS:
+            if lowered.endswith(suffix) and len(surface) > len(suffix):
+                head = surface[: len(surface) - len(suffix)]
+                tail = surface[len(surface) - len(suffix) :]
+                return [
+                    Token(text=head, start=start),
+                    Token(text=tail, start=start + len(head)),
+                ]
+        return [Token(text=surface, start=start)]
+
+
+def tokenize(text: str) -> list[Token]:
+    """Module-level convenience wrapper around :class:`Tokenizer`."""
+    return Tokenizer().tokenize(text)

@@ -1,0 +1,86 @@
+"""Hashing-based word vectors (spaCy vector-table substitute).
+
+The IOC scan-and-merge step merges similar IOCs "based on both the
+character-level overlap and the word vector similarities".  spaCy ships
+pre-trained vectors; in a from-scratch, offline reproduction we build
+deterministic character-n-gram hashing vectors instead: each word (or IOC
+string) is mapped to a fixed-dimension vector by hashing its character
+n-grams into buckets.  Words sharing many character n-grams — which is what
+matters for near-duplicate IOC strings such as ``upload.tar`` vs.
+``/tmp/upload.tar`` — end up with high cosine similarity, preserving the
+behaviour the merge step needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from functools import lru_cache
+
+#: Vector dimensionality.  256 buckets keeps collisions rare for IOC-length
+#: strings while staying tiny.
+VECTOR_DIMENSIONS = 256
+
+#: Character n-gram sizes hashed into the vector.
+NGRAM_SIZES = (2, 3, 4)
+
+
+def _bucket(ngram: str) -> int:
+    digest = hashlib.blake2s(ngram.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "little") % VECTOR_DIMENSIONS
+
+
+@lru_cache(maxsize=16384)
+def vectorize(text: str) -> tuple[float, ...]:
+    """Map ``text`` to its character-n-gram hashing vector (L2-normalised)."""
+    normalized = text.lower()
+    counts = [0.0] * VECTOR_DIMENSIONS
+    padded = f"<{normalized}>"
+    for size in NGRAM_SIZES:
+        if len(padded) < size:
+            continue
+        for start in range(len(padded) - size + 1):
+            counts[_bucket(padded[start : start + size])] += 1.0
+    norm = math.sqrt(sum(value * value for value in counts))
+    if norm == 0.0:
+        return tuple(counts)
+    return tuple(value / norm for value in counts)
+
+
+def cosine_similarity(first: str, second: str) -> float:
+    """Cosine similarity between the hashing vectors of two strings."""
+    vector_a = vectorize(first)
+    vector_b = vectorize(second)
+    return sum(a * b for a, b in zip(vector_a, vector_b))
+
+
+def character_overlap(first: str, second: str) -> float:
+    """Character-level overlap: Jaccard similarity of character trigram sets.
+
+    This is the "character-level overlap" half of the IOC merge criterion; it
+    is robust to prefixes/suffixes (paths vs. bare names) because trigrams of
+    the common substring dominate both sets.
+    """
+    def trigrams(text: str) -> set[str]:
+        padded = f"<{text.lower()}>"
+        return {padded[i : i + 3] for i in range(max(1, len(padded) - 2))}
+
+    set_a = trigrams(first)
+    set_b = trigrams(second)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def containment(first: str, second: str) -> float:
+    """Directional overlap: how much of the shorter string's trigrams appear in the longer's."""
+    def trigrams(text: str) -> set[str]:
+        padded = f"<{text.lower()}>"
+        return {padded[i : i + 3] for i in range(max(1, len(padded) - 2))}
+
+    set_a = trigrams(first)
+    set_b = trigrams(second)
+    if not set_a or not set_b:
+        return 0.0
+    smaller, larger = (set_a, set_b) if len(set_a) <= len(set_b) else (set_b, set_a)
+    return len(smaller & larger) / len(smaller)

@@ -1,0 +1,229 @@
+"""The property-graph store (Neo4j substitute) for audit data.
+
+:class:`GraphDatabase` stores system entities as nodes and system events as
+edges, with three kinds of indexes that mirror what the paper relies on in
+Neo4j ("indexes are created on key attributes to speed up the search"):
+
+* a **label index** — node ids per label;
+* **property indexes** — node ids per (label, property, value), created on the
+  same key attributes the relational store indexes (name, exename, dstip);
+* **adjacency indexes** — outgoing and incoming edge ids per node, grouped by
+  relationship type, which drive path pattern search.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Iterator
+
+from repro.auditing.entities import SystemEntity
+from repro.auditing.events import SystemEvent
+from repro.auditing.trace import AuditTrace
+from repro.errors import QueryError
+from repro.storage.graph.model import Edge, Node
+
+#: Node properties indexed by default, per label.
+DEFAULT_PROPERTY_INDEXES: dict[str, tuple[str, ...]] = {
+    "file": ("name",),
+    "process": ("exename",),
+    "network": ("dstip",),
+}
+
+
+class GraphDatabase:
+    """In-memory property graph with adjacency and property indexes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._edges: dict[int, Edge] = {}
+        self._label_index: dict[str, set[int]] = defaultdict(set)
+        self._property_index: dict[tuple[str, str, Any], set[int]] = defaultdict(set)
+        self._outgoing: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
+        self._incoming: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
+
+    # -- loading -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Insert one node and maintain label/property indexes.
+
+        Raises:
+            QueryError: if a node with the same id already exists.
+        """
+        if node.node_id in self._nodes:
+            raise QueryError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._label_index[node.label].add(node.node_id)
+        for property_name in DEFAULT_PROPERTY_INDEXES.get(node.label, ()):
+            value = node.properties.get(property_name)
+            if value is not None:
+                self._property_index[(node.label, property_name, value)].add(node.node_id)
+
+    def add_edge(self, edge: Edge) -> None:
+        """Insert one edge and maintain adjacency indexes.
+
+        Raises:
+            QueryError: if either endpoint is unknown or the edge id is a
+                duplicate.
+        """
+        if edge.edge_id in self._edges:
+            raise QueryError(f"duplicate edge id {edge.edge_id}")
+        if edge.source_id not in self._nodes:
+            raise QueryError(f"edge {edge.edge_id}: unknown source node {edge.source_id}")
+        if edge.target_id not in self._nodes:
+            raise QueryError(f"edge {edge.edge_id}: unknown target node {edge.target_id}")
+        self._edges[edge.edge_id] = edge
+        self._outgoing[edge.source_id][edge.relationship].append(edge.edge_id)
+        self._incoming[edge.target_id][edge.relationship].append(edge.edge_id)
+
+    def load_entities(self, entities: Iterable[SystemEntity]) -> int:
+        """Load system entities as nodes; returns the count loaded."""
+        count = 0
+        for entity in entities:
+            self.add_node(
+                Node(
+                    node_id=entity.entity_id,
+                    label=entity.entity_type.value,
+                    properties=dict(entity.attributes(), host=entity.host),
+                )
+            )
+            count += 1
+        return count
+
+    def load_events(self, events: Iterable[SystemEvent]) -> int:
+        """Load system events as edges; returns the count loaded."""
+        count = 0
+        for event in events:
+            self.add_edge(
+                Edge(
+                    edge_id=event.event_id,
+                    source_id=event.subject_id,
+                    target_id=event.object_id,
+                    relationship=event.operation.value,
+                    properties={
+                        "starttime": event.start_time,
+                        "endtime": event.end_time,
+                        "amount": event.amount,
+                        "eventtype": event.event_type.value,
+                        "host": event.host,
+                    },
+                )
+            )
+            count += 1
+        return count
+
+    def load_trace(self, trace: AuditTrace) -> dict[str, int]:
+        """Load a full audit trace; returns node/edge counts loaded."""
+        return {
+            "nodes": self.load_entities(trace.entities),
+            "edges": self.load_events(trace.events),
+        }
+
+    # -- node access ---------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Fetch one node by id.
+
+        Raises:
+            QueryError: if the id is unknown.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise QueryError(f"unknown node id {node_id}") from None
+
+    def edge(self, edge_id: int) -> Edge:
+        """Fetch one edge by id.
+
+        Raises:
+            QueryError: if the id is unknown.
+        """
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise QueryError(f"unknown edge id {edge_id}") from None
+
+    def nodes_with_label(self, label: str) -> Iterator[Node]:
+        """All nodes carrying ``label``."""
+        for node_id in self._label_index.get(label, ()):
+            yield self._nodes[node_id]
+
+    def find_nodes(self, label: str | None = None, **property_filters: Any) -> list[Node]:
+        """Find nodes by label and exact property values.
+
+        Uses the property index when an indexed property is filtered, otherwise
+        scans the label bucket (or all nodes when no label is given).
+        """
+        if label is not None and property_filters:
+            for property_name, value in property_filters.items():
+                key = (label, property_name, value)
+                if key in self._property_index:
+                    candidates = [self._nodes[node_id] for node_id in self._property_index[key]]
+                    return [
+                        node
+                        for node in candidates
+                        if node.matches(label, **property_filters)
+                    ]
+        candidates_iter: Iterable[Node]
+        if label is not None:
+            candidates_iter = self.nodes_with_label(label)
+        else:
+            candidates_iter = self._nodes.values()
+        return [node for node in candidates_iter if node.matches(label, **property_filters)]
+
+    # -- traversal -------------------------------------------------------------
+
+    def outgoing_edges(
+        self, node_id: int, relationship: str | None = None
+    ) -> Iterator[Edge]:
+        """Outgoing edges of ``node_id``, optionally restricted to one type."""
+        by_type = self._outgoing.get(node_id)
+        if not by_type:
+            return
+        if relationship is not None:
+            for edge_id in by_type.get(relationship, ()):
+                yield self._edges[edge_id]
+            return
+        for edge_ids in by_type.values():
+            for edge_id in edge_ids:
+                yield self._edges[edge_id]
+
+    def incoming_edges(
+        self, node_id: int, relationship: str | None = None
+    ) -> Iterator[Edge]:
+        """Incoming edges of ``node_id``, optionally restricted to one type."""
+        by_type = self._incoming.get(node_id)
+        if not by_type:
+            return
+        if relationship is not None:
+            for edge_id in by_type.get(relationship, ()):
+                yield self._edges[edge_id]
+            return
+        for edge_ids in by_type.values():
+            for edge_id in edge_ids:
+                yield self._edges[edge_id]
+
+    def neighbors(self, node_id: int, relationship: str | None = None) -> Iterator[Node]:
+        """Target nodes of the outgoing edges of ``node_id``."""
+        for edge in self.outgoing_edges(node_id, relationship):
+            yield self._nodes[edge.target_id]
+
+    # -- statistics --------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def statistics(self) -> dict[str, Any]:
+        """Node/edge counts per label/relationship for EXPLAIN-style output."""
+        per_label = {label: len(ids) for label, ids in self._label_index.items()}
+        per_relationship: dict[str, int] = defaultdict(int)
+        for edge in self._edges.values():
+            per_relationship[edge.relationship] += 1
+        return {
+            "nodes": self.node_count(),
+            "edges": self.edge_count(),
+            "nodes_by_label": dict(per_label),
+            "edges_by_relationship": dict(per_relationship),
+        }

@@ -1,0 +1,108 @@
+"""Property-graph data model for the graph backend (Neo4j substitute).
+
+ThreatRaptor "stores system entities as nodes and system events as edges" in
+Neo4j.  The reproduction mirrors this: a :class:`Node` carries a label (the
+entity type) and a property map; an :class:`Edge` carries a relationship type
+(the operation), a property map (timestamps, amount), and references its
+source (subject) and destination (object) node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: one system entity.
+
+    Attributes:
+        node_id: Unique node id (equal to the entity id for audit data).
+        label: Node label, e.g. ``"process"``, ``"file"`` or ``"network"``.
+        properties: Property map (entity attributes).
+    """
+
+    node_id: int
+    label: str
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Look up one property with an optional default."""
+        return self.properties.get(name, default)
+
+    def matches(self, label: str | None = None, **property_filters: Any) -> bool:
+        """True when the node has ``label`` (if given) and all property values."""
+        if label is not None and self.label != label:
+            return False
+        return all(self.properties.get(key) == value for key, value in property_filters.items())
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A graph edge: one system event.
+
+    Attributes:
+        edge_id: Unique edge id (equal to the event id for audit data).
+        source_id: Node id of the subject entity.
+        target_id: Node id of the object entity.
+        relationship: Relationship type, e.g. ``"read"`` or ``"connect"``.
+        properties: Property map (timestamps, amount, event type).
+    """
+
+    edge_id: int
+    source_id: int
+    target_id: int
+    relationship: str
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Look up one property with an optional default."""
+        return self.properties.get(name, default)
+
+    @property
+    def start_time(self) -> int:
+        """Convenience accessor for the ``starttime`` property."""
+        return int(self.properties.get("starttime", 0))
+
+    @property
+    def end_time(self) -> int:
+        """Convenience accessor for the ``endtime`` property."""
+        return int(self.properties.get("endtime", 0))
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path through the graph: alternating nodes and edges.
+
+    Invariant: ``len(nodes) == len(edges) + 1`` and edge *i* connects
+    ``nodes[i]`` to ``nodes[i + 1]`` in the traversal direction.
+    """
+
+    nodes: tuple[Node, ...]
+    edges: tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.edges) + 1:
+            raise ValueError(
+                f"invalid path: {len(self.nodes)} nodes with {len(self.edges)} edges"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of hops in the path."""
+        return len(self.edges)
+
+    @property
+    def start(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> Node:
+        return self.nodes[-1]
+
+    def node_ids(self) -> tuple[int, ...]:
+        return tuple(node.node_id for node in self.nodes)
+
+    def edge_ids(self) -> tuple[int, ...]:
+        return tuple(edge.edge_id for edge in self.edges)

@@ -1,0 +1,196 @@
+"""Graph pattern matching: single-edge and variable-length path patterns.
+
+ThreatRaptor compiles a TBQL variable-length event path pattern (e.g.
+``proc p ~>(2~4)[read] file f``) into a Cypher data query "by leveraging
+Cypher's path pattern syntax".  This module provides the matching engine the
+Cypher substitute runs: given node predicates for the two endpoints, an
+optional relationship constraint for the final hop, and minimum/maximum path
+lengths, enumerate all simple paths that satisfy the pattern.
+
+Path semantics follow the TBQL description:
+
+* intermediate hops may use any relationship type (they represent the
+  intermediate processes "forked to chain system events" that the OSCTI text
+  omitted), while the **final hop** must match the declared operation;
+* paths are **simple** (no repeated node), which is also Cypher's default for
+  variable-length relationship patterns over distinct edges and prevents
+  explosion on cyclic audit graphs;
+* edges along a path must be **temporally non-decreasing** (each hop starts at
+  or after the previous hop's start), reflecting causal event chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.storage.graph.graphdb import GraphDatabase
+from repro.storage.graph.model import Edge, Node, Path
+
+NodePredicate = Callable[[Node], bool]
+EdgePredicate = Callable[[Edge], bool]
+
+
+def _always_true(_: Any) -> bool:
+    return True
+
+
+@dataclass
+class NodePattern:
+    """Constraints on one endpoint of a path pattern."""
+
+    label: str | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+    predicate: NodePredicate | None = None
+
+    def matches(self, node: Node) -> bool:
+        if self.label is not None and node.label != self.label:
+            return False
+        for key, value in self.properties.items():
+            if node.properties.get(key) != value:
+                return False
+        if self.predicate is not None and not self.predicate(node):
+            return False
+        return True
+
+
+@dataclass
+class EdgePattern:
+    """Constraints on one edge (the final hop of a path pattern)."""
+
+    relationship: str | None = None
+    predicate: EdgePredicate | None = None
+
+    def matches(self, edge: Edge) -> bool:
+        if self.relationship is not None and edge.relationship != self.relationship:
+            return False
+        if self.predicate is not None and not self.predicate(edge):
+            return False
+        return True
+
+
+@dataclass
+class PathPattern:
+    """A variable-length path pattern between two node patterns.
+
+    Attributes:
+        source: Constraints on the start node (the subject process).
+        target: Constraints on the end node (the object entity).
+        final_edge: Constraints on the last hop's edge (operation type etc.).
+        min_length: Minimum number of hops (>= 1).
+        max_length: Maximum number of hops.
+        intermediate_edge: Optional constraints applied to non-final hops.
+        enforce_temporal_order: Require non-decreasing start times along the
+            path (on by default; matches causal chains in audit data).
+    """
+
+    source: NodePattern = field(default_factory=NodePattern)
+    target: NodePattern = field(default_factory=NodePattern)
+    final_edge: EdgePattern = field(default_factory=EdgePattern)
+    min_length: int = 1
+    max_length: int = 1
+    intermediate_edge: EdgePattern | None = None
+    enforce_temporal_order: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_length < 1:
+            raise ValueError("min_length must be at least 1")
+        if self.max_length < self.min_length:
+            raise ValueError("max_length must be >= min_length")
+
+
+class PathMatcher:
+    """Enumerates paths in a :class:`GraphDatabase` matching a :class:`PathPattern`.
+
+    The search is a depth-first enumeration from every source-matching node,
+    bounded by ``max_length``, pruned by the simple-path constraint and the
+    temporal-order constraint.  Candidate source nodes are obtained through the
+    property index when the source pattern constrains an indexed property.
+    """
+
+    def __init__(self, graph: GraphDatabase) -> None:
+        self._graph = graph
+
+    def match(self, pattern: PathPattern) -> Iterator[Path]:
+        """Yield every path matching ``pattern``."""
+        for source in self._candidate_sources(pattern):
+            yield from self._search_from(source, pattern)
+
+    def match_single_edges(self, pattern: PathPattern) -> Iterator[Path]:
+        """Fast path for 1-hop patterns: iterate matching edges directly."""
+        for source in self._candidate_sources(pattern):
+            relationship = pattern.final_edge.relationship
+            for edge in self._graph.outgoing_edges(source.node_id, relationship):
+                if not pattern.final_edge.matches(edge):
+                    continue
+                target = self._graph.node(edge.target_id)
+                if pattern.target.matches(target):
+                    yield Path(nodes=(source, target), edges=(edge,))
+
+    # -- internals -----------------------------------------------------------
+
+    def _candidate_sources(self, pattern: PathPattern) -> Iterator[Node]:
+        source = pattern.source
+        if source.label is not None or source.properties:
+            yield from self._graph.find_nodes(source.label, **source.properties)
+            return
+        # Unconstrained source: every node (rare — synthesized queries always
+        # constrain the subject process).
+        for label in ("process", "file", "network"):
+            yield from self._graph.nodes_with_label(label)
+
+    def _search_from(self, source: Node, pattern: PathPattern) -> Iterator[Path]:
+        if not pattern.source.matches(source):
+            return
+        if pattern.max_length == 1:
+            yield from self._single_hop(source, pattern)
+            return
+        stack: list[tuple[Node, list[Node], list[Edge], set[int]]] = [
+            (source, [source], [], {source.node_id})
+        ]
+        while stack:
+            current, nodes, edges, visited = stack.pop()
+            depth = len(edges)
+            last_start = edges[-1].start_time if edges else None
+            for edge in self._graph.outgoing_edges(current.node_id):
+                if (
+                    pattern.enforce_temporal_order
+                    and last_start is not None
+                    and edge.start_time < last_start
+                ):
+                    continue
+                next_node = self._graph.node(edge.target_id)
+                if next_node.node_id in visited:
+                    continue
+                hop_count = depth + 1
+                # Can this edge be the final hop?
+                if (
+                    hop_count >= pattern.min_length
+                    and pattern.final_edge.matches(edge)
+                    and pattern.target.matches(next_node)
+                ):
+                    yield Path(
+                        nodes=tuple(nodes + [next_node]),
+                        edges=tuple(edges + [edge]),
+                    )
+                # Can the search continue through this edge?
+                if hop_count < pattern.max_length:
+                    if pattern.intermediate_edge is not None and not pattern.intermediate_edge.matches(edge):
+                        continue
+                    stack.append(
+                        (
+                            next_node,
+                            nodes + [next_node],
+                            edges + [edge],
+                            visited | {next_node.node_id},
+                        )
+                    )
+
+    def _single_hop(self, source: Node, pattern: PathPattern) -> Iterator[Path]:
+        relationship = pattern.final_edge.relationship
+        for edge in self._graph.outgoing_edges(source.node_id, relationship):
+            if not pattern.final_edge.matches(edge):
+                continue
+            target = self._graph.node(edge.target_id)
+            if pattern.target.matches(target):
+                yield Path(nodes=(source, target), edges=(edge,))

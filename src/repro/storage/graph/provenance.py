@@ -1,0 +1,182 @@
+"""Causal provenance tracking over the audit graph.
+
+After a hunting query pins down a malicious record, analysts typically expand
+it into the full attack context by causality analysis over the audit data —
+the investigation workflow that ThreatRaptor's companion systems (AIQL,
+DEPIMPACT-style trackers) support.  This module provides that capability as an
+extension on top of the graph store:
+
+* **backward tracking** — starting from a point of interest (an entity at a
+  timestamp), follow information flow *into* it, transitively and backwards in
+  time, to find root causes (e.g. which process wrote the file the malicious
+  process executed, and which connection that process downloaded it from);
+* **forward tracking** — follow information flow *out of* a point of interest
+  forwards in time, to measure impact (which files/hosts the compromised
+  process went on to touch).
+
+Information-flow direction per operation follows the usual convention:
+``read``/``recv``/``accept``/``execute`` flow object → subject, everything else
+(``write``, ``send``, ``connect``, ``fork``, ``exec``, ``create``, ...) flows
+subject → object.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.storage.graph.graphdb import GraphDatabase
+from repro.storage.graph.model import Edge, Node
+
+#: Operations whose information flow goes from the object entity to the
+#: subject process; every other operation flows subject → object.
+_OBJECT_TO_SUBJECT = frozenset({"read", "recv", "accept", "execute"})
+
+
+def flow_endpoints(edge: Edge) -> tuple[int, int]:
+    """Return ``(source_entity_id, destination_entity_id)`` of the data flow."""
+    if edge.relationship in _OBJECT_TO_SUBJECT:
+        return edge.target_id, edge.source_id
+    return edge.source_id, edge.target_id
+
+
+@dataclass
+class ProvenanceResult:
+    """A causal subgraph rooted at a point of interest.
+
+    Attributes:
+        origin_id: Entity id the tracking started from.
+        direction: ``"backward"`` or ``"forward"``.
+        nodes: Entities reached, keyed by id.
+        edges: Events traversed, in traversal order.
+        depths: Causal distance (number of flow hops) of each reached entity.
+    """
+
+    origin_id: int
+    direction: str
+    nodes: dict[int, Node] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+    depths: dict[int, int] = field(default_factory=dict)
+
+    def entity_ids(self) -> set[int]:
+        return set(self.nodes)
+
+    def event_ids(self) -> set[int]:
+        return {edge.edge_id for edge in self.edges}
+
+    def to_lines(self, graph: GraphDatabase) -> list[str]:
+        """Readable rendering: one line per traversed event in time order."""
+        lines = []
+        for edge in sorted(self.edges, key=lambda e: e.start_time):
+            source = graph.node(edge.source_id)
+            target = graph.node(edge.target_id)
+            lines.append(
+                f"[{edge.start_time}] {source.get('exename') or source.get('name') or source.get('dstip')}"
+                f" --{edge.relationship}--> "
+                f"{target.get('exename') or target.get('name') or target.get('dstip')}"
+            )
+        return lines
+
+
+class ProvenanceTracker:
+    """Backward/forward causality tracking over a loaded :class:`GraphDatabase`.
+
+    Args:
+        graph: The audit graph to track over.
+        max_depth: Maximum number of causal hops to expand (guards against
+            dependency explosion on long-running traces).
+        max_events: Hard cap on traversed events.
+    """
+
+    def __init__(self, graph: GraphDatabase, max_depth: int = 10, max_events: int = 100_000) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self._graph = graph
+        self._max_depth = max_depth
+        self._max_events = max_events
+        self._flows_in: dict[int, list[Edge]] = {}
+        self._flows_out: dict[int, list[Edge]] = {}
+        self._build_flow_index()
+
+    def _build_flow_index(self) -> None:
+        """Index every edge by the entity its information flows into / out of."""
+        for node in list(self._graph.nodes_with_label("process")) + list(
+            self._graph.nodes_with_label("file")
+        ) + list(self._graph.nodes_with_label("network")):
+            self._flows_in.setdefault(node.node_id, [])
+            self._flows_out.setdefault(node.node_id, [])
+        for node_id in list(self._flows_in):
+            for edge in self._graph.outgoing_edges(node_id):
+                source, destination = flow_endpoints(edge)
+                self._flows_out.setdefault(source, []).append(edge)
+                self._flows_in.setdefault(destination, []).append(edge)
+
+    # -- public API -----------------------------------------------------------
+
+    def backward(self, entity_id: int, at_time: int | None = None) -> ProvenanceResult:
+        """Track the root causes of ``entity_id``.
+
+        Args:
+            entity_id: The point-of-interest entity.
+            at_time: Only flows that completed at or before this timestamp are
+                considered at the first hop (and the constraint tightens
+                monotonically along the traversal); ``None`` means "now".
+        """
+        return self._track(entity_id, at_time, direction="backward")
+
+    def forward(self, entity_id: int, at_time: int | None = None) -> ProvenanceResult:
+        """Track the downstream impact of ``entity_id`` starting at ``at_time``."""
+        return self._track(entity_id, at_time, direction="forward")
+
+    def impact_of_event(self, event_id: int) -> ProvenanceResult:
+        """Forward impact of one event: what its destination went on to affect."""
+        edge = self._graph.edge(event_id)
+        _, destination = flow_endpoints(edge)
+        result = self.forward(destination, at_time=edge.start_time)
+        if edge not in result.edges:
+            result.edges.insert(0, edge)
+        result.nodes.setdefault(edge.source_id, self._graph.node(edge.source_id))
+        result.nodes.setdefault(edge.target_id, self._graph.node(edge.target_id))
+        return result
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _track(self, entity_id: int, at_time: int | None, direction: str) -> ProvenanceResult:
+        origin = self._graph.node(entity_id)  # raises QueryError for unknown ids
+        result = ProvenanceResult(origin_id=entity_id, direction=direction)
+        result.nodes[entity_id] = origin
+        result.depths[entity_id] = 0
+
+        boundary = at_time
+        queue: deque[tuple[int, int, int | None]] = deque([(entity_id, 0, boundary)])
+        seen_edges: set[int] = set()
+
+        while queue and len(result.edges) < self._max_events:
+            current, depth, time_bound = queue.popleft()
+            if depth >= self._max_depth:
+                continue
+            candidates = (
+                self._flows_in.get(current, ())
+                if direction == "backward"
+                else self._flows_out.get(current, ())
+            )
+            for edge in candidates:
+                if edge.edge_id in seen_edges:
+                    continue
+                if direction == "backward":
+                    if time_bound is not None and edge.start_time > time_bound:
+                        continue
+                    next_entity, _ = flow_endpoints(edge)
+                    next_bound = edge.end_time
+                else:
+                    if time_bound is not None and edge.end_time < time_bound:
+                        continue
+                    _, next_entity = flow_endpoints(edge)
+                    next_bound = edge.start_time
+                seen_edges.add(edge.edge_id)
+                result.edges.append(edge)
+                if next_entity not in result.nodes:
+                    result.nodes[next_entity] = self._graph.node(next_entity)
+                    result.depths[next_entity] = depth + 1
+                    queue.append((next_entity, depth + 1, next_bound))
+        return result

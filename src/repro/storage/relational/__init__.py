@@ -1,0 +1,75 @@
+"""In-memory relational engine (PostgreSQL substitute) for audit data."""
+
+from repro.storage.relational.database import (
+    DEFAULT_HASH_INDEXES,
+    DEFAULT_SORTED_INDEXES,
+    ENTITY_SCHEMA,
+    EVENT_SCHEMA,
+    RelationalDatabase,
+)
+from repro.storage.relational.executor import AccessPath, ExecutionPlan, QueryExecutor
+from repro.storage.relational.expression import (
+    And,
+    Between,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TrueExpression,
+    conjoin,
+    equality_lookups,
+    range_lookups,
+)
+from repro.storage.relational.index import HashIndex, SortedIndex
+from repro.storage.relational.query import (
+    JoinCondition,
+    OrderBy,
+    OutputColumn,
+    QueryResult,
+    SelectQuery,
+    TableRef,
+)
+from repro.storage.relational.sqlgen import count_query_lines, render_select
+from repro.storage.relational.table import ColumnDefinition, Table, TableSchema
+
+__all__ = [
+    "AccessPath",
+    "And",
+    "Between",
+    "Column",
+    "ColumnDefinition",
+    "Comparison",
+    "DEFAULT_HASH_INDEXES",
+    "DEFAULT_SORTED_INDEXES",
+    "ENTITY_SCHEMA",
+    "EVENT_SCHEMA",
+    "ExecutionPlan",
+    "Expression",
+    "HashIndex",
+    "InList",
+    "JoinCondition",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "OrderBy",
+    "OutputColumn",
+    "QueryExecutor",
+    "QueryResult",
+    "RelationalDatabase",
+    "SelectQuery",
+    "SortedIndex",
+    "Table",
+    "TableRef",
+    "TableSchema",
+    "TrueExpression",
+    "conjoin",
+    "count_query_lines",
+    "equality_lookups",
+    "range_lookups",
+    "render_select",
+]

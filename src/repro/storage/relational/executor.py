@@ -1,0 +1,341 @@
+"""Planner and executor for relational :class:`SelectQuery` objects.
+
+The execution strategy mirrors what PostgreSQL would do for the join shapes
+the TBQL compiler produces (an event table joined with entity tables):
+
+1. **Access path selection** — for each alias, pick an index-assisted access
+   path when the pushed-down predicate contains an equality on a hash-indexed
+   column or a range on a sorted-indexed column; otherwise a filtered scan.
+2. **Join ordering** — start from the alias with the smallest estimated
+   cardinality and repeatedly join the connected alias with the smallest
+   estimate (a greedy bushy-to-left-deep heuristic, which is adequate for the
+   star-shaped joins produced here).
+3. **Hash joins** — every join condition is an equi-join, executed by building
+   a hash table on the smaller side.
+4. Cross-alias residual filters, projection, DISTINCT, ORDER BY and LIMIT are
+   applied on the joined rows.
+
+Intermediate rows carry qualified column names (``alias.column``) so residual
+predicates and the projection can address any alias unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import QueryError
+from repro.storage.relational.expression import (
+    Expression,
+    TrueExpression,
+    equality_lookups,
+    membership_lookups,
+    range_lookups,
+)
+from repro.storage.relational.query import QueryResult, SelectQuery
+from repro.storage.relational.table import Table
+
+
+@dataclass
+class AccessPath:
+    """The chosen access path for one alias."""
+
+    alias: str
+    table: Table
+    kind: str  # "index-eq", "index-in", "index-range" or "scan"
+    column: str | None = None
+    value: Any = None
+    values: tuple[Any, ...] | None = None
+    low: Any = None
+    high: Any = None
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        """Human-readable description used by EXPLAIN output."""
+        if self.kind == "index-eq":
+            return f"{self.alias}: index lookup {self.column}={self.value!r}"
+        if self.kind == "index-in":
+            count = len(self.values or ())
+            return f"{self.alias}: index lookup {self.column} IN ({count} values)"
+        if self.kind == "index-range":
+            return f"{self.alias}: index range {self.column} in [{self.low}, {self.high}]"
+        return f"{self.alias}: sequential scan"
+
+
+@dataclass
+class ExecutionPlan:
+    """The full plan for one query: access paths plus join order."""
+
+    access_paths: dict[str, AccessPath]
+    join_order: list[str]
+
+    def describe(self) -> list[str]:
+        """EXPLAIN-style lines describing the plan."""
+        lines = [self.access_paths[alias].describe() for alias in self.join_order]
+        lines.append("join order: " + " -> ".join(self.join_order))
+        return lines
+
+
+class QueryExecutor:
+    """Plans and executes :class:`SelectQuery` objects against a table dict."""
+
+    def __init__(self, tables: dict[str, Table]) -> None:
+        self._tables = tables
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, query: SelectQuery) -> ExecutionPlan:
+        """Produce an execution plan without running the query."""
+        if not query.tables:
+            raise QueryError("query has no tables")
+        access_paths: dict[str, AccessPath] = {}
+        for ref in query.tables:
+            table = self._tables.get(ref.table)
+            if table is None:
+                raise QueryError(f"unknown table {ref.table!r}")
+            predicate = query.filter_for_alias(ref.alias)
+            access_paths[ref.alias] = self._choose_access_path(ref.alias, table, predicate)
+        join_order = self._order_joins(query, access_paths)
+        return ExecutionPlan(access_paths=access_paths, join_order=join_order)
+
+    def _choose_access_path(
+        self, alias: str, table: Table, predicate: Expression
+    ) -> AccessPath:
+        """Pick the cheapest index-assisted access path for one alias.
+
+        All indexable conjuncts (equalities, IN-lists, ranges) are costed and
+        the lowest-estimate candidate wins; a sequential scan is the fallback.
+        """
+        candidates: list[AccessPath] = []
+        has_filter = not isinstance(predicate, TrueExpression)
+        equalities = equality_lookups(predicate) if has_filter else {}
+        for column, value in equalities.items():
+            if column in table.hash_indexed_columns():
+                estimate = max(1.0, len(table) * table.estimate_selectivity(column))
+                candidates.append(
+                    AccessPath(
+                        alias=alias,
+                        table=table,
+                        kind="index-eq",
+                        column=column,
+                        value=value,
+                        estimated_rows=estimate,
+                    )
+                )
+        memberships = membership_lookups(predicate) if has_filter else {}
+        for column, values in memberships.items():
+            if column in table.hash_indexed_columns():
+                per_value = max(1.0, len(table) * table.estimate_selectivity(column))
+                candidates.append(
+                    AccessPath(
+                        alias=alias,
+                        table=table,
+                        kind="index-in",
+                        column=column,
+                        values=values,
+                        estimated_rows=per_value * len(values),
+                    )
+                )
+        ranges = range_lookups(predicate) if has_filter else {}
+        for column, (low, high) in ranges.items():
+            if column in table.sorted_indexed_columns():
+                candidates.append(
+                    AccessPath(
+                        alias=alias,
+                        table=table,
+                        kind="index-range",
+                        column=column,
+                        low=low,
+                        high=high,
+                        estimated_rows=max(1.0, len(table) * 0.25),
+                    )
+                )
+        if candidates:
+            return min(candidates, key=lambda path: path.estimated_rows)
+        selectivity = 1.0 if isinstance(predicate, TrueExpression) else 0.5
+        return AccessPath(
+            alias=alias,
+            table=table,
+            kind="scan",
+            estimated_rows=max(1.0, len(table) * selectivity),
+        )
+
+    def _order_joins(
+        self, query: SelectQuery, access_paths: dict[str, AccessPath]
+    ) -> list[str]:
+        remaining = set(query.aliases())
+        if not remaining:
+            return []
+        # adjacency from join conditions
+        adjacency: dict[str, set[str]] = {alias: set() for alias in remaining}
+        for join in query.joins:
+            left, right = join.aliases()
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+
+        order: list[str] = []
+        # Start with the smallest estimated alias.
+        current = min(remaining, key=lambda alias: access_paths[alias].estimated_rows)
+        order.append(current)
+        remaining.discard(current)
+        while remaining:
+            connected = {
+                alias
+                for alias in remaining
+                if any(neighbor in order for neighbor in adjacency[alias])
+            }
+            candidates = connected or remaining
+            nxt = min(candidates, key=lambda alias: access_paths[alias].estimated_rows)
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, query: SelectQuery) -> QueryResult:
+        """Execute ``query`` and return its result set."""
+        plan = self.plan(query)
+        joined = self._execute_joins(query, plan)
+
+        # Residual cross-alias filters.
+        for predicate in query.cross_filters:
+            joined = [row for row in joined if predicate.evaluate(row)]
+
+        # Projection.
+        if query.projection:
+            columns = tuple(output.output_name for output in query.projection)
+            projected = [
+                tuple(row.get(f"{output.alias}.{output.column}") for output in query.projection)
+                for row in joined
+            ]
+        else:
+            columns = self._all_columns(query)
+            projected = [tuple(row.get(column) for column in columns) for row in joined]
+
+        if query.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[tuple[Any, ...]] = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            projected = unique
+
+        if query.order_by:
+            positions = {column: index for index, column in enumerate(columns)}
+
+            def sort_key(row: tuple[Any, ...]) -> tuple[Any, ...]:
+                key: list[Any] = []
+                for term in query.order_by:
+                    qualified = f"{term.alias}.{term.column}"
+                    index = positions.get(qualified)
+                    value = row[index] if index is not None else None
+                    key.append(value)
+                return tuple(key)
+
+            reverse = bool(query.order_by and query.order_by[0].descending)
+            projected.sort(key=sort_key, reverse=reverse)
+
+        if query.limit is not None:
+            projected = projected[: query.limit]
+
+        return QueryResult(columns=columns, rows=tuple(projected))
+
+    def explain(self, query: SelectQuery) -> list[str]:
+        """Return EXPLAIN-style plan lines without executing the query."""
+        return self.plan(query).describe()
+
+    # -- internals ----------------------------------------------------------
+
+    def _all_columns(self, query: SelectQuery) -> tuple[str, ...]:
+        columns: list[str] = []
+        for ref in query.tables:
+            table = self._tables[ref.table]
+            columns.extend(f"{ref.alias}.{name}" for name in table.schema.column_names())
+        return tuple(columns)
+
+    def _rows_for_alias(self, query: SelectQuery, path: AccessPath) -> list[dict[str, Any]]:
+        predicate = query.filter_for_alias(path.alias)
+        residual = None if isinstance(predicate, TrueExpression) else predicate
+        if path.kind == "index-eq":
+            raw = path.table.lookup_equal(path.column, path.value, residual=residual)
+        elif path.kind == "index-in":
+            raw = path.table.lookup_in(path.column, path.values or (), residual=residual)
+        elif path.kind == "index-range":
+            raw = path.table.lookup_range(
+                path.column, low=path.low, high=path.high, residual=residual
+            )
+        else:
+            raw = path.table.scan(residual)
+        qualified: list[dict[str, Any]] = []
+        prefix = f"{path.alias}."
+        for row in raw:
+            qualified.append({prefix + key: value for key, value in row.items()})
+        return qualified
+
+    def _execute_joins(self, query: SelectQuery, plan: ExecutionPlan) -> list[dict[str, Any]]:
+        order = plan.join_order
+        if not order:
+            return []
+        current = self._rows_for_alias(query, plan.access_paths[order[0]])
+        joined_aliases = {order[0]}
+
+        for alias in order[1:]:
+            right_rows = self._rows_for_alias(query, plan.access_paths[alias])
+            conditions = [
+                join
+                for join in query.joins
+                if (join.left_alias == alias and join.right_alias in joined_aliases)
+                or (join.right_alias == alias and join.left_alias in joined_aliases)
+            ]
+            current = self._hash_join(current, right_rows, alias, conditions)
+            joined_aliases.add(alias)
+        return current
+
+    @staticmethod
+    def _hash_join(
+        left_rows: list[dict[str, Any]],
+        right_rows: list[dict[str, Any]],
+        right_alias: str,
+        conditions: list,
+    ) -> list[dict[str, Any]]:
+        if not conditions:
+            # Cartesian product (rare: disconnected patterns).
+            return [dict(left, **right) for left in left_rows for right in right_rows]
+
+        def left_key(row: dict[str, Any]) -> tuple[Any, ...]:
+            key: list[Any] = []
+            for join in conditions:
+                if join.right_alias == right_alias:
+                    key.append(row.get(f"{join.left_alias}.{join.left_column}"))
+                else:
+                    key.append(row.get(f"{join.right_alias}.{join.right_column}"))
+            return tuple(key)
+
+        def right_key(row: dict[str, Any]) -> tuple[Any, ...]:
+            key: list[Any] = []
+            for join in conditions:
+                if join.right_alias == right_alias:
+                    key.append(row.get(f"{join.right_alias}.{join.right_column}"))
+                else:
+                    key.append(row.get(f"{join.left_alias}.{join.left_column}"))
+            return tuple(key)
+
+        # Build on the smaller side.
+        if len(left_rows) <= len(right_rows):
+            buckets: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+            for row in left_rows:
+                buckets.setdefault(left_key(row), []).append(row)
+            joined: list[dict[str, Any]] = []
+            for row in right_rows:
+                for match in buckets.get(right_key(row), []):
+                    joined.append(dict(match, **row))
+            return joined
+        buckets = {}
+        for row in right_rows:
+            buckets.setdefault(right_key(row), []).append(row)
+        joined = []
+        for row in left_rows:
+            for match in buckets.get(left_key(row), []):
+                joined.append(dict(row, **match))
+        return joined

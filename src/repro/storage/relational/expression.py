@@ -1,0 +1,390 @@
+"""Filter expressions evaluated by the relational engine.
+
+The relational backend needs a small but complete expression language to
+express TBQL attribute filters after compilation: comparisons (including SQL
+``LIKE`` with ``%`` wildcards), boolean combinators, membership tests and
+column-to-column comparisons for join conditions.  Expressions are plain
+objects with an ``evaluate(row)`` method plus enough introspection for the
+planner to extract indexable predicates and for the SQL generator to render
+text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+
+Row = Mapping[str, Any]
+
+
+class Expression:
+    """Base class for all filter expressions."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate the expression against one row."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """All column names referenced by the expression."""
+        return set()
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text (used for query explanation)."""
+        raise NotImplementedError
+
+    # -- combinators -------------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return And([self, other])
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or([self, other])
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """Reference to a column of the current row."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(f"row has no column {self.name!r}") from None
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison between two sub-expressions."""
+
+    left: Expression
+    operator: str
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        # Mixed numeric/string operands (e.g. an int column compared against a
+        # string literal) are compared as strings, mirroring lenient SQL casts.
+        if isinstance(left, str) != isinstance(right, str):
+            left, right = str(left), str(right)
+        try:
+            return bool(_COMPARATORS[self.operator](left, right))
+        except TypeError:
+            return bool(_COMPARATORS[self.operator](str(left), str(right)))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.operator} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL ``LIKE`` with ``%`` (any run) and ``_`` (any one char) wildcards."""
+
+    operand: Expression
+    pattern: str
+    negate: bool = False
+
+    def _regex(self) -> re.Pattern[str]:
+        # Escape regex metacharacters first, then translate the SQL wildcards.
+        # ``re.escape`` leaves ``%`` and ``_`` untouched on modern Pythons but
+        # escaped them historically, so both spellings are handled.
+        escaped = re.escape(self.pattern)
+        regex = (
+            escaped.replace(r"\%", ".*")
+            .replace("%", ".*")
+            .replace(r"\_", ".")
+            .replace("_", ".")
+        )
+        return re.compile(f"^{regex}$", re.IGNORECASE)
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        matched = bool(self._regex().match(str(value)))
+        return not matched if self.negate else matched
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negate else "LIKE"
+        escaped = self.pattern.replace("'", "''")
+        return f"{self.operand.to_sql()} {keyword} '{escaped}'"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """Membership test against a list of constant values."""
+
+    operand: Expression
+    values: tuple[Any, ...]
+    negate: bool = False
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.operand.evaluate(row)
+        contained = value in self.values
+        return not contained if self.negate else contained
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        keyword = "NOT IN" if self.negate else "IN"
+        rendered = ", ".join(Literal(value).to_sql() for value in self.values)
+        return f"{self.operand.to_sql()} {keyword} ({rendered})"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """Inclusive range test, used for time-window filters."""
+
+    operand: Expression
+    low: Any
+    high: Any
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return self.low <= value <= self.high
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.operand.to_sql()} BETWEEN {Literal(self.low).to_sql()} "
+            f"AND {Literal(self.high).to_sql()}"
+        )
+
+
+class And(Expression):
+    """Logical conjunction of sub-expressions."""
+
+    def __init__(self, operands: Iterable[Expression]) -> None:
+        self.operands: tuple[Expression, ...] = tuple(operands)
+
+    def evaluate(self, row: Row) -> bool:
+        return all(operand.evaluate(row) for operand in self.operands)
+
+    def columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for operand in self.operands:
+            referenced |= operand.columns()
+        return referenced
+
+    def flattened(self) -> list[Expression]:
+        """Conjuncts with nested ``And`` nodes expanded (for the planner)."""
+        conjuncts: list[Expression] = []
+        for operand in self.operands:
+            if isinstance(operand, And):
+                conjuncts.extend(operand.flattened())
+            else:
+                conjuncts.append(operand)
+        return conjuncts
+
+    def to_sql(self) -> str:
+        return " AND ".join(f"({operand.to_sql()})" for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return f"And({list(self.operands)!r})"
+
+
+class Or(Expression):
+    """Logical disjunction of sub-expressions."""
+
+    def __init__(self, operands: Iterable[Expression]) -> None:
+        self.operands: tuple[Expression, ...] = tuple(operands)
+
+    def evaluate(self, row: Row) -> bool:
+        return any(operand.evaluate(row) for operand in self.operands)
+
+    def columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for operand in self.operands:
+            referenced |= operand.columns()
+        return referenced
+
+    def to_sql(self) -> str:
+        return " OR ".join(f"({operand.to_sql()})" for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return f"Or({list(self.operands)!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.operand.evaluate(row)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class TrueExpression(Expression):
+    """Always-true expression, the identity element for conjunction."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+
+def conjoin(expressions: Sequence[Expression]) -> Expression:
+    """Combine expressions with AND, simplifying the empty/singleton cases."""
+    non_trivial = [e for e in expressions if not isinstance(e, TrueExpression)]
+    if not non_trivial:
+        return TrueExpression()
+    if len(non_trivial) == 1:
+        return non_trivial[0]
+    return And(non_trivial)
+
+
+def equality_lookups(expression: Expression) -> dict[str, Any]:
+    """Extract ``column = literal`` pairs usable for index lookups.
+
+    Only top-level conjuncts are considered; disjunctions are never indexable
+    as a whole.  ``LIKE`` patterns without wildcards are treated as equality.
+    """
+    lookups: dict[str, Any] = {}
+    conjuncts = expression.flattened() if isinstance(expression, And) else [expression]
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.operator == "="
+            and isinstance(conjunct.left, Column)
+            and isinstance(conjunct.right, Literal)
+        ):
+            lookups[conjunct.left.name] = conjunct.right.value
+        elif (
+            isinstance(conjunct, Comparison)
+            and conjunct.operator == "="
+            and isinstance(conjunct.right, Column)
+            and isinstance(conjunct.left, Literal)
+        ):
+            lookups[conjunct.right.name] = conjunct.left.value
+        elif (
+            isinstance(conjunct, Like)
+            and not conjunct.negate
+            and isinstance(conjunct.operand, Column)
+            and "%" not in conjunct.pattern
+            and "_" not in conjunct.pattern
+        ):
+            lookups[conjunct.operand.name] = conjunct.pattern
+        elif isinstance(conjunct, InList) and not conjunct.negate and len(conjunct.values) == 1:
+            if isinstance(conjunct.operand, Column):
+                lookups[conjunct.operand.name] = conjunct.values[0]
+    return lookups
+
+
+def membership_lookups(expression: Expression) -> dict[str, tuple[Any, ...]]:
+    """Extract ``column IN (v1, v2, ...)`` conjuncts usable for index lookups.
+
+    Multi-value memberships are returned with their full value tuple so the
+    planner can estimate their cost as ``len(values)`` index probes.
+    """
+    lookups: dict[str, tuple[Any, ...]] = {}
+    conjuncts = expression.flattened() if isinstance(expression, And) else [expression]
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, InList)
+            and not conjunct.negate
+            and isinstance(conjunct.operand, Column)
+            and conjunct.values
+        ):
+            lookups[conjunct.operand.name] = conjunct.values
+    return lookups
+
+
+def range_lookups(expression: Expression) -> dict[str, tuple[Any, Any]]:
+    """Extract per-column (low, high) bounds from range conjuncts.
+
+    ``None`` in either position means unbounded on that side.  Used by the
+    planner to drive sorted-index range scans on timestamps.
+    """
+    bounds: dict[str, tuple[Any, Any]] = {}
+
+    def update(column: str, low: Any, high: Any) -> None:
+        current_low, current_high = bounds.get(column, (None, None))
+        if low is not None and (current_low is None or low > current_low):
+            current_low = low
+        if high is not None and (current_high is None or high < current_high):
+            current_high = high
+        bounds[column] = (current_low, current_high)
+
+    conjuncts = expression.flattened() if isinstance(expression, And) else [expression]
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Between) and isinstance(conjunct.operand, Column):
+            update(conjunct.operand.name, conjunct.low, conjunct.high)
+        elif (
+            isinstance(conjunct, Comparison)
+            and isinstance(conjunct.left, Column)
+            and isinstance(conjunct.right, Literal)
+        ):
+            column, value = conjunct.left.name, conjunct.right.value
+            if conjunct.operator in (">", ">="):
+                update(column, value, None)
+            elif conjunct.operator in ("<", "<="):
+                update(column, None, value)
+    return bounds

@@ -1,0 +1,107 @@
+"""Secondary indexes for the relational engine.
+
+Two index flavours are provided, mirroring what the system relies on in
+PostgreSQL:
+
+* :class:`HashIndex` — exact-match lookups on one column (entity ids, names,
+  operation types).
+* :class:`SortedIndex` — a sorted-key index supporting range scans, used for
+  the event ``starttime``/``endtime`` columns so time-window filters do not
+  scan the whole event table.
+
+Indexes store row positions (offsets into the table's row list), not row
+copies, so they stay cheap to maintain.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from collections import defaultdict
+from typing import Any, Iterable, Iterator
+
+
+class HashIndex:
+    """Exact-match index: value → list of row positions."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Any, list[int]] = defaultdict(list)
+
+    def insert(self, value: Any, position: int) -> None:
+        """Register that ``position`` holds ``value`` in the indexed column."""
+        self._buckets[value].append(position)
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row positions whose indexed column equals ``value``."""
+        return self._buckets.get(value, [])
+
+    def lookup_many(self, values: Iterable[Any]) -> list[int]:
+        """Row positions matching any of ``values`` (deduplicated, ordered)."""
+        seen: set[int] = set()
+        positions: list[int] = []
+        for value in values:
+            for position in self._buckets.get(value, []):
+                if position not in seen:
+                    seen.add(position)
+                    positions.append(position)
+        positions.sort()
+        return positions
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def distinct_values(self) -> int:
+        """Number of distinct keys, used for selectivity estimation."""
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Sorted-key index supporting range scans on one column.
+
+    Keys are kept in a sorted list of ``(value, position)`` pairs; range scans
+    bisect into the list.  ``None`` values are not indexed (SQL NULL
+    semantics: they never match range predicates).
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._entries: list[tuple[Any, int]] = []
+
+    def insert(self, value: Any, position: int) -> None:
+        """Insert one (value, position) pair keeping the index sorted."""
+        if value is None:
+            return
+        insort(self._entries, (value, position))
+
+    def range(self, low: Any = None, high: Any = None) -> Iterator[int]:
+        """Yield row positions whose value lies in ``[low, high]`` (inclusive).
+
+        Either bound may be ``None`` for an open-ended range.
+        """
+        if low is None:
+            start = 0
+        else:
+            start = bisect_left(self._entries, (low,))
+        if high is None:
+            stop = len(self._entries)
+        else:
+            # (high, +inf) — any position sorts after (high, p) for finite p,
+            # so bisect on (high, positive infinity surrogate).
+            stop = bisect_right(self._entries, (high, float("inf")))
+        for value, position in self._entries[start:stop]:
+            yield position
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row positions whose value equals ``value`` exactly."""
+        return list(self.range(value, value))
+
+    def min_value(self) -> Any:
+        """Smallest indexed value, or ``None`` for an empty index."""
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self) -> Any:
+        """Largest indexed value, or ``None`` for an empty index."""
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,202 @@
+"""Logical query model for the relational engine.
+
+A :class:`SelectQuery` describes a select-project-join query over the audit
+tables: a set of table references with aliases, per-alias filter predicates,
+equi-join conditions between aliases, a projection list, and the usual
+``DISTINCT`` / ``ORDER BY`` / ``LIMIT`` modifiers.  The TBQL SQL compiler emits
+these objects; :mod:`repro.storage.relational.executor` plans and runs them;
+:mod:`repro.storage.relational.sqlgen` renders them as SQL text for the
+conciseness comparison against TBQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryError
+from repro.storage.relational.expression import Expression, TrueExpression
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table reference with an alias, e.g. ``events e1``."""
+
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join condition ``left_alias.left_column = right_alias.right_column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def aliases(self) -> tuple[str, str]:
+        return (self.left_alias, self.right_alias)
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One projected output column ``alias.column AS name``."""
+
+    alias: str
+    column: str
+    name: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        return self.name or f"{self.alias}.{self.column}"
+
+    def to_sql(self) -> str:
+        rendered = f"{self.alias}.{self.column}"
+        if self.name:
+            rendered += f" AS {self.name}"
+        return rendered
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """An ORDER BY term."""
+
+    alias: str
+    column: str
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        direction = "DESC" if self.descending else "ASC"
+        return f"{self.alias}.{self.column} {direction}"
+
+
+@dataclass
+class SelectQuery:
+    """A select-project-join query over the relational audit store.
+
+    Attributes:
+        tables: Table references, one per alias.
+        filters: Per-alias single-table predicates (pushed down by the planner).
+        joins: Equi-join conditions between aliases.
+        cross_filters: Predicates that span aliases and cannot be pushed down;
+            their expressions reference qualified ``alias.column`` names.
+        projection: Output columns; empty means "all columns of all aliases".
+        distinct: Whether duplicate output rows are removed.
+        order_by: Ordering terms applied to the joined result.
+        limit: Maximum number of output rows (``None`` = unlimited).
+    """
+
+    tables: list[TableRef] = field(default_factory=list)
+    filters: dict[str, Expression] = field(default_factory=dict)
+    joins: list[JoinCondition] = field(default_factory=list)
+    cross_filters: list[Expression] = field(default_factory=list)
+    projection: list[OutputColumn] = field(default_factory=list)
+    distinct: bool = False
+    order_by: list[OrderBy] = field(default_factory=list)
+    limit: int | None = None
+
+    # -- construction helpers ------------------------------------------------
+
+    def add_table(self, table: str, alias: str) -> "SelectQuery":
+        """Register a table under ``alias``.
+
+        Raises:
+            QueryError: if the alias is already used.
+        """
+        if any(ref.alias == alias for ref in self.tables):
+            raise QueryError(f"duplicate table alias {alias!r}")
+        self.tables.append(TableRef(table=table, alias=alias))
+        return self
+
+    def add_filter(self, alias: str, predicate: Expression) -> "SelectQuery":
+        """AND a single-table predicate onto ``alias``."""
+        self._require_alias(alias)
+        existing = self.filters.get(alias)
+        if existing is None or isinstance(existing, TrueExpression):
+            self.filters[alias] = predicate
+        else:
+            self.filters[alias] = existing & predicate
+        return self
+
+    def add_join(
+        self, left_alias: str, left_column: str, right_alias: str, right_column: str
+    ) -> "SelectQuery":
+        """Add an equi-join condition between two aliases."""
+        self._require_alias(left_alias)
+        self._require_alias(right_alias)
+        self.joins.append(
+            JoinCondition(
+                left_alias=left_alias,
+                left_column=left_column,
+                right_alias=right_alias,
+                right_column=right_column,
+            )
+        )
+        return self
+
+    def add_output(self, alias: str, column: str, name: str | None = None) -> "SelectQuery":
+        """Append an output column to the projection."""
+        self._require_alias(alias)
+        self.projection.append(OutputColumn(alias=alias, column=column, name=name))
+        return self
+
+    def aliases(self) -> list[str]:
+        """Every alias declared in the query, in declaration order."""
+        return [ref.alias for ref in self.tables]
+
+    def table_for_alias(self, alias: str) -> str:
+        """The table name behind ``alias``."""
+        for ref in self.tables:
+            if ref.alias == alias:
+                return ref.table
+        raise QueryError(f"unknown alias {alias!r}")
+
+    def filter_for_alias(self, alias: str) -> Expression:
+        """The pushed-down predicate for ``alias`` (TRUE when absent)."""
+        return self.filters.get(alias, TrueExpression())
+
+    def _require_alias(self, alias: str) -> None:
+        if not any(ref.alias == alias for ref in self.tables):
+            raise QueryError(f"alias {alias!r} is not declared in the FROM clause")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The result of executing a :class:`SelectQuery`.
+
+    Attributes:
+        columns: Output column names in projection order.
+        rows: Result rows as tuples aligned with ``columns``.
+    """
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """The result rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """One output column as a list.
+
+        Raises:
+            QueryError: if the column is not part of the result.
+        """
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)

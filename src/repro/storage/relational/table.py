@@ -1,0 +1,259 @@
+"""Tables for the relational engine.
+
+A :class:`Table` owns a schema (ordered column names with optional types), a
+row store (list of dicts) and any number of secondary indexes.  It exposes the
+scan/lookup primitives the query executor builds plans from: full scans,
+hash-index lookups and sorted-index range scans, each with optional residual
+filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.relational.expression import Expression
+from repro.storage.relational.index import HashIndex, SortedIndex
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """One column of a table schema.
+
+    Attributes:
+        name: Column name.
+        dtype: Expected Python type; ``None`` disables type checking.
+        nullable: Whether ``None`` values are accepted.
+    """
+
+    name: str
+    dtype: type | None = None
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered collection of column definitions."""
+
+    name: str
+    columns: tuple[ColumnDefinition, ...]
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def validate_row(self, row: Mapping[str, Any]) -> Row:
+        """Validate and normalise a row against the schema.
+
+        Unknown columns raise; missing nullable columns become ``None``.
+
+        Raises:
+            SchemaError: on unknown columns, missing non-nullable columns, or
+                type mismatches.
+        """
+        known = {column.name: column for column in self.columns}
+        unknown = set(row) - set(known)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown column(s) {sorted(unknown)}"
+            )
+        normalised: Row = {}
+        for column in self.columns:
+            if column.name in row:
+                value = row[column.name]
+            elif column.nullable:
+                value = None
+            else:
+                raise SchemaError(
+                    f"table {self.name!r}: missing value for column {column.name!r}"
+                )
+            if value is not None and column.dtype is not None and not isinstance(value, column.dtype):
+                # bool is an int subclass; allow int columns to accept bools but
+                # reject e.g. str-in-int.
+                raise SchemaError(
+                    f"table {self.name!r}: column {column.name!r} expects "
+                    f"{column.dtype.__name__}, got {type(value).__name__}"
+                )
+            normalised[column.name] = value
+        return normalised
+
+
+class Table:
+    """An in-memory table with secondary indexes.
+
+    Rows are stored append-only; the audit-log workload never updates or
+    deletes individual rows (a whole trace is reloaded instead), which is also
+    how the paper's deployment uses PostgreSQL.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+
+    # -- schema / indexes ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def create_hash_index(self, column: str) -> None:
+        """Create (and backfill) a hash index on ``column``."""
+        self._require_column(column)
+        if column in self._hash_indexes:
+            return
+        index = HashIndex(column)
+        for position, row in enumerate(self._rows):
+            index.insert(row.get(column), position)
+        self._hash_indexes[column] = index
+
+    def create_sorted_index(self, column: str) -> None:
+        """Create (and backfill) a sorted index on ``column``."""
+        self._require_column(column)
+        if column in self._sorted_indexes:
+            return
+        index = SortedIndex(column)
+        for position, row in enumerate(self._rows):
+            index.insert(row.get(column), position)
+        self._sorted_indexes[column] = index
+
+    def hash_indexed_columns(self) -> set[str]:
+        return set(self._hash_indexes)
+
+    def sorted_indexed_columns(self) -> set[str]:
+        return set(self._sorted_indexes)
+
+    def _require_column(self, column: str) -> None:
+        if column not in self.schema.column_names():
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Insert one row; returns its position."""
+        normalised = self.schema.validate_row(row)
+        position = len(self._rows)
+        self._rows.append(normalised)
+        for column, index in self._hash_indexes.items():
+            index.insert(normalised.get(column), position)
+        for column, index in self._sorted_indexes.items():
+            index.insert(normalised.get(column), position)
+        return position
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def row_at(self, position: int) -> Row:
+        """The row stored at ``position`` (no copy; callers must not mutate)."""
+        return self._rows[position]
+
+    def scan(self, predicate: Expression | None = None) -> Iterator[Row]:
+        """Full scan, optionally filtered by ``predicate``."""
+        if predicate is None:
+            yield from self._rows
+            return
+        for row in self._rows:
+            if predicate.evaluate(row):
+                yield row
+
+    def lookup_equal(
+        self, column: str, value: Any, residual: Expression | None = None
+    ) -> Iterator[Row]:
+        """Index-assisted equality lookup with optional residual filter.
+
+        Falls back to a filtered scan when no usable index exists.
+        """
+        positions: Sequence[int] | None = None
+        if column in self._hash_indexes:
+            positions = self._hash_indexes[column].lookup(value)
+        elif column in self._sorted_indexes:
+            positions = self._sorted_indexes[column].lookup(value)
+        if positions is None:
+            matcher: Callable[[Row], bool] = lambda row: row.get(column) == value
+            for row in self._rows:
+                if matcher(row) and (residual is None or residual.evaluate(row)):
+                    yield row
+            return
+        for position in positions:
+            row = self._rows[position]
+            if residual is None or residual.evaluate(row):
+                yield row
+
+    def lookup_in(
+        self, column: str, values: Iterable[Any], residual: Expression | None = None
+    ) -> Iterator[Row]:
+        """Index-assisted membership lookup with optional residual filter."""
+        value_list = list(values)
+        if column in self._hash_indexes:
+            for position in self._hash_indexes[column].lookup_many(value_list):
+                row = self._rows[position]
+                if residual is None or residual.evaluate(row):
+                    yield row
+            return
+        allowed = set(value_list)
+        for row in self._rows:
+            if row.get(column) in allowed and (residual is None or residual.evaluate(row)):
+                yield row
+
+    def lookup_range(
+        self,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        residual: Expression | None = None,
+    ) -> Iterator[Row]:
+        """Index-assisted range lookup with optional residual filter."""
+        if column in self._sorted_indexes:
+            index = self._sorted_indexes[column]
+            for position in index.range(low, high):
+                row = self._rows[position]
+                if residual is None or residual.evaluate(row):
+                    yield row
+            return
+        for row in self._rows:
+            value = row.get(column)
+            if value is None:
+                continue
+            if low is not None and value < low:
+                continue
+            if high is not None and value > high:
+                continue
+            if residual is None or residual.evaluate(row):
+                yield row
+
+    # -- statistics ------------------------------------------------------------
+
+    def estimate_selectivity(self, column: str) -> float:
+        """Rough fraction of rows matched by an equality predicate on ``column``.
+
+        Uses the hash index's distinct-value count when available, otherwise a
+        pessimistic constant.  The planner uses this to order joins.
+        """
+        if not self._rows:
+            return 0.0
+        index = self._hash_indexes.get(column)
+        if index is not None and index.distinct_values():
+            return 1.0 / index.distinct_values()
+        return 0.1
+
+    def statistics(self) -> dict[str, Any]:
+        """Summary statistics for EXPLAIN output and tests."""
+        return {
+            "name": self.name,
+            "rows": len(self._rows),
+            "hash_indexes": sorted(self._hash_indexes),
+            "sorted_indexes": sorted(self._sorted_indexes),
+        }

@@ -1,0 +1,65 @@
+"""TBQL: the Threat Behavior Query Language (parser, synthesis, execution)."""
+
+from repro.tbql.ast import (
+    AttributeComparison,
+    AttributeRelation,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    OperationExpression,
+    PathPattern,
+    Query,
+    ReturnItem,
+    TemporalRelation,
+    TimeWindow,
+)
+from repro.tbql.executor import TBQLExecutionEngine, execute_query
+from repro.tbql.formatter import format_pattern, format_query
+from repro.tbql.lexer import Lexer, TBQLToken, TokenType, tokenize
+from repro.tbql.parser import Parser, parse_query
+from repro.tbql.result import TBQLResult
+from repro.tbql.scheduler import ExecutionScheduler, ScheduledPattern, pruning_score
+from repro.tbql.semantics import AnalyzedQuery, SemanticAnalyzer, analyze
+from repro.tbql.synthesis import (
+    AUDITABLE_IOC_TYPES,
+    QuerySynthesizer,
+    SynthesisPlan,
+    SynthesisReport,
+)
+
+__all__ = [
+    "AUDITABLE_IOC_TYPES",
+    "AnalyzedQuery",
+    "AttributeComparison",
+    "AttributeRelation",
+    "EntityDeclaration",
+    "EventPattern",
+    "ExecutionScheduler",
+    "FilterExpression",
+    "FilterOperator",
+    "Lexer",
+    "OperationExpression",
+    "Parser",
+    "PathPattern",
+    "Query",
+    "QuerySynthesizer",
+    "ReturnItem",
+    "ScheduledPattern",
+    "SemanticAnalyzer",
+    "SynthesisPlan",
+    "SynthesisReport",
+    "TBQLExecutionEngine",
+    "TBQLResult",
+    "TBQLToken",
+    "TemporalRelation",
+    "TimeWindow",
+    "TokenType",
+    "analyze",
+    "execute_query",
+    "format_pattern",
+    "format_query",
+    "parse_query",
+    "pruning_score",
+    "tokenize",
+]

@@ -1,0 +1,249 @@
+"""Abstract syntax tree for the Threat Behavior Query Language (TBQL).
+
+TBQL treats system entities and system events as first-class citizens.  A
+query consists of:
+
+* one or more **event patterns** — ``⟨subject, operation, object⟩`` with
+  optional attribute filters on the entities, an ``as`` identifier for the
+  event, and an optional time window;
+* optional **event path patterns** — variable-length paths
+  ``proc p ~>(min~max)[op] file f`` whose final hop carries the operation;
+* an optional ``with`` clause stating temporal relationships (``evt1 before
+  evt2``) and explicit attribute relationships (``evt1.srcid = evt2.srcid``);
+* a ``return`` clause projecting entity attributes, with optional
+  ``distinct``.
+
+Syntactic sugar handled at the semantic level (not here): omitted attribute
+names in entity filters and return items default to the per-type default
+attribute, and reusing an entity identifier across patterns implies the
+corresponding attribute relationship.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.auditing.entities import EntityType
+
+
+class FilterOperator(enum.Enum):
+    """Comparison operators allowed in attribute filters."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    LIKE = "like"
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "FilterOperator":
+        mapping = {
+            "=": cls.EQ,
+            "==": cls.EQ,
+            "!=": cls.NEQ,
+            "<>": cls.NEQ,
+            "<": cls.LT,
+            "<=": cls.LTE,
+            ">": cls.GT,
+            ">=": cls.GTE,
+            "like": cls.LIKE,
+        }
+        return mapping[symbol.lower()]
+
+
+@dataclass(frozen=True)
+class AttributeComparison:
+    """One attribute comparison, e.g. ``exename = "%/bin/tar%"``.
+
+    ``attribute`` may be empty, meaning "the default attribute of the entity's
+    type" (resolved during semantic analysis).  String values containing ``%``
+    or ``_`` are matched with LIKE semantics regardless of the operator
+    written, mirroring the paper's examples where ``p1["%/bin/tar%"]`` is a
+    wildcard match.
+    """
+
+    attribute: str
+    operator: FilterOperator
+    value: Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class FilterExpression:
+    """A boolean combination of attribute comparisons.
+
+    ``combinator`` is ``"and"`` or ``"or"``; leaves have an empty ``children``
+    tuple and a non-None ``comparison``.
+    """
+
+    comparison: AttributeComparison | None = None
+    combinator: str = ""
+    children: tuple["FilterExpression", ...] = ()
+
+    @staticmethod
+    def leaf(comparison: AttributeComparison) -> "FilterExpression":
+        return FilterExpression(comparison=comparison)
+
+    @staticmethod
+    def combine(combinator: str, children: list["FilterExpression"]) -> "FilterExpression":
+        if len(children) == 1:
+            return children[0]
+        return FilterExpression(combinator=combinator, children=tuple(children))
+
+    def comparisons(self) -> list[AttributeComparison]:
+        """All leaf comparisons in the expression (for constraint counting)."""
+        if self.comparison is not None:
+            return [self.comparison]
+        found: list[AttributeComparison] = []
+        for child in self.children:
+            found.extend(child.comparisons())
+        return found
+
+
+@dataclass(frozen=True)
+class EntityDeclaration:
+    """An entity reference in a pattern: type, identifier, optional filter."""
+
+    entity_type: EntityType
+    identifier: str
+    filter: FilterExpression | None = None
+
+    def constraint_count(self) -> int:
+        """Number of attribute comparisons declared on this entity."""
+        return len(self.filter.comparisons()) if self.filter is not None else 0
+
+
+@dataclass(frozen=True)
+class OperationExpression:
+    """The operation part of a pattern: one or more operation names ORed."""
+
+    operations: tuple[str, ...]
+    negated: bool = False
+
+    def constraint_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """Optional time window constraining an event pattern."""
+
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """A single-hop event pattern ⟨subject, operation, object⟩ ``as`` id."""
+
+    subject: EntityDeclaration
+    operation: OperationExpression
+    obj: EntityDeclaration
+    event_id: str
+    window: TimeWindow | None = None
+
+    def constraint_count(self) -> int:
+        """Total declared constraints, used for the pruning score."""
+        count = self.subject.constraint_count() + self.obj.constraint_count()
+        count += self.operation.constraint_count()
+        if self.window is not None:
+            count += 1
+        return count
+
+    def entity_identifiers(self) -> tuple[str, str]:
+        return (self.subject.identifier, self.obj.identifier)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A variable-length event path pattern ``proc p ~>(m~n)[op] file f``."""
+
+    subject: EntityDeclaration
+    operation: OperationExpression
+    obj: EntityDeclaration
+    event_id: str
+    min_length: int = 1
+    max_length: int = 5
+    window: TimeWindow | None = None
+
+    def constraint_count(self) -> int:
+        count = self.subject.constraint_count() + self.obj.constraint_count()
+        count += self.operation.constraint_count()
+        if self.window is not None:
+            count += 1
+        return count
+
+    def entity_identifiers(self) -> tuple[str, str]:
+        return (self.subject.identifier, self.obj.identifier)
+
+
+Pattern = Union[EventPattern, PathPattern]
+
+
+@dataclass(frozen=True)
+class TemporalRelation:
+    """``left before right`` / ``left after right`` between two event ids."""
+
+    left: str
+    relation: str  # "before" or "after"
+    right: str
+
+    def normalized(self) -> "TemporalRelation":
+        """Return the relation rewritten to use ``before`` only."""
+        if self.relation == "after":
+            return TemporalRelation(left=self.right, relation="before", right=self.left)
+        return self
+
+
+@dataclass(frozen=True)
+class AttributeRelation:
+    """``evt1.srcid = evt2.srcid`` — an explicit cross-pattern attribute link."""
+
+    left_event: str
+    left_attribute: str
+    operator: FilterOperator
+    right_event: str
+    right_attribute: str
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One projection item: an entity identifier with an optional attribute."""
+
+    identifier: str
+    attribute: str = ""
+
+
+@dataclass
+class Query:
+    """A complete TBQL query."""
+
+    patterns: list[Pattern] = field(default_factory=list)
+    temporal_relations: list[TemporalRelation] = field(default_factory=list)
+    attribute_relations: list[AttributeRelation] = field(default_factory=list)
+    return_items: list[ReturnItem] = field(default_factory=list)
+    distinct: bool = False
+
+    def event_patterns(self) -> list[EventPattern]:
+        return [pattern for pattern in self.patterns if isinstance(pattern, EventPattern)]
+
+    def path_patterns(self) -> list[PathPattern]:
+        return [pattern for pattern in self.patterns if isinstance(pattern, PathPattern)]
+
+    def pattern_by_event_id(self, event_id: str) -> Pattern | None:
+        for pattern in self.patterns:
+            if pattern.event_id == event_id:
+                return pattern
+        return None
+
+    def entity_identifiers(self) -> list[str]:
+        """Every distinct entity identifier, in first-appearance order."""
+        seen: list[str] = []
+        for pattern in self.patterns:
+            for identifier in pattern.entity_identifiers():
+                if identifier not in seen:
+                    seen.append(identifier)
+        return seen

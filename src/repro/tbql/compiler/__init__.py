@@ -1,0 +1,20 @@
+"""TBQL pattern compilers: SQL (relational backend) and Cypher (graph backend)."""
+
+from repro.tbql.compiler.cypher_compiler import CompiledPathPattern, CypherCompiler
+from repro.tbql.compiler.sql_compiler import (
+    EVENT_ALIAS,
+    OBJECT_ALIAS,
+    SUBJECT_ALIAS,
+    CompiledEventPattern,
+    SQLCompiler,
+)
+
+__all__ = [
+    "CompiledEventPattern",
+    "CompiledPathPattern",
+    "CypherCompiler",
+    "EVENT_ALIAS",
+    "OBJECT_ALIAS",
+    "SQLCompiler",
+    "SUBJECT_ALIAS",
+]

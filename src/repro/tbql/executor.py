@@ -1,0 +1,356 @@
+"""The TBQL query execution engine.
+
+The engine compiles each pattern of a TBQL query into a backend data query —
+SQL-style select-project-join queries against the relational store for event
+patterns, Cypher-style path searches against the graph store for
+variable-length path patterns — and schedules their execution with the
+pruning-score policy of :mod:`repro.tbql.scheduler`.  Results of earlier,
+more selective patterns constrain later data queries by adding entity-id
+filters, and the per-pattern match sets are then joined on shared entity
+identifiers, filtered by the ``with`` clause's temporal and attribute
+relationships, and projected according to the ``return`` clause.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ExecutionError
+from repro.storage.graph.pattern import PathMatcher
+from repro.storage.loader import AuditStore
+from repro.tbql.ast import EventPattern, Pattern, PathPattern, Query, FilterOperator
+from repro.tbql.compiler.cypher_compiler import CypherCompiler
+from repro.tbql.compiler.sql_compiler import SQLCompiler
+from repro.tbql.parser import parse_query
+from repro.tbql.result import TBQLResult
+from repro.tbql.scheduler import ExecutionScheduler, ScheduledPattern
+from repro.tbql.semantics import AnalyzedQuery, SemanticAnalyzer
+
+#: A variable binding: entity identifier -> entity dict, plus one event dict
+#: per pattern stored under the key ``"@<event id>"``.
+Binding = dict[str, dict[str, Any]]
+
+
+@dataclass
+class PatternMatchSet:
+    """All matches of one pattern, as partial bindings."""
+
+    pattern: Pattern
+    bindings: list[Binding]
+    elapsed_seconds: float
+
+
+class TBQLExecutionEngine:
+    """Executes TBQL queries against an :class:`~repro.storage.loader.AuditStore`.
+
+    Args:
+        store: The combined relational + graph audit store to query.
+        backend: ``"auto"`` (event patterns on the relational backend, path
+            patterns on the graph backend — the paper's design), ``"relational"``
+            (everything on the relational backend; path patterns still fall
+            back to the graph store), or ``"graph"`` (everything on the graph
+            backend).  The non-default modes exist for the backend-comparison
+            benchmarks.
+    """
+
+    def __init__(self, store: AuditStore, backend: str = "auto") -> None:
+        if backend not in ("auto", "relational", "graph"):
+            raise ExecutionError(f"unknown backend {backend!r}")
+        self._store = store
+        self._backend = backend
+        self._sql = SQLCompiler()
+        self._cypher = CypherCompiler()
+        self._scheduler = ExecutionScheduler()
+        self._analyzer = SemanticAnalyzer()
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, query: Query | str, optimize: bool = True) -> TBQLResult:
+        """Execute a TBQL query (AST or source text).
+
+        Args:
+            query: The query to run.
+            optimize: Use pruning-score scheduling with constraint propagation
+                when True; plain declaration-order execution without
+                propagation when False (the EXP-QUERY-LAT baseline).
+        """
+        started = time.perf_counter()
+        ast = parse_query(query) if isinstance(query, str) else query
+        analyzed = self._analyzer.analyze(ast)
+        schedule = (
+            self._scheduler.schedule(ast) if optimize else self._scheduler.schedule_unoptimized(ast)
+        )
+
+        statistics: dict[str, Any] = {
+            "schedule": [step.pattern.event_id for step in schedule],
+            "pattern_matches": {},
+            "pattern_seconds": {},
+            "optimized": optimize,
+        }
+
+        bindings = self._execute_schedule(schedule, analyzed, optimize, statistics)
+        bindings = self._apply_temporal_relations(ast, bindings)
+        bindings = self._apply_attribute_relations(ast, bindings)
+        result = self._project(ast, analyzed, bindings)
+        result.statistics = statistics
+        result.statistics["total_seconds"] = time.perf_counter() - started
+        result.statistics["result_rows"] = len(result.rows)
+        return result
+
+    # -- schedule execution -------------------------------------------------------
+
+    def _execute_schedule(
+        self,
+        schedule: list[ScheduledPattern],
+        analyzed: AnalyzedQuery,
+        optimize: bool,
+        statistics: dict[str, Any],
+    ) -> list[Binding]:
+        combined: list[Binding] | None = None
+        for step in schedule:
+            constraints = {}
+            if optimize and combined is not None:
+                constraints = self._collect_constraints(step, combined)
+            match_set = self._execute_pattern(step.pattern, constraints)
+            statistics["pattern_matches"][step.pattern.event_id] = len(match_set.bindings)
+            statistics["pattern_seconds"][step.pattern.event_id] = match_set.elapsed_seconds
+            if combined is None:
+                combined = match_set.bindings
+            else:
+                combined = self._join(combined, match_set.bindings)
+            if not combined:
+                # Early termination: a conjunctive query with an empty pattern
+                # result can never produce rows.
+                return []
+        return combined or []
+
+    def _collect_constraints(
+        self, step: ScheduledPattern, bindings: list[Binding]
+    ) -> dict[str, set[int]]:
+        constraints: dict[str, set[int]] = {}
+        for identifier in step.constrained_identifiers:
+            ids = {
+                int(binding[identifier]["id"])
+                for binding in bindings
+                if identifier in binding
+            }
+            if ids:
+                constraints[identifier] = ids
+        return constraints
+
+    # -- per-pattern execution -------------------------------------------------------
+
+    def _execute_pattern(
+        self, pattern: Pattern, constraints: dict[str, set[int]]
+    ) -> PatternMatchSet:
+        started = time.perf_counter()
+        subject_ids = constraints.get(pattern.subject.identifier)
+        object_ids = constraints.get(pattern.obj.identifier)
+        if isinstance(pattern, PathPattern) or self._backend == "graph":
+            bindings = self._execute_on_graph(pattern, subject_ids, object_ids)
+        else:
+            bindings = self._execute_on_relational(pattern, subject_ids, object_ids)
+        return PatternMatchSet(
+            pattern=pattern, bindings=bindings, elapsed_seconds=time.perf_counter() - started
+        )
+
+    def _execute_on_relational(
+        self,
+        pattern: EventPattern,
+        subject_ids: Iterable[int] | None,
+        object_ids: Iterable[int] | None,
+    ) -> list[Binding]:
+        compiled = self._sql.compile(
+            pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
+        )
+        result = self._store.relational.execute(compiled.query)
+        bindings: list[Binding] = []
+        for row in result.as_dicts():
+            subject = {
+                key.split(".", 1)[1]: value
+                for key, value in row.items()
+                if key.startswith("subject.")
+            }
+            obj = {
+                key.split(".", 1)[1]: value
+                for key, value in row.items()
+                if key.startswith("object.")
+            }
+            event = {
+                key.split(".", 1)[1]: value
+                for key, value in row.items()
+                if key.startswith("event.")
+            }
+            event["edge_ids"] = (event["id"],)
+            bindings.append(
+                {
+                    pattern.subject.identifier: subject,
+                    pattern.obj.identifier: obj,
+                    f"@{pattern.event_id}": event,
+                }
+            )
+        return bindings
+
+    def _execute_on_graph(
+        self,
+        pattern: Pattern,
+        subject_ids: Iterable[int] | None,
+        object_ids: Iterable[int] | None,
+    ) -> list[Binding]:
+        if isinstance(pattern, PathPattern):
+            compiled = self._cypher.compile_path(
+                pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
+            )
+        else:
+            compiled = self._cypher.compile_event(
+                pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
+            )
+        matcher = PathMatcher(self._store.graph)
+        bindings: list[Binding] = []
+        for path in matcher.match(compiled.graph_pattern):
+            subject_node, object_node = path.start, path.end
+            subject = dict(subject_node.properties)
+            subject["id"] = subject_node.node_id
+            subject["type"] = subject_node.label
+            obj = dict(object_node.properties)
+            obj["id"] = object_node.node_id
+            obj["type"] = object_node.label
+            # A path pattern's event identifier refers to the *final hop* (the
+            # declared operation); temporal relations in the with clause are
+            # evaluated against that hop's time window.
+            final_edge = path.edges[-1]
+            event = {
+                "id": final_edge.edge_id,
+                "srcid": path.nodes[-2].node_id,
+                "dstid": object_node.node_id,
+                "optype": final_edge.relationship,
+                "starttime": final_edge.start_time,
+                "endtime": final_edge.end_time,
+                "amount": final_edge.get("amount", 0),
+                "edge_ids": path.edge_ids(),
+            }
+            bindings.append(
+                {
+                    pattern.subject.identifier: subject,
+                    pattern.obj.identifier: obj,
+                    f"@{pattern.event_id}": event,
+                }
+            )
+        return bindings
+
+    # -- joining -------------------------------------------------------------------
+
+    @staticmethod
+    def _join(left: list[Binding], right: list[Binding]) -> list[Binding]:
+        if not left or not right:
+            return []
+        shared = [
+            key
+            for key in left[0]
+            if not key.startswith("@") and right and key in right[0]
+        ]
+
+        def key_of(binding: Binding) -> tuple[Any, ...]:
+            return tuple(binding[name]["id"] for name in shared)
+
+        buckets: dict[tuple[Any, ...], list[Binding]] = {}
+        for binding in left:
+            buckets.setdefault(key_of(binding), []).append(binding)
+        joined: list[Binding] = []
+        for binding in right:
+            for match in buckets.get(key_of(binding), []) if shared else left:
+                joined.append({**match, **binding})
+        return joined
+
+    # -- with clause --------------------------------------------------------------------
+
+    @staticmethod
+    def _apply_temporal_relations(query: Query, bindings: list[Binding]) -> list[Binding]:
+        if not query.temporal_relations or not bindings:
+            return bindings
+        normalized = [relation.normalized() for relation in query.temporal_relations]
+
+        def satisfies(binding: Binding) -> bool:
+            for relation in normalized:
+                earlier = binding.get(f"@{relation.left}")
+                later = binding.get(f"@{relation.right}")
+                if earlier is None or later is None:
+                    raise ExecutionError(
+                        f"temporal relation references unknown event {relation.left!r} or {relation.right!r}"
+                    )
+                if not earlier["endtime"] <= later["starttime"]:
+                    return False
+            return True
+
+        return [binding for binding in bindings if satisfies(binding)]
+
+    @staticmethod
+    def _apply_attribute_relations(query: Query, bindings: list[Binding]) -> list[Binding]:
+        if not query.attribute_relations or not bindings:
+            return bindings
+
+        comparators = {
+            FilterOperator.EQ: lambda a, b: a == b,
+            FilterOperator.NEQ: lambda a, b: a != b,
+            FilterOperator.LT: lambda a, b: a < b,
+            FilterOperator.LTE: lambda a, b: a <= b,
+            FilterOperator.GT: lambda a, b: a > b,
+            FilterOperator.GTE: lambda a, b: a >= b,
+        }
+
+        def satisfies(binding: Binding) -> bool:
+            for relation in query.attribute_relations:
+                left = binding.get(f"@{relation.left_event}")
+                right = binding.get(f"@{relation.right_event}")
+                if left is None or right is None:
+                    raise ExecutionError(
+                        "attribute relation references unknown event "
+                        f"{relation.left_event!r} or {relation.right_event!r}"
+                    )
+                comparator = comparators[relation.operator]
+                if not comparator(left.get(relation.left_attribute), right.get(relation.right_attribute)):
+                    return False
+            return True
+
+        return [binding for binding in bindings if satisfies(binding)]
+
+    # -- projection --------------------------------------------------------------------
+
+    @staticmethod
+    def _project(query: Query, analyzed: AnalyzedQuery, bindings: list[Binding]) -> TBQLResult:
+        columns = tuple(f"{item.identifier}.{item.attribute}" for item in query.return_items)
+        rows: list[tuple[Any, ...]] = []
+        for binding in bindings:
+            row = []
+            for item in query.return_items:
+                entity = binding.get(item.identifier, {})
+                row.append(entity.get(item.attribute))
+            rows.append(tuple(row))
+        if query.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[tuple[Any, ...]] = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+
+        matched: dict[str, set[int]] = {}
+        for binding in bindings:
+            for key, value in binding.items():
+                if key.startswith("@"):
+                    matched.setdefault(key[1:], set()).update(value.get("edge_ids", ()))
+
+        return TBQLResult(
+            columns=columns,
+            rows=tuple(rows),
+            matched_event_ids=matched,
+            bindings=bindings,
+        )
+
+
+def execute_query(store: AuditStore, query: Query | str, optimize: bool = True) -> TBQLResult:
+    """Module-level convenience wrapper around :class:`TBQLExecutionEngine`."""
+    return TBQLExecutionEngine(store).execute(query, optimize=optimize)

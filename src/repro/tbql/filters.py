@@ -1,0 +1,97 @@
+"""Bridging TBQL attribute filters to backend predicate representations.
+
+TBQL entity filters are small boolean expressions over entity attributes with
+SQL-LIKE wildcard semantics for string literals that contain ``%`` or ``_``.
+The SQL compiler needs them as relational
+:class:`~repro.storage.relational.expression.Expression` objects; the Cypher
+compiler needs them as Python predicates over a node's property dict.  Both
+conversions live here so the semantics stay identical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.auditing.entities import DEFAULT_ATTRIBUTE, EntityType
+from repro.storage.relational.expression import (
+    Column,
+    Comparison,
+    Expression,
+    Like,
+    Literal,
+    TrueExpression,
+    conjoin,
+)
+from repro.storage.relational.expression import And as RelationalAnd
+from repro.storage.relational.expression import Or as RelationalOr
+from repro.tbql.ast import AttributeComparison, FilterExpression, FilterOperator
+
+
+def _is_wildcard(value: Any) -> bool:
+    return isinstance(value, str) and ("%" in value or "_" in value)
+
+
+def comparison_to_expression(
+    comparison: AttributeComparison, entity_type: EntityType
+) -> Expression:
+    """Convert one TBQL attribute comparison to a relational expression."""
+    attribute = comparison.attribute or DEFAULT_ATTRIBUTE[entity_type]
+    column = Column(attribute)
+    value = comparison.value
+    if comparison.operator is FilterOperator.LIKE or _is_wildcard(value):
+        negate = comparison.operator is FilterOperator.NEQ
+        return Like(operand=column, pattern=str(value), negate=negate)
+    operator = comparison.operator.value
+    return Comparison(left=column, operator=operator, right=Literal(value))
+
+
+def filter_to_expression(
+    expression: FilterExpression | None, entity_type: EntityType
+) -> Expression:
+    """Convert a TBQL filter expression tree to a relational expression.
+
+    ``None`` (no filter) converts to the always-true expression.
+    """
+    if expression is None:
+        return TrueExpression()
+    if expression.comparison is not None:
+        return comparison_to_expression(expression.comparison, entity_type)
+    children = [filter_to_expression(child, entity_type) for child in expression.children]
+    if expression.combinator == "or":
+        return RelationalOr(children)
+    return conjoin(children) if len(children) != 1 else children[0]
+
+
+def filter_to_predicate(
+    expression: FilterExpression | None, entity_type: EntityType
+) -> Callable[[Mapping[str, Any]], bool]:
+    """Convert a TBQL filter to a predicate over a property mapping.
+
+    Used by the Cypher/graph compiler, whose node patterns take Python
+    callables instead of relational expressions.
+    """
+    relational = filter_to_expression(expression, entity_type)
+
+    def predicate(properties: Mapping[str, Any]) -> bool:
+        try:
+            return bool(relational.evaluate(properties))
+        except Exception:
+            # Missing attribute on the node: the filter cannot match.
+            return False
+
+    return predicate
+
+
+def constraint_count(expression: FilterExpression | None) -> int:
+    """Number of leaf comparisons in a filter (used by the pruning score)."""
+    if expression is None:
+        return 0
+    return len(expression.comparisons())
+
+
+__all__ = [
+    "comparison_to_expression",
+    "constraint_count",
+    "filter_to_expression",
+    "filter_to_predicate",
+]

@@ -1,0 +1,121 @@
+"""Rendering TBQL query ASTs back into TBQL source text.
+
+Synthesized queries are shown to the analyst (and measured in the
+query-conciseness experiment), so the formatter produces text in the paper's
+style::
+
+    proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+    ...
+    with evt1 before evt2, evt2 before evt3
+    return distinct p1, f1, ...
+
+The output round-trips: ``parse_query(format_query(q))`` yields an equivalent
+query, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.auditing.entities import EntityType
+from repro.tbql.ast import (
+    AttributeComparison,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    PathPattern,
+    Query,
+)
+
+_TYPE_KEYWORDS = {
+    EntityType.PROCESS: "proc",
+    EntityType.FILE: "file",
+    EntityType.NETWORK: "ip",
+}
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    return str(value)
+
+
+def _format_comparison(comparison: AttributeComparison) -> str:
+    value = _format_value(comparison.value)
+    if not comparison.attribute and comparison.operator in (FilterOperator.EQ, FilterOperator.LIKE):
+        # Default-attribute shorthand: just the literal, as in p1["%/bin/tar%"].
+        return value
+    operator = "=" if comparison.operator is FilterOperator.LIKE else comparison.operator.value
+    attribute = comparison.attribute
+    if not attribute:
+        return f"{operator} {value}" if operator != "=" else value
+    return f"{attribute} {operator} {value}"
+
+
+def _format_filter(expression: FilterExpression) -> str:
+    if expression.comparison is not None:
+        return _format_comparison(expression.comparison)
+    connector = f" {expression.combinator} "
+    return connector.join(_format_filter(child) for child in expression.children)
+
+
+def _format_entity(declaration: EntityDeclaration) -> str:
+    rendered = f"{_TYPE_KEYWORDS[declaration.entity_type]} {declaration.identifier}"
+    if declaration.filter is not None:
+        rendered += f"[{_format_filter(declaration.filter)}]"
+    return rendered
+
+
+def _format_operation(pattern: EventPattern | PathPattern) -> str:
+    names = " or ".join(pattern.operation.operations)
+    if pattern.operation.negated:
+        names = f"not {names}"
+    return names
+
+
+def format_pattern(pattern: EventPattern | PathPattern) -> str:
+    """Render one pattern as a TBQL statement line (without trailing newline)."""
+    subject = _format_entity(pattern.subject)
+    obj = _format_entity(pattern.obj)
+    if isinstance(pattern, PathPattern):
+        length = ""
+        if (pattern.min_length, pattern.max_length) != (1, 5):
+            length = f"({pattern.min_length}~{pattern.max_length})"
+        core = f"{subject} ~>{length}[{_format_operation(pattern)}] {obj}"
+    else:
+        core = f"{subject} {_format_operation(pattern)} {obj}"
+    line = f"{core} as {pattern.event_id}"
+    if pattern.window is not None:
+        line += f" during ({pattern.window.start}, {pattern.window.end})"
+    return line
+
+
+def format_query(query: Query) -> str:
+    """Render a full query as TBQL source text."""
+    lines = [format_pattern(pattern) for pattern in query.patterns]
+
+    relations: list[str] = []
+    relations.extend(
+        f"{relation.left} {relation.relation} {relation.right}"
+        for relation in query.temporal_relations
+    )
+    relations.extend(
+        f"{relation.left_event}.{relation.left_attribute} {relation.operator.value} "
+        f"{relation.right_event}.{relation.right_attribute}"
+        for relation in query.attribute_relations
+    )
+    if relations:
+        lines.append("with " + ", ".join(relations))
+
+    items = ", ".join(
+        item.identifier if not item.attribute else f"{item.identifier}.{item.attribute}"
+        for item in query.return_items
+    )
+    keyword = "return distinct" if query.distinct else "return"
+    lines.append(f"{keyword} {items}")
+    return "\n".join(lines)
+
+
+def count_query_lines(tbql_text: str) -> int:
+    """Count non-blank lines of a rendered TBQL query (for EXP-SYNTH)."""
+    return sum(1 for line in tbql_text.splitlines() if line.strip())

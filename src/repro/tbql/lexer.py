@@ -1,0 +1,212 @@
+"""Lexer for TBQL (hand-written; ANTLR 4 substitute).
+
+The token stream feeds the recursive-descent parser in
+:mod:`repro.tbql.parser`.  Keywords are case-insensitive; identifiers,
+strings and numbers follow conventional rules.  Every token carries its line
+and column for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TBQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    """TBQL token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    LBRACKET = "lbracket"
+    RBRACKET = "rbracket"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    DOT = "dot"
+    ARROW = "arrow"  # ~>
+    TILDE = "tilde"
+    EOF = "eof"
+
+
+#: Reserved keywords (lowercased).
+KEYWORDS = frozenset(
+    {
+        "proc",
+        "file",
+        "ip",
+        "as",
+        "with",
+        "return",
+        "distinct",
+        "before",
+        "after",
+        "and",
+        "or",
+        "not",
+        "like",
+        "during",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "!=", "<>", "==", "&&", "||", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class TBQLToken:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+class Lexer:
+    """Converts TBQL source text into a token list."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._position = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[TBQLToken]:
+        """Tokenise the whole source, appending a trailing EOF token.
+
+        Raises:
+            TBQLSyntaxError: on unterminated strings or unexpected characters.
+        """
+        tokens: list[TBQLToken] = []
+        while self._position < len(self._source):
+            char = self._source[self._position]
+            if char in " \t\r":
+                self._advance(1)
+                continue
+            if char == "\n":
+                self._position += 1
+                self._line += 1
+                self._column = 1
+                continue
+            if char == "#" or self._source.startswith("//", self._position):
+                self._skip_comment()
+                continue
+            if char in "\"'":
+                tokens.append(self._read_string(char))
+                continue
+            if char.isdigit():
+                tokens.append(self._read_number())
+                continue
+            if char.isalpha() or char == "_":
+                tokens.append(self._read_word())
+                continue
+            if self._source.startswith("~>", self._position):
+                tokens.append(self._make(TokenType.ARROW, "~>"))
+                self._advance(2)
+                continue
+            if char == "~":
+                tokens.append(self._make(TokenType.TILDE, "~"))
+                self._advance(1)
+                continue
+            matched_operator = next(
+                (op for op in _OPERATORS if self._source.startswith(op, self._position)),
+                None,
+            )
+            if matched_operator is not None:
+                tokens.append(self._make(TokenType.OPERATOR, matched_operator))
+                self._advance(len(matched_operator))
+                continue
+            single = {
+                "[": TokenType.LBRACKET,
+                "]": TokenType.RBRACKET,
+                "(": TokenType.LPAREN,
+                ")": TokenType.RPAREN,
+                ",": TokenType.COMMA,
+                ".": TokenType.DOT,
+            }.get(char)
+            if single is not None:
+                tokens.append(self._make(single, char))
+                self._advance(1)
+                continue
+            raise TBQLSyntaxError(
+                f"unexpected character {char!r}", line=self._line, column=self._column
+            )
+        tokens.append(self._make(TokenType.EOF, ""))
+        return tokens
+
+    # -- internals -------------------------------------------------------------
+
+    def _make(self, token_type: TokenType, value: str) -> TBQLToken:
+        return TBQLToken(type=token_type, value=value, line=self._line, column=self._column)
+
+    def _advance(self, count: int) -> None:
+        self._position += count
+        self._column += count
+
+    def _skip_comment(self) -> None:
+        while self._position < len(self._source) and self._source[self._position] != "\n":
+            self._position += 1
+
+    def _read_string(self, quote: str) -> TBQLToken:
+        start_line, start_column = self._line, self._column
+        self._advance(1)
+        value: list[str] = []
+        while self._position < len(self._source):
+            char = self._source[self._position]
+            if char == "\\" and self._position + 1 < len(self._source):
+                value.append(self._source[self._position + 1])
+                self._advance(2)
+                continue
+            if char == quote:
+                self._advance(1)
+                return TBQLToken(
+                    type=TokenType.STRING,
+                    value="".join(value),
+                    line=start_line,
+                    column=start_column,
+                )
+            if char == "\n":
+                break
+            value.append(char)
+            self._advance(1)
+        raise TBQLSyntaxError("unterminated string literal", line=start_line, column=start_column)
+
+    def _read_number(self) -> TBQLToken:
+        start_line, start_column = self._line, self._column
+        start = self._position
+        while self._position < len(self._source) and (
+            self._source[self._position].isdigit() or self._source[self._position] == "."
+        ):
+            self._advance(1)
+        text = self._source[start : self._position]
+        return TBQLToken(type=TokenType.NUMBER, value=text, line=start_line, column=start_column)
+
+    def _read_word(self) -> TBQLToken:
+        start_line, start_column = self._line, self._column
+        start = self._position
+        while self._position < len(self._source) and (
+            self._source[self._position].isalnum() or self._source[self._position] == "_"
+        ):
+            self._advance(1)
+        word = self._source[start : self._position]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return TBQLToken(
+                type=TokenType.KEYWORD, value=lowered, line=start_line, column=start_column
+            )
+        return TBQLToken(
+            type=TokenType.IDENTIFIER, value=word, line=start_line, column=start_column
+        )
+
+
+def tokenize(source: str) -> list[TBQLToken]:
+    """Module-level convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,334 @@
+"""Recursive-descent parser for TBQL (ANTLR 4 substitute).
+
+Grammar (informal EBNF)::
+
+    query            := pattern+ [with_clause] return_clause
+    pattern          := event_pattern | path_pattern
+    event_pattern    := entity operation entity ["as" IDENT] [window]
+    path_pattern     := entity "~>" ["(" NUMBER "~" NUMBER ")"]
+                        "[" operation_names "]" entity ["as" IDENT] [window]
+    entity           := ("proc" | "file" | "ip") IDENT ["[" filter "]"]
+    operation        := ["not"] IDENT (("or" | "||") IDENT)*
+    operation_names  := ["not"] IDENT (("or" | "||") IDENT)*
+    filter           := condition (("and" | "&&" | "or" | "||") condition)*
+    condition        := [IDENT cmp] (STRING | NUMBER)
+    cmp              := "=" | "!=" | "<" | "<=" | ">" | ">=" | "like"
+    window           := "during" "(" NUMBER "," NUMBER ")"
+    with_clause      := "with" relation ("," relation)*
+    relation         := IDENT ("before" | "after") IDENT
+                      | IDENT "." IDENT cmp IDENT "." IDENT
+    return_clause    := "return" ["distinct"] item ("," item)*
+    item             := IDENT ["." IDENT]
+
+Event identifiers default to ``evt<N>`` when the ``as`` clause is omitted.
+"""
+
+from __future__ import annotations
+
+from repro.auditing.entities import EntityType
+from repro.errors import TBQLSyntaxError
+from repro.tbql.ast import (
+    AttributeComparison,
+    AttributeRelation,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    OperationExpression,
+    PathPattern,
+    Query,
+    ReturnItem,
+    TemporalRelation,
+    TimeWindow,
+)
+from repro.tbql.lexer import Lexer, TBQLToken, TokenType
+
+_ENTITY_KEYWORDS = {"proc": EntityType.PROCESS, "file": EntityType.FILE, "ip": EntityType.NETWORK}
+_COMPARISON_SYMBOLS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parses TBQL source text into a :class:`~repro.tbql.ast.Query`."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = Lexer(source).tokenize()
+        self._position = 0
+        self._auto_event_counter = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def parse(self) -> Query:
+        """Parse a complete query.
+
+        Raises:
+            TBQLSyntaxError: on any grammar violation.
+        """
+        query = Query()
+        while not self._check_keyword("with") and not self._check_keyword("return"):
+            if self._check(TokenType.EOF):
+                raise self._error("expected a pattern, 'with' clause or 'return' clause")
+            query.patterns.append(self._parse_pattern())
+        if self._check_keyword("with"):
+            self._advance()
+            self._parse_with_clause(query)
+        self._expect_keyword("return")
+        self._parse_return_clause(query)
+        if not self._check(TokenType.EOF):
+            raise self._error("unexpected trailing input after the return clause")
+        if not query.patterns:
+            raise self._error("query declares no event patterns")
+        return query
+
+    # -- patterns ---------------------------------------------------------------
+
+    def _parse_pattern(self):
+        subject = self._parse_entity()
+        if self._check(TokenType.ARROW):
+            return self._parse_path_pattern(subject)
+        operation = self._parse_operation()
+        obj = self._parse_entity()
+        event_id = self._parse_event_alias()
+        window = self._parse_window()
+        return EventPattern(
+            subject=subject, operation=operation, obj=obj, event_id=event_id, window=window
+        )
+
+    def _parse_path_pattern(self, subject: EntityDeclaration) -> PathPattern:
+        self._expect(TokenType.ARROW)
+        min_length, max_length = 1, 5
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            min_length = self._parse_integer("path minimum length")
+            self._expect(TokenType.TILDE)
+            max_length = self._parse_integer("path maximum length")
+            self._expect(TokenType.RPAREN)
+            if min_length < 1 or max_length < min_length:
+                raise self._error(
+                    f"invalid path length range ({min_length}~{max_length})"
+                )
+        self._expect(TokenType.LBRACKET)
+        operation = self._parse_operation(stop_at_bracket=True)
+        self._expect(TokenType.RBRACKET)
+        obj = self._parse_entity()
+        event_id = self._parse_event_alias()
+        window = self._parse_window()
+        return PathPattern(
+            subject=subject,
+            operation=operation,
+            obj=obj,
+            event_id=event_id,
+            min_length=min_length,
+            max_length=max_length,
+            window=window,
+        )
+
+    def _parse_event_alias(self) -> str:
+        if self._check_keyword("as"):
+            self._advance()
+            token = self._expect(TokenType.IDENTIFIER)
+            return token.value
+        self._auto_event_counter += 1
+        return f"_evt{self._auto_event_counter}"
+
+    def _parse_window(self) -> TimeWindow | None:
+        if not self._check_keyword("during"):
+            return None
+        self._advance()
+        self._expect(TokenType.LPAREN)
+        start = self._parse_integer("window start")
+        self._expect(TokenType.COMMA)
+        end = self._parse_integer("window end")
+        self._expect(TokenType.RPAREN)
+        if end < start:
+            raise self._error("time window end precedes its start")
+        return TimeWindow(start=start, end=end)
+
+    # -- entities ----------------------------------------------------------------
+
+    def _parse_entity(self) -> EntityDeclaration:
+        token = self._peek()
+        if token.type is not TokenType.KEYWORD or token.value not in _ENTITY_KEYWORDS:
+            raise self._error("expected an entity type ('proc', 'file' or 'ip')")
+        self._advance()
+        entity_type = _ENTITY_KEYWORDS[token.value]
+        identifier = self._expect(TokenType.IDENTIFIER).value
+        filter_expression: FilterExpression | None = None
+        if self._check(TokenType.LBRACKET):
+            self._advance()
+            filter_expression = self._parse_filter()
+            self._expect(TokenType.RBRACKET)
+        return EntityDeclaration(
+            entity_type=entity_type, identifier=identifier, filter=filter_expression
+        )
+
+    def _parse_filter(self) -> FilterExpression:
+        children = [self._parse_condition()]
+        combinator = ""
+        while True:
+            token = self._peek()
+            if token.is_keyword("and") or (token.type is TokenType.OPERATOR and token.value == "&&"):
+                next_combinator = "and"
+            elif token.is_keyword("or") or (token.type is TokenType.OPERATOR and token.value == "||"):
+                next_combinator = "or"
+            else:
+                break
+            if combinator and combinator != next_combinator:
+                raise self._error(
+                    "mixing 'and' and 'or' in one filter requires parentheses "
+                    "(not supported); split the filter instead"
+                )
+            combinator = next_combinator
+            self._advance()
+            children.append(self._parse_condition())
+        if len(children) == 1:
+            return children[0]
+        return FilterExpression.combine(combinator, children)
+
+    def _parse_condition(self) -> FilterExpression:
+        token = self._peek()
+        attribute = ""
+        operator = FilterOperator.EQ
+        if token.type is TokenType.IDENTIFIER:
+            lookahead = self._peek(1)
+            if (lookahead.type is TokenType.OPERATOR and lookahead.value in _COMPARISON_SYMBOLS) or lookahead.is_keyword("like"):
+                attribute = token.value
+                self._advance()
+                operator_token = self._advance()
+                operator = FilterOperator.from_symbol(operator_token.value)
+        value_token = self._peek()
+        if value_token.type is TokenType.STRING:
+            self._advance()
+            value: str | int | float = value_token.value
+        elif value_token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(value_token.value) if "." in value_token.value else int(value_token.value)
+        else:
+            raise self._error("expected a string or number literal in the attribute filter")
+        return FilterExpression.leaf(
+            AttributeComparison(attribute=attribute, operator=operator, value=value)
+        )
+
+    # -- operations ---------------------------------------------------------------
+
+    def _parse_operation(self, stop_at_bracket: bool = False) -> OperationExpression:
+        negated = False
+        if self._check_keyword("not"):
+            negated = True
+            self._advance()
+        names = [self._parse_operation_name()]
+        while True:
+            token = self._peek()
+            if token.is_keyword("or") or (token.type is TokenType.OPERATOR and token.value == "||"):
+                self._advance()
+                names.append(self._parse_operation_name())
+                continue
+            break
+        if stop_at_bracket and not self._check(TokenType.RBRACKET):
+            raise self._error("expected ']' to close the path operation")
+        return OperationExpression(operations=tuple(names), negated=negated)
+
+    def _parse_operation_name(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value.lower()
+        raise self._error("expected an operation name")
+
+    # -- with / return ------------------------------------------------------------
+
+    def _parse_with_clause(self, query: Query) -> None:
+        while True:
+            first = self._expect(TokenType.IDENTIFIER).value
+            if self._check(TokenType.DOT):
+                self._advance()
+                left_attribute = self._expect(TokenType.IDENTIFIER).value
+                operator_token = self._advance()
+                if operator_token.type is not TokenType.OPERATOR or operator_token.value not in _COMPARISON_SYMBOLS:
+                    raise self._error("expected a comparison operator in the attribute relationship")
+                right_event = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.DOT)
+                right_attribute = self._expect(TokenType.IDENTIFIER).value
+                query.attribute_relations.append(
+                    AttributeRelation(
+                        left_event=first,
+                        left_attribute=left_attribute,
+                        operator=FilterOperator.from_symbol(operator_token.value),
+                        right_event=right_event,
+                        right_attribute=right_attribute,
+                    )
+                )
+            else:
+                relation_token = self._peek()
+                if relation_token.is_keyword("before") or relation_token.is_keyword("after"):
+                    self._advance()
+                    second = self._expect(TokenType.IDENTIFIER).value
+                    query.temporal_relations.append(
+                        TemporalRelation(left=first, relation=relation_token.value, right=second)
+                    )
+                else:
+                    raise self._error("expected 'before', 'after' or '.attr' in the with clause")
+            if self._check(TokenType.COMMA):
+                self._advance()
+                continue
+            break
+
+    def _parse_return_clause(self, query: Query) -> None:
+        if self._check_keyword("distinct"):
+            query.distinct = True
+            self._advance()
+        while True:
+            identifier = self._expect(TokenType.IDENTIFIER).value
+            attribute = ""
+            if self._check(TokenType.DOT):
+                self._advance()
+                attribute = self._expect(TokenType.IDENTIFIER).value
+            query.return_items.append(ReturnItem(identifier=identifier, attribute=attribute))
+            if self._check(TokenType.COMMA):
+                self._advance()
+                continue
+            break
+
+    # -- token utilities ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> TBQLToken:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> TBQLToken:
+        token = self._tokens[self._position]
+        if self._position < len(self._tokens) - 1:
+            self._position += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _expect(self, token_type: TokenType) -> TBQLToken:
+        token = self._peek()
+        if token.type is not token_type:
+            raise self._error(f"expected {token_type.value}, found {token.value!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> TBQLToken:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}, found {token.value!r}")
+        return self._advance()
+
+    def _parse_integer(self, what: str) -> int:
+        token = self._expect(TokenType.NUMBER)
+        if "." in token.value:
+            raise self._error(f"{what} must be an integer")
+        return int(token.value)
+
+    def _error(self, message: str) -> TBQLSyntaxError:
+        token = self._peek()
+        return TBQLSyntaxError(message, line=token.line, column=token.column)
+
+
+def parse_query(source: str) -> Query:
+    """Parse TBQL source text into a query AST."""
+    return Parser(source).parse()

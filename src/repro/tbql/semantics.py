@@ -1,0 +1,251 @@
+"""Semantic analysis of TBQL queries.
+
+The analyzer validates a parsed :class:`~repro.tbql.ast.Query` and resolves
+the language's syntactic sugar:
+
+* **default attribute inference** — an entity filter condition or return item
+  that omits the attribute name receives the type's default attribute
+  (``name`` for files, ``exename`` for processes, ``dstip`` for network
+  connections);
+* **implicit attribute relationships** — reusing an entity identifier across
+  patterns means the referred entities are the same, which the analyzer
+  records as equality relationships on the corresponding event attributes
+  (``evt1.srcid = evt2.srcid`` in the paper's example);
+* validation — duplicate event identifiers, inconsistent entity types for a
+  reused identifier, operations invalid for the object entity type, unknown
+  attributes, ``with``/``return`` references to undeclared identifiers, and
+  wildcard patterns are all checked here, producing
+  :class:`~repro.errors.TBQLSemanticError` with a precise message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auditing.entities import DEFAULT_ATTRIBUTE, ENTITY_ATTRIBUTES, EntityType
+from repro.auditing.events import OPERATIONS_BY_EVENT_TYPE, Operation, event_type_for_object
+from repro.errors import TBQLSemanticError
+from repro.tbql.ast import (
+    AttributeComparison,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    PathPattern,
+    Query,
+    ReturnItem,
+)
+
+#: Event-table attributes addressable in explicit attribute relationships.
+EVENT_ATTRIBUTES = ("id", "srcid", "dstid", "optype", "starttime", "endtime", "amount")
+
+
+@dataclass
+class AnalyzedEntity:
+    """Resolved information about one entity identifier."""
+
+    identifier: str
+    entity_type: EntityType
+    patterns: list[str] = field(default_factory=list)  # event ids using it
+
+
+@dataclass
+class AnalyzedQuery:
+    """A validated query plus the information resolved during analysis."""
+
+    query: Query
+    entities: dict[str, AnalyzedEntity] = field(default_factory=dict)
+    #: event id -> (subject identifier, object identifier)
+    pattern_entities: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: pairs of (event id, event id, shared role description) implied by reuse
+    implied_joins: list[tuple[str, str, str, str, str]] = field(default_factory=list)
+
+    def entity_type_of(self, identifier: str) -> EntityType:
+        return self.entities[identifier].entity_type
+
+    def default_attribute_of(self, identifier: str) -> str:
+        return DEFAULT_ATTRIBUTE[self.entity_type_of(identifier)]
+
+
+class SemanticAnalyzer:
+    """Validates a query and resolves defaults and implicit relationships."""
+
+    def analyze(self, query: Query) -> AnalyzedQuery:
+        """Analyze ``query``.
+
+        Returns:
+            The analyzed query with resolved entity table and implied joins.
+
+        Raises:
+            TBQLSemanticError: if the query violates any semantic rule.
+        """
+        analyzed = AnalyzedQuery(query=query)
+        self._collect_patterns(query, analyzed)
+        self._resolve_default_attributes(query, analyzed)
+        self._validate_operations(query)
+        self._validate_with_clause(query, analyzed)
+        self._resolve_return_items(query, analyzed)
+        self._compute_implied_joins(analyzed)
+        return analyzed
+
+    # -- pattern collection ------------------------------------------------------
+
+    def _collect_patterns(self, query: Query, analyzed: AnalyzedQuery) -> None:
+        seen_event_ids: set[str] = set()
+        for pattern in query.patterns:
+            event_id = pattern.event_id
+            if event_id in seen_event_ids:
+                raise TBQLSemanticError(f"duplicate event identifier {event_id!r}")
+            seen_event_ids.add(event_id)
+            if pattern.subject.entity_type is not EntityType.PROCESS:
+                raise TBQLSemanticError(
+                    f"event {event_id!r}: the subject must be a 'proc' entity "
+                    f"(got {pattern.subject.entity_type.value!r})"
+                )
+            for declaration in (pattern.subject, pattern.obj):
+                self._register_entity(declaration, event_id, analyzed)
+            analyzed.pattern_entities[event_id] = (
+                pattern.subject.identifier,
+                pattern.obj.identifier,
+            )
+
+    @staticmethod
+    def _register_entity(
+        declaration: EntityDeclaration, event_id: str, analyzed: AnalyzedQuery
+    ) -> None:
+        existing = analyzed.entities.get(declaration.identifier)
+        if existing is None:
+            analyzed.entities[declaration.identifier] = AnalyzedEntity(
+                identifier=declaration.identifier,
+                entity_type=declaration.entity_type,
+                patterns=[event_id],
+            )
+            return
+        if existing.entity_type is not declaration.entity_type:
+            raise TBQLSemanticError(
+                f"entity {declaration.identifier!r} is declared as "
+                f"{existing.entity_type.value!r} and {declaration.entity_type.value!r}"
+            )
+        existing.patterns.append(event_id)
+
+    # -- attribute resolution ------------------------------------------------------
+
+    def _resolve_default_attributes(self, query: Query, analyzed: AnalyzedQuery) -> None:
+        for pattern in query.patterns:
+            for declaration in (pattern.subject, pattern.obj):
+                if declaration.filter is not None:
+                    self._resolve_filter(declaration.filter, declaration.entity_type)
+
+    def _resolve_filter(self, expression: FilterExpression, entity_type: EntityType) -> None:
+        if expression.comparison is not None:
+            self._validate_comparison(expression.comparison, entity_type)
+            return
+        for child in expression.children:
+            self._resolve_filter(child, entity_type)
+
+    @staticmethod
+    def _validate_comparison(comparison: AttributeComparison, entity_type: EntityType) -> None:
+        attribute = comparison.attribute or DEFAULT_ATTRIBUTE[entity_type]
+        valid = ENTITY_ATTRIBUTES[entity_type] + ("id", "type", "host")
+        if attribute not in valid:
+            raise TBQLSemanticError(
+                f"attribute {attribute!r} does not exist for "
+                f"{entity_type.value!r} entities (valid: {', '.join(valid)})"
+            )
+
+    # -- operations -----------------------------------------------------------------
+
+    def _validate_operations(self, query: Query) -> None:
+        for pattern in query.patterns:
+            event_type = event_type_for_object(pattern.obj.entity_type)
+            valid = OPERATIONS_BY_EVENT_TYPE[event_type]
+            for name in pattern.operation.operations:
+                try:
+                    operation = Operation.from_string(name)
+                except ValueError:
+                    raise TBQLSemanticError(
+                        f"event {pattern.event_id!r}: unknown operation {name!r}"
+                    ) from None
+                if operation not in valid:
+                    raise TBQLSemanticError(
+                        f"event {pattern.event_id!r}: operation {name!r} is not valid "
+                        f"for {event_type.value!r} events"
+                    )
+
+    # -- with clause ------------------------------------------------------------------
+
+    def _validate_with_clause(self, query: Query, analyzed: AnalyzedQuery) -> None:
+        declared = set(analyzed.pattern_entities)
+        for relation in query.temporal_relations:
+            for event_id in (relation.left, relation.right):
+                if event_id not in declared:
+                    raise TBQLSemanticError(
+                        f"with clause references undeclared event {event_id!r}"
+                    )
+            if relation.left == relation.right:
+                raise TBQLSemanticError(
+                    f"temporal relation relates event {relation.left!r} to itself"
+                )
+        for relation in query.attribute_relations:
+            for event_id in (relation.left_event, relation.right_event):
+                if event_id not in declared:
+                    raise TBQLSemanticError(
+                        f"with clause references undeclared event {event_id!r}"
+                    )
+            for attribute in (relation.left_attribute, relation.right_attribute):
+                if attribute not in EVENT_ATTRIBUTES:
+                    raise TBQLSemanticError(
+                        f"unknown event attribute {attribute!r} in attribute relationship "
+                        f"(valid: {', '.join(EVENT_ATTRIBUTES)})"
+                    )
+
+    # -- return clause -----------------------------------------------------------------
+
+    def _resolve_return_items(self, query: Query, analyzed: AnalyzedQuery) -> None:
+        if not query.return_items:
+            raise TBQLSemanticError("the return clause is empty")
+        resolved: list[ReturnItem] = []
+        for item in query.return_items:
+            entity = analyzed.entities.get(item.identifier)
+            if entity is None:
+                raise TBQLSemanticError(
+                    f"return clause references undeclared entity {item.identifier!r}"
+                )
+            attribute = item.attribute or DEFAULT_ATTRIBUTE[entity.entity_type]
+            valid = ENTITY_ATTRIBUTES[entity.entity_type] + ("id",)
+            if attribute not in valid:
+                raise TBQLSemanticError(
+                    f"return item {item.identifier}.{attribute}: attribute does not exist "
+                    f"for {entity.entity_type.value!r} entities"
+                )
+            resolved.append(ReturnItem(identifier=item.identifier, attribute=attribute))
+        query.return_items = resolved
+
+    # -- implied joins ------------------------------------------------------------------
+
+    def _compute_implied_joins(self, analyzed: AnalyzedQuery) -> None:
+        """Record the attribute relationships implied by entity identifier reuse.
+
+        For every entity used by multiple patterns, consecutive pattern pairs
+        get an equality between the event columns holding that entity's id
+        (``srcid`` when the entity is the pattern's subject, ``dstid`` when it
+        is the object).
+        """
+        for entity in analyzed.entities.values():
+            if len(entity.patterns) < 2:
+                continue
+            for first_event, second_event in zip(entity.patterns, entity.patterns[1:]):
+                first_role = self._role_column(analyzed, first_event, entity.identifier)
+                second_role = self._role_column(analyzed, second_event, entity.identifier)
+                analyzed.implied_joins.append(
+                    (first_event, first_role, second_event, second_role, entity.identifier)
+                )
+
+    @staticmethod
+    def _role_column(analyzed: AnalyzedQuery, event_id: str, identifier: str) -> str:
+        subject_id, object_id = analyzed.pattern_entities[event_id]
+        return "srcid" if identifier == subject_id else "dstid"
+
+
+def analyze(query: Query) -> AnalyzedQuery:
+    """Module-level convenience wrapper around :class:`SemanticAnalyzer`."""
+    return SemanticAnalyzer().analyze(query)

@@ -1,0 +1,294 @@
+"""TBQL query synthesis from a threat behavior graph.
+
+The synthesis mechanism (Section II-E) turns the extracted threat behavior
+graph into an executable TBQL query:
+
+1. **Screening** — nodes whose IOC types are not captured by the system
+   auditing component (URLs, e-mails, hashes, registry keys, CVE ids) are
+   filtered out together with their edges.
+2. **Operation mapping** — each edge's relation verb is mapped to a TBQL
+   operation type using a rule table, considering the IOC types of both
+   endpoints (e.g. the "download" relation between two file paths maps to a
+   ``write`` operation: a process writes data to a file).
+3. **Entity synthesis** — the subject entity is synthesized from the source
+   node and the object entity from the sink node; a process entity is
+   synthesized for file-path subjects because the acting entity in audit data
+   is the *process executing* that program image.
+4. **Event pattern synthesis** — entities are connected with the operation.
+5. **Temporal relationships** — the ``with`` clause orders events by the
+   sequence numbers of the corresponding edges.
+6. **Return clause** — all entity identifiers are appended, ``distinct``.
+
+Besides the default plan, user-defined plans can synthesize path patterns (an
+edge becomes a variable-length event path) and time windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auditing.entities import EntityType
+from repro.auditing.events import OPERATIONS_BY_EVENT_TYPE, Operation, event_type_for_object
+from repro.errors import SynthesisError
+from repro.nlp.behavior_graph import BehaviorEdge, BehaviorNode, ThreatBehaviorGraph
+from repro.nlp.ioc import IOCType
+from repro.nlp.lexicon import RELATION_VERB_OPERATIONS
+from repro.tbql.ast import (
+    AttributeComparison,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    OperationExpression,
+    PathPattern,
+    Query,
+    ReturnItem,
+    TemporalRelation,
+    TimeWindow,
+)
+
+#: IOC types the system auditing component captures (everything else is
+#: screened out during synthesis).
+AUDITABLE_IOC_TYPES = frozenset({IOCType.FILEPATH, IOCType.FILENAME, IOCType.IP})
+
+#: Identifier prefixes per synthesized entity type, matching the paper's
+#: example (p1, f1, i1, ...).
+_IDENTIFIER_PREFIX = {
+    EntityType.PROCESS: "p",
+    EntityType.FILE: "f",
+    EntityType.NETWORK: "i",
+}
+
+
+@dataclass
+class SynthesisPlan:
+    """Options controlling how the query is synthesized.
+
+    Attributes:
+        use_path_patterns: Synthesize variable-length path patterns instead of
+            single event patterns for every edge.  Useful when the OSCTI text
+            omits intermediate processes that chain the system events.
+        path_min_length: Minimum path length for path patterns.
+        path_max_length: Maximum path length for path patterns.
+        time_window: Optional ``(start, end)`` window attached to every
+            synthesized pattern.
+        wildcard_filters: Wrap entity name filters in ``%...%`` wildcards so
+            partial paths in the report still match full paths in audit data.
+        distinct: Emit ``return distinct``.
+    """
+
+    use_path_patterns: bool = False
+    path_min_length: int = 1
+    path_max_length: int = 4
+    time_window: tuple[int, int] | None = None
+    wildcard_filters: bool = True
+    distinct: bool = True
+
+
+@dataclass
+class SynthesisReport:
+    """What the synthesizer did: kept/dropped nodes and the produced query."""
+
+    query: Query
+    screened_nodes: list[BehaviorNode] = field(default_factory=list)
+    kept_edges: int = 0
+    dropped_edges: int = 0
+
+
+class QuerySynthesizer:
+    """Synthesizes a TBQL query from a threat behavior graph."""
+
+    def __init__(self, plan: SynthesisPlan | None = None) -> None:
+        self._plan = plan or SynthesisPlan()
+
+    # -- public API -----------------------------------------------------------
+
+    def synthesize(self, graph: ThreatBehaviorGraph) -> Query:
+        """Synthesize and return the TBQL query (raises when nothing remains)."""
+        return self.synthesize_with_report(graph).query
+
+    def synthesize_with_report(self, graph: ThreatBehaviorGraph) -> SynthesisReport:
+        """Synthesize the query and report the screening decisions.
+
+        Raises:
+            SynthesisError: when, after screening, no edge can be mapped to an
+                auditable event pattern.
+        """
+        screened = [node for node in graph.nodes if node.ioc_type not in AUDITABLE_IOC_TYPES]
+        screened_keys = {id(node) for node in screened}
+
+        query = Query(distinct=self._plan.distinct)
+        identifiers: dict[str, str] = {}  # node key -> entity identifier
+        identifier_counters = {prefix: 0 for prefix in _IDENTIFIER_PREFIX.values()}
+        declared: dict[str, EntityDeclaration] = {}
+        kept_edges = 0
+        dropped_edges = 0
+        previous_event_id: str | None = None
+
+        for edge in graph.edges_in_order():
+            if id(edge.subject) in screened_keys or id(edge.obj) in screened_keys:
+                dropped_edges += 1
+                continue
+            mapped = self._map_edge(edge)
+            if mapped is None:
+                dropped_edges += 1
+                continue
+            operation, object_entity_type = mapped
+            subject_decl = self._entity_for_node(
+                edge.subject, EntityType.PROCESS, identifiers, identifier_counters, declared
+            )
+            object_decl = self._entity_for_node(
+                edge.obj, object_entity_type, identifiers, identifier_counters, declared
+            )
+            kept_edges += 1
+            event_id = f"evt{kept_edges}"
+            window = (
+                TimeWindow(start=self._plan.time_window[0], end=self._plan.time_window[1])
+                if self._plan.time_window is not None
+                else None
+            )
+            if self._plan.use_path_patterns:
+                pattern: EventPattern | PathPattern = PathPattern(
+                    subject=subject_decl,
+                    operation=OperationExpression(operations=(operation.value,)),
+                    obj=object_decl,
+                    event_id=event_id,
+                    min_length=self._plan.path_min_length,
+                    max_length=self._plan.path_max_length,
+                    window=window,
+                )
+            else:
+                pattern = EventPattern(
+                    subject=subject_decl,
+                    operation=OperationExpression(operations=(operation.value,)),
+                    obj=object_decl,
+                    event_id=event_id,
+                    window=window,
+                )
+            query.patterns.append(pattern)
+            if previous_event_id is not None:
+                query.temporal_relations.append(
+                    TemporalRelation(left=previous_event_id, relation="before", right=event_id)
+                )
+            previous_event_id = event_id
+
+        if not query.patterns:
+            raise SynthesisError(
+                "no auditable event patterns remain after screening the behavior graph"
+            )
+
+        for identifier in query.entity_identifiers():
+            query.return_items.append(ReturnItem(identifier=identifier))
+
+        return SynthesisReport(
+            query=query,
+            screened_nodes=screened,
+            kept_edges=kept_edges,
+            dropped_edges=dropped_edges,
+        )
+
+    # -- edge mapping -------------------------------------------------------------
+
+    def _map_edge(self, edge: BehaviorEdge) -> tuple[Operation, EntityType] | None:
+        """Map an edge's verb + endpoint IOC types to (operation, object entity type)."""
+        operation_name = RELATION_VERB_OPERATIONS.get(edge.verb)
+        object_type = self._object_entity_type(edge.obj)
+        if object_type is None:
+            return None
+        if operation_name is None:
+            # Unknown verb: fall back to a type-appropriate default operation.
+            operation_name = {
+                EntityType.FILE: "read",
+                EntityType.PROCESS: "fork",
+                EntityType.NETWORK: "connect",
+            }[object_type]
+        operation = Operation.from_string(operation_name)
+        event_type = event_type_for_object(object_type)
+        valid = OPERATIONS_BY_EVENT_TYPE[event_type]
+        if operation not in valid:
+            # The verb's natural operation does not exist for this object type
+            # (e.g. "download"→write toward an IP): coerce to the closest valid
+            # operation for the object type.
+            operation = self._coerce_operation(operation, object_type)
+        return operation, object_type
+
+    @staticmethod
+    def _coerce_operation(operation: Operation, object_type: EntityType) -> Operation:
+        if object_type is EntityType.NETWORK:
+            if operation in (Operation.WRITE, Operation.SEND):
+                return Operation.SEND
+            if operation in (Operation.READ, Operation.RECV):
+                return Operation.RECV
+            return Operation.CONNECT
+        if object_type is EntityType.PROCESS:
+            if operation in (Operation.EXECUTE, Operation.EXEC):
+                return Operation.EXEC
+            if operation is Operation.KILL:
+                return Operation.KILL
+            return Operation.FORK
+        # Files.
+        if operation in (Operation.SEND,):
+            return Operation.WRITE
+        if operation in (Operation.RECV, Operation.CONNECT, Operation.ACCEPT):
+            return Operation.READ
+        if operation in (Operation.FORK, Operation.EXEC):
+            return Operation.EXECUTE
+        return Operation.READ
+
+    @staticmethod
+    def _object_entity_type(node: BehaviorNode) -> EntityType | None:
+        if node.ioc_type in (IOCType.FILEPATH, IOCType.FILENAME):
+            return EntityType.FILE
+        if node.ioc_type is IOCType.IP:
+            return EntityType.NETWORK
+        return None
+
+    # -- entity synthesis ------------------------------------------------------------
+
+    def _entity_for_node(
+        self,
+        node: BehaviorNode,
+        entity_type: EntityType,
+        identifiers: dict[str, str],
+        counters: dict[str, int],
+        declared: dict[str, EntityDeclaration],
+    ) -> EntityDeclaration:
+        """Synthesize (or reuse) the entity declaration for a graph node.
+
+        One behavior-graph node maps to one entity identifier per entity type
+        role: a file-path IOC that acts both as a subject (process) and an
+        object (file) gets distinct ``p``/``f`` identifiers, as in the paper's
+        example where ``/tmp/crack`` would be both a written file and a
+        running process.
+        """
+        key = f"{node.ioc.normalized()}|{entity_type.value}"
+        identifier = identifiers.get(key)
+        if identifier is not None:
+            return declared[identifier]
+        prefix = _IDENTIFIER_PREFIX[entity_type]
+        counters[prefix] += 1
+        identifier = f"{prefix}{counters[prefix]}"
+        identifiers[key] = identifier
+
+        declaration = EntityDeclaration(
+            entity_type=entity_type,
+            identifier=identifier,
+            filter=FilterExpression.leaf(
+                AttributeComparison(
+                    attribute="",
+                    operator=FilterOperator.LIKE,
+                    value=self._filter_value(node, entity_type),
+                )
+            ),
+        )
+        declared[identifier] = declaration
+        return declaration
+
+    def _filter_value(self, node: BehaviorNode, entity_type: EntityType) -> str:
+        text = node.ioc.text
+        if node.ioc_type is IOCType.IP:
+            # Strip any CIDR suffix: audit records store plain addresses.
+            return text.split("/")[0]
+        if self._plan.wildcard_filters:
+            return f"%{text}%"
+        return text

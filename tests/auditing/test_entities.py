@@ -1,0 +1,165 @@
+"""Unit tests for the system entity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import (
+    DEFAULT_ATTRIBUTE,
+    ENTITY_ATTRIBUTES,
+    EntityFactory,
+    EntityType,
+    FileEntity,
+    NetworkEntity,
+    ProcessEntity,
+    entity_from_row,
+)
+
+
+class TestEntityType:
+    def test_from_string_accepts_tbql_keywords(self):
+        assert EntityType.from_string("proc") is EntityType.PROCESS
+        assert EntityType.from_string("file") is EntityType.FILE
+        assert EntityType.from_string("ip") is EntityType.NETWORK
+
+    def test_from_string_accepts_canonical_names(self):
+        assert EntityType.from_string("process") is EntityType.PROCESS
+        assert EntityType.from_string("network") is EntityType.NETWORK
+
+    def test_from_string_is_case_insensitive(self):
+        assert EntityType.from_string("  Proc ") is EntityType.PROCESS
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown entity type"):
+            EntityType.from_string("socket")
+
+
+class TestFileEntity:
+    def test_attributes(self):
+        entity = FileEntity(entity_id=1, name="/etc/passwd")
+        assert entity.entity_type is EntityType.FILE
+        assert entity.attributes() == {"name": "/etc/passwd"}
+
+    def test_default_attribute_value(self):
+        entity = FileEntity(entity_id=1, name="/etc/passwd")
+        assert entity.default_attribute_value() == "/etc/passwd"
+
+    def test_to_row_includes_type_and_id(self):
+        row = FileEntity(entity_id=9, host="h1", name="/tmp/x").to_row()
+        assert row["id"] == 9
+        assert row["type"] == "file"
+        assert row["host"] == "h1"
+        assert row["name"] == "/tmp/x"
+
+
+class TestProcessEntity:
+    def test_attributes(self):
+        entity = ProcessEntity(entity_id=2, exename="/bin/tar", pid=101, cmdline="tar -cf x")
+        assert entity.entity_type is EntityType.PROCESS
+        assert entity.attribute("exename") == "/bin/tar"
+        assert entity.attribute("pid") == 101
+
+    def test_default_attribute_is_exename(self):
+        entity = ProcessEntity(entity_id=2, exename="/bin/tar", pid=101)
+        assert entity.default_attribute_value() == "/bin/tar"
+
+    def test_unknown_attribute_raises(self):
+        entity = ProcessEntity(entity_id=2, exename="/bin/tar", pid=101)
+        with pytest.raises(KeyError):
+            entity.attribute("dstip")
+
+
+class TestNetworkEntity:
+    def test_attributes(self):
+        entity = NetworkEntity(
+            entity_id=3, srcip="10.0.0.5", srcport=40000, dstip="1.2.3.4", dstport=443
+        )
+        assert entity.entity_type is EntityType.NETWORK
+        assert entity.attribute("dstip") == "1.2.3.4"
+        assert entity.default_attribute_value() == "1.2.3.4"
+
+    def test_default_protocol_is_tcp(self):
+        entity = NetworkEntity(entity_id=3, dstip="1.2.3.4", dstport=443)
+        assert entity.attribute("protocol") == "tcp"
+
+
+class TestEntityFromRow:
+    def test_roundtrip_file(self):
+        original = FileEntity(entity_id=4, host="h", name="/var/log/syslog")
+        assert entity_from_row(original.to_row()) == original
+
+    def test_roundtrip_process(self):
+        original = ProcessEntity(entity_id=5, exename="/bin/sh", pid=77, cmdline="sh -c x", owner="alice")
+        assert entity_from_row(original.to_row()) == original
+
+    def test_roundtrip_network(self):
+        original = NetworkEntity(
+            entity_id=6, srcip="10.0.0.1", srcport=1234, dstip="8.8.8.8", dstport=53, protocol="udp"
+        )
+        assert entity_from_row(original.to_row()) == original
+
+    def test_missing_attributes_use_defaults(self):
+        entity = entity_from_row({"id": 7, "type": "process"})
+        assert isinstance(entity, ProcessEntity)
+        assert entity.pid == 0
+        assert entity.owner == "root"
+
+
+class TestEntityFactory:
+    def test_file_deduplication(self):
+        factory = EntityFactory()
+        first = factory.file("/etc/passwd")
+        second = factory.file("/etc/passwd")
+        assert first is second
+        assert len(factory) == 1
+
+    def test_distinct_files_get_distinct_ids(self):
+        factory = EntityFactory()
+        first = factory.file("/etc/passwd")
+        second = factory.file("/etc/shadow")
+        assert first.entity_id != second.entity_id
+
+    def test_process_keyed_by_exename_and_pid(self):
+        factory = EntityFactory()
+        first = factory.process("/bin/bash", 100)
+        same = factory.process("/bin/bash", 100)
+        different = factory.process("/bin/bash", 101)
+        assert first is same
+        assert first is not different
+
+    def test_network_keyed_by_five_tuple(self):
+        factory = EntityFactory()
+        first = factory.network("10.0.0.1", 1, "1.1.1.1", 443, "tcp")
+        same = factory.network("10.0.0.1", 1, "1.1.1.1", 443, "tcp")
+        different = factory.network("10.0.0.1", 1, "1.1.1.1", 443, "udp")
+        assert first is same
+        assert first is not different
+
+    def test_all_entities_ordered_by_id(self):
+        factory = EntityFactory()
+        factory.file("/a")
+        factory.process("/bin/x", 1)
+        factory.network("1.1.1.1", 2, "2.2.2.2", 80)
+        ids = [entity.entity_id for entity in factory.all_entities()]
+        assert ids == sorted(ids)
+
+    def test_ids_start_at_one_and_increment(self):
+        factory = EntityFactory()
+        assert factory.file("/a").entity_id == 1
+        assert factory.file("/b").entity_id == 2
+
+    def test_host_propagated_to_entities(self):
+        factory = EntityFactory(host="web01")
+        assert factory.file("/a").host == "web01"
+        assert factory.process("/bin/x", 1).host == "web01"
+
+
+class TestAttributeTables:
+    def test_default_attribute_per_type(self):
+        assert DEFAULT_ATTRIBUTE[EntityType.FILE] == "name"
+        assert DEFAULT_ATTRIBUTE[EntityType.PROCESS] == "exename"
+        assert DEFAULT_ATTRIBUTE[EntityType.NETWORK] == "dstip"
+
+    def test_default_attribute_listed_in_entity_attributes(self):
+        for entity_type, default in DEFAULT_ATTRIBUTE.items():
+            assert default in ENTITY_ATTRIBUTES[entity_type]

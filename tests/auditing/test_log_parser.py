@@ -1,0 +1,93 @@
+"""Unit tests for audit log parsing (records → entities/events)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.auditing.parser import AuditLogParser, parse_log_text
+from repro.auditing.sysdig import write_trace
+from repro.auditing.workload.attacks import Figure2DataLeakageChain
+from repro.auditing.workload.base import ScenarioBuilder
+from repro.errors import AuditLogError
+
+
+def _figure2_trace():
+    builder = ScenarioBuilder(seed=1)
+    attack = Figure2DataLeakageChain()
+    attack.generate(builder)
+    return builder.build()
+
+
+class TestAuditLogParser:
+    def test_roundtrip_preserves_event_count(self):
+        trace = _figure2_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        parsed, stats = AuditLogParser(host=trace.host).parse(io.StringIO(buffer.getvalue()))
+        assert stats.records_parsed == len(trace.events)
+        assert stats.records_skipped == 0
+        assert len(parsed.events) == len(trace.events)
+
+    def test_roundtrip_preserves_event_semantics(self):
+        trace = _figure2_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        parsed, _ = AuditLogParser(host=trace.host).parse(io.StringIO(buffer.getvalue()))
+
+        def edge_set(t):
+            by_id = {entity.entity_id: entity for entity in t.entities}
+            return {
+                (
+                    by_id[event.subject_id].default_attribute_value(),
+                    event.operation.value,
+                    by_id[event.object_id].default_attribute_value(),
+                )
+                for event in t.events
+            }
+
+        assert edge_set(parsed) == edge_set(trace)
+
+    def test_entities_deduplicated_across_records(self):
+        trace = _figure2_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        parsed, _ = AuditLogParser().parse(io.StringIO(buffer.getvalue()))
+        passwd_entities = [
+            entity for entity in parsed.entities
+            if entity.attributes().get("name") == "/etc/passwd"
+        ]
+        assert len(passwd_entities) == 1
+
+    def test_lenient_mode_skips_corrupt_records(self):
+        trace = _figure2_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        corrupted = buffer.getvalue() + "this is not a record\n"
+        parsed, stats = AuditLogParser().parse(io.StringIO(corrupted))
+        assert stats.records_skipped == 1
+        assert stats.records_parsed == len(trace.events)
+        assert 0 < stats.skip_ratio < 1
+
+    def test_strict_mode_raises_on_corrupt_record(self):
+        with pytest.raises(AuditLogError):
+            AuditLogParser(strict=True).parse(io.StringIO("garbage\n"))
+
+    def test_record_without_object_fields_is_skipped(self):
+        line = "evt.num=1\tevt.time=1\tevt.endtime=2\tevt.type=read\tproc.name=/bin/x\tproc.pid=1\tevt.buflen=0\thost=h"
+        parsed, stats = AuditLogParser().parse(io.StringIO(line + "\n"))
+        assert stats.records_skipped == 1
+        assert len(parsed.events) == 0
+
+    def test_parse_log_text_helper(self):
+        trace = _figure2_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        parsed = parse_log_text(buffer.getvalue(), host="victim-host")
+        assert len(parsed.events) == len(trace.events)
+        assert parsed.host == "victim-host"
+
+    def test_skip_ratio_zero_for_empty_input(self):
+        _, stats = AuditLogParser().parse(io.StringIO(""))
+        assert stats.skip_ratio == 0.0

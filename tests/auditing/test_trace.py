@@ -1,0 +1,88 @@
+"""Unit tests for the audit trace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import EntityType, FileEntity, ProcessEntity
+from repro.auditing.events import EventType, Operation, SystemEvent
+from repro.auditing.trace import AuditTrace
+
+
+def _make_event(event_id: int, subject: int, obj: int, start: int, operation=Operation.READ) -> SystemEvent:
+    return SystemEvent(
+        event_id=event_id,
+        subject_id=subject,
+        object_id=obj,
+        operation=operation,
+        object_type=EntityType.FILE,
+        start_time=start,
+        end_time=start + 10,
+    )
+
+
+@pytest.fixture
+def small_trace() -> AuditTrace:
+    process = ProcessEntity(entity_id=1, exename="/bin/cat", pid=10)
+    target = FileEntity(entity_id=2, name="/etc/passwd")
+    other = FileEntity(entity_id=3, name="/tmp/out")
+    trace = AuditTrace(host="h1", entities=[process, target, other])
+    trace.add_events([_make_event(1, 1, 2, 100), _make_event(2, 1, 3, 200, Operation.WRITE)])
+    trace.add_events([_make_event(3, 1, 2, 300)], malicious=True)
+    return trace
+
+
+class TestAuditTrace:
+    def test_entity_lookup(self, small_trace: AuditTrace):
+        assert small_trace.entity(1).attribute("exename") == "/bin/cat"
+        with pytest.raises(KeyError):
+            small_trace.entity(999)
+
+    def test_entities_of_type(self, small_trace: AuditTrace):
+        files = small_trace.entities_of_type(EntityType.FILE)
+        assert {entity.entity_id for entity in files} == {2, 3}
+
+    def test_events_of_type(self, small_trace: AuditTrace):
+        assert len(small_trace.events_of_type(EventType.FILE)) == 3
+        assert small_trace.events_of_type(EventType.NETWORK) == []
+
+    def test_malicious_and_benign_split(self, small_trace: AuditTrace):
+        assert [event.event_id for event in small_trace.malicious_events()] == [3]
+        assert {event.event_id for event in small_trace.benign_events()} == {1, 2}
+
+    def test_time_span(self, small_trace: AuditTrace):
+        assert small_trace.time_span() == (100, 310)
+
+    def test_time_span_empty(self):
+        assert AuditTrace().time_span() == (0, 0)
+
+    def test_add_entities_deduplicates(self, small_trace: AuditTrace):
+        before = len(small_trace.entities)
+        small_trace.add_entities([FileEntity(entity_id=2, name="/etc/passwd")])
+        assert len(small_trace.entities) == before
+
+    def test_len_and_iter(self, small_trace: AuditTrace):
+        assert len(small_trace) == 3
+        assert [event.event_id for event in small_trace] == [1, 2, 3]
+
+    def test_sorted_by_time(self, small_trace: AuditTrace):
+        small_trace.add_events([_make_event(4, 1, 2, 50)])
+        ordered = small_trace.sorted_by_time()
+        assert [event.event_id for event in ordered.events] == [4, 1, 2, 3]
+        # original trace preserves insertion order
+        assert [event.event_id for event in small_trace.events] == [1, 2, 3, 4]
+
+    def test_merge_combines_events_and_labels(self, small_trace: AuditTrace):
+        other = AuditTrace(host="h1", entities=[FileEntity(entity_id=9, name="/x")])
+        other.add_events([_make_event(10, 1, 9, 500)], malicious=True)
+        merged = small_trace.merge(other)
+        assert len(merged) == len(small_trace) + 1
+        assert 10 in merged.malicious_event_ids
+        assert 3 in merged.malicious_event_ids
+
+    def test_summary_counts(self, small_trace: AuditTrace):
+        summary = small_trace.summary()
+        assert summary["entities"] == 3
+        assert summary["events"] == 3
+        assert summary["malicious_events"] == 1
+        assert summary["file_events"] == 3

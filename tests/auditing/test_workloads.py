@@ -1,0 +1,195 @@
+"""Unit tests for the workload generators and the host simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import EntityType
+from repro.auditing.events import Operation
+from repro.auditing.workload.attacks import (
+    ATTACK_SCENARIOS,
+    DataLeakageAttack,
+    Figure2DataLeakageChain,
+    PasswordCrackingAttack,
+)
+from repro.auditing.workload.base import ScenarioBuilder, VirtualClock
+from repro.auditing.workload.benign import (
+    AuthenticationWorkload,
+    BackupWorkload,
+    SoftwareUpdateWorkload,
+    WebServerWorkload,
+)
+from repro.auditing.workload.generator import HostSimulator, simulate_demo_host
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(100) == 100
+        assert clock.advance_ms(1) == 100 + 1_000_000
+
+    def test_cannot_move_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestScenarioBuilder:
+    def test_emit_advances_clock_monotonically(self):
+        builder = ScenarioBuilder(seed=1)
+        process = builder.spawn_process("/bin/x")
+        target = builder.file("/tmp/a")
+        first = builder.read(process, target)
+        second = builder.read(process, target)
+        assert second.start_time >= first.end_time
+
+    def test_spawn_process_unique_pids(self):
+        builder = ScenarioBuilder(seed=1)
+        first = builder.spawn_process("/bin/x")
+        second = builder.spawn_process("/bin/x")
+        assert first.pid != second.pid
+
+    def test_deterministic_for_same_seed(self):
+        def build(seed):
+            builder = ScenarioBuilder(seed=seed)
+            WebServerWorkload(requests=5).generate(builder)
+            trace = builder.build()
+            return [(e.subject_id, e.object_id, e.operation.value, e.start_time) for e in trace.events]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+    def test_build_registers_all_entities(self):
+        builder = ScenarioBuilder(seed=1)
+        process = builder.spawn_process("/bin/x")
+        builder.read(process, builder.file("/tmp/a"))
+        trace = builder.build()
+        referenced = {e.subject_id for e in trace.events} | {e.object_id for e in trace.events}
+        known = {entity.entity_id for entity in trace.entities}
+        assert referenced <= known
+
+
+class TestBenignWorkloads:
+    def test_web_server_event_count(self):
+        builder = ScenarioBuilder(seed=2)
+        WebServerWorkload(requests=10).generate(builder)
+        trace = builder.build()
+        assert len(trace.events) == 40  # accept + read + send + log per request
+
+    def test_software_update_uses_curl_and_tar(self):
+        builder = ScenarioBuilder(seed=2)
+        SoftwareUpdateWorkload(packages=2).generate(builder)
+        trace = builder.build()
+        exenames = {
+            entity.attributes().get("exename")
+            for entity in trace.entities_of_type(EntityType.PROCESS)
+        }
+        assert "/usr/bin/curl" in exenames
+        assert "/bin/tar" in exenames
+
+    def test_authentication_reads_passwd(self):
+        builder = ScenarioBuilder(seed=2)
+        AuthenticationWorkload(logins=3).generate(builder)
+        trace = builder.build()
+        names = {entity.attributes().get("name") for entity in trace.entities_of_type(EntityType.FILE)}
+        assert "/etc/passwd" in names
+        assert "/etc/shadow" in names
+
+    def test_backup_resembles_attack_but_different_targets(self):
+        builder = ScenarioBuilder(seed=2)
+        BackupWorkload(files_per_run=3, runs=1).generate(builder)
+        trace = builder.build()
+        connections = trace.entities_of_type(EntityType.NETWORK)
+        assert all(c.attributes()["dstip"] == "10.1.1.9" for c in connections)
+        assert not trace.malicious_event_ids
+
+    def test_benign_workloads_produce_no_malicious_labels(self):
+        builder = ScenarioBuilder(seed=2)
+        WebServerWorkload(requests=5).generate(builder)
+        SoftwareUpdateWorkload(packages=1).generate(builder)
+        trace = builder.build()
+        assert trace.malicious_event_ids == set()
+
+
+class TestAttackScenarios:
+    def test_figure2_chain_has_eight_steps(self):
+        builder = ScenarioBuilder(seed=3)
+        attack = Figure2DataLeakageChain()
+        attack.generate(builder)
+        trace = builder.build()
+        assert len(attack.ground_truth.steps) == 8
+        assert len(trace.malicious_event_ids) == 8
+
+    def test_figure2_chain_step_order(self):
+        builder = ScenarioBuilder(seed=3)
+        attack = Figure2DataLeakageChain()
+        attack.generate(builder)
+        operations = [step.operation for step in attack.ground_truth.steps]
+        assert operations == [
+            Operation.READ,
+            Operation.WRITE,
+            Operation.READ,
+            Operation.WRITE,
+            Operation.READ,
+            Operation.WRITE,
+            Operation.READ,
+            Operation.CONNECT,
+        ]
+
+    def test_password_cracking_reads_shadow(self):
+        builder = ScenarioBuilder(seed=3)
+        attack = PasswordCrackingAttack()
+        attack.generate(builder)
+        identifiers = {step.object_identifier for step in attack.ground_truth.steps}
+        assert "/etc/shadow" in identifiers
+        assert attack.C2_IP in identifiers
+
+    def test_data_leakage_ends_at_c2(self):
+        builder = ScenarioBuilder(seed=3)
+        attack = DataLeakageAttack(scanned_files=3)
+        attack.generate(builder)
+        last = attack.ground_truth.steps[-1]
+        assert last.object_identifier == attack.C2_IP
+
+    def test_attack_registry_contains_all(self):
+        assert set(ATTACK_SCENARIOS) == {"figure2-data-leakage", "password-cracking", "data-leakage"}
+
+    def test_ground_truth_event_ids_are_labelled_malicious(self):
+        builder = ScenarioBuilder(seed=3)
+        attack = DataLeakageAttack()
+        attack.generate(builder)
+        trace = builder.build()
+        assert attack.ground_truth.event_ids <= trace.malicious_event_ids
+
+
+class TestHostSimulator:
+    def test_simulation_contains_benign_and_malicious(self):
+        result = simulate_demo_host(seed=4, benign_scale=0.3)
+        summary = result.trace.summary()
+        assert summary["malicious_events"] > 0
+        assert summary["events"] > summary["malicious_events"]
+
+    def test_ground_truth_lookup(self):
+        result = simulate_demo_host(seed=4, benign_scale=0.2)
+        truth = result.ground_truth("password-cracking")
+        assert truth.event_ids
+        with pytest.raises(KeyError):
+            result.ground_truth("nonexistent-attack")
+
+    def test_attacks_interleaved_not_appended(self):
+        result = simulate_demo_host(seed=4, benign_scale=0.3)
+        trace = result.trace
+        malicious_times = [e.start_time for e in trace.malicious_events()]
+        benign_times = [e.start_time for e in trace.benign_events()]
+        # Some benign activity happens after the attacks finished.
+        assert max(benign_times) > max(malicious_times)
+
+    def test_benign_scale_controls_size(self):
+        small = HostSimulator(seed=5, benign_scale=0.2).add_default_benign().run()
+        large = HostSimulator(seed=5, benign_scale=1.0).add_default_benign().run()
+        assert len(large.trace.events) > len(small.trace.events)
+
+    def test_same_seed_reproducible(self):
+        first = simulate_demo_host(seed=9, benign_scale=0.2)
+        second = simulate_demo_host(seed=9, benign_scale=0.2)
+        assert [e.event_id for e in first.trace.events] == [e.event_id for e in second.trace.events]
+        assert first.trace.summary() == second.trace.summary()

@@ -1,0 +1,61 @@
+"""Shared fixtures for the ThreatRaptor reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.workload.attacks import (
+    DataLeakageAttack,
+    Figure2DataLeakageChain,
+    PasswordCrackingAttack,
+)
+from repro.auditing.workload.generator import HostSimulator, SimulationResult
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import ThreatRaptor
+from repro.data import FIGURE2_REPORT
+from repro.storage.loader import AuditStore
+
+
+@pytest.fixture(scope="session")
+def figure2_simulation() -> SimulationResult:
+    """A small simulated host with the Figure 2 data-leakage chain injected."""
+    simulator = (
+        HostSimulator(seed=11, benign_scale=0.5)
+        .add_default_benign()
+        .add_attack(Figure2DataLeakageChain())
+    )
+    return simulator.run()
+
+
+@pytest.fixture(scope="session")
+def demo_simulation() -> SimulationResult:
+    """The paper's demo deployment: benign workloads plus both demo attacks."""
+    simulator = (
+        HostSimulator(seed=23, benign_scale=0.5)
+        .add_default_benign()
+        .add_attack(PasswordCrackingAttack())
+        .add_attack(DataLeakageAttack())
+    )
+    return simulator.run()
+
+
+@pytest.fixture(scope="session")
+def figure2_store(figure2_simulation: SimulationResult) -> AuditStore:
+    """An audit store loaded with the Figure 2 simulation trace."""
+    store = AuditStore()
+    store.load_trace(figure2_simulation.trace)
+    return store
+
+
+@pytest.fixture(scope="session")
+def figure2_raptor(figure2_simulation: SimulationResult) -> ThreatRaptor:
+    """A ThreatRaptor instance loaded with the Figure 2 simulation trace."""
+    raptor = ThreatRaptor(ThreatRaptorConfig())
+    raptor.load_trace(figure2_simulation.trace)
+    return raptor
+
+
+@pytest.fixture(scope="session")
+def figure2_report_text() -> str:
+    """The paper's Figure 2 OSCTI report text."""
+    return FIGURE2_REPORT.text

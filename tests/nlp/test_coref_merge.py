@@ -1,0 +1,166 @@
+"""Unit tests for coreference resolution and IOC merging."""
+
+from __future__ import annotations
+
+from repro.nlp.coref import CoreferenceResolver
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.ioc import IOC, IOCType, protect_iocs
+from repro.nlp.merge import IOCMerger, should_merge
+from repro.nlp.segmentation import segment_sentences
+
+
+def _block_trees(text: str):
+    protected = protect_iocs(text)
+    parser = DependencyParser()
+    trees = []
+    for span in segment_sentences(protected.text):
+        tree = parser.parse(span.text, sentence_offset=span.start)
+        tree.restore_iocs(protected.replacements)
+        tree.annotate()
+        tree.simplify()
+        trees.append(tree)
+    return trees
+
+
+class TestCoreferenceResolver:
+    def test_pronoun_resolves_to_previous_subject_side_ioc(self):
+        trees = _block_trees(
+            "The attacker used /bin/tar to read user credentials from /etc/passwd. "
+            "It wrote the gathered information to a file /tmp/upload.tar."
+        )
+        links = CoreferenceResolver().resolve_block(trees)
+        assert links == 1
+        it_node = next(node for node in trees[1].pronoun_nodes() if node.text == "It")
+        assert it_node.coref is not None
+        assert it_node.coref.ioc.text == "/bin/tar"
+
+    def test_animate_pronouns_not_resolved(self):
+        trees = _block_trees(
+            "The attacker used /bin/tar to read /etc/passwd. "
+            "He leaked the data to the C2 host."
+        )
+        CoreferenceResolver().resolve_block(trees)
+        he_nodes = [node for tree in trees for node in tree.nodes if node.text == "He"]
+        assert all(node.coref is None for node in he_nodes)
+
+    def test_pronoun_without_antecedent_unresolved(self):
+        trees = _block_trees("It downloaded the second stage payload quickly.")
+        links = CoreferenceResolver().resolve_block(trees)
+        assert links == 0
+
+    def test_nominal_resolution_disabled_by_default(self):
+        trees = _block_trees(
+            "The attacker wrote data to /tmp/upload.tar. "
+            "Then the attacker compressed the tar file."
+        )
+        CoreferenceResolver().resolve_block(trees)
+        nominal = [
+            node
+            for tree in trees
+            for node in tree.pronoun_nodes()
+            if node.pos in ("NN", "NNS") and node.text == "file"
+        ]
+        assert all(node.coref is None for node in nominal)
+
+    def test_nominal_resolution_when_enabled(self):
+        trees = _block_trees(
+            "The attacker wrote data to /tmp/upload.tar. "
+            "Then the attacker compressed the tar file."
+        )
+        links = CoreferenceResolver(resolve_nominal=True).resolve_block(trees)
+        assert links >= 1
+        file_nodes = [
+            node
+            for tree in trees
+            for node in tree.nodes
+            if node.text == "file" and node.coref is not None
+        ]
+        assert file_nodes and file_nodes[0].coref.ioc.text == "/tmp/upload.tar"
+
+    def test_coref_counts_as_ioc_node(self):
+        trees = _block_trees(
+            "The attacker used /bin/tar to read /etc/passwd. "
+            "It wrote the data to /tmp/upload.tar."
+        )
+        CoreferenceResolver().resolve_block(trees)
+        second_tree_iocs = {node.effective_ioc().text for node in trees[1].ioc_nodes()}
+        assert "/bin/tar" in second_tree_iocs
+        assert "/tmp/upload.tar" in second_tree_iocs
+
+
+class TestShouldMerge:
+    def test_exact_duplicates_merge(self):
+        a = IOC("/tmp/upload.tar", IOCType.FILEPATH)
+        b = IOC("/tmp/upload.tar", IOCType.FILEPATH)
+        assert should_merge(a, b)
+
+    def test_filename_merges_with_matching_path(self):
+        name = IOC("upload.tar", IOCType.FILENAME)
+        path = IOC("/tmp/upload.tar", IOCType.FILEPATH)
+        assert should_merge(name, path)
+
+    def test_different_extensions_do_not_merge(self):
+        a = IOC("/tmp/upload.tar", IOCType.FILEPATH)
+        b = IOC("/tmp/upload.tar.bz2", IOCType.FILEPATH)
+        c = IOC("/tmp/upload", IOCType.FILEPATH)
+        assert not should_merge(a, b)
+        assert not should_merge(a, c)
+        assert not should_merge(b, c)
+
+    def test_different_directories_same_basename_do_not_merge_blindly(self):
+        a = IOC("/tmp/payload.bin", IOCType.FILEPATH)
+        b = IOC("/var/spool/payload.bin", IOCType.FILEPATH)
+        # Same basename but materially different path text: merging is allowed
+        # only when overall similarity is very high, which it is not here.
+        assert not should_merge(a, b)
+
+    def test_ip_with_cidr_suffix_merges(self):
+        a = IOC("192.168.29.128", IOCType.IP)
+        b = IOC("192.168.29.128/32", IOCType.IP)
+        assert should_merge(a, b)
+
+    def test_distinct_ips_do_not_merge(self):
+        assert not should_merge(IOC("10.0.0.1", IOCType.IP), IOC("10.0.0.2", IOCType.IP))
+
+    def test_cross_type_non_path_never_merges(self):
+        assert not should_merge(IOC("1.2.3.4", IOCType.IP), IOC("evil.com", IOCType.DOMAIN))
+
+
+class TestIOCMerger:
+    def test_merge_groups_and_canonical(self):
+        iocs = [
+            IOC("/tmp/upload.tar", IOCType.FILEPATH),
+            IOC("upload.tar", IOCType.FILENAME),
+            IOC("/etc/passwd", IOCType.FILEPATH),
+        ]
+        result = IOCMerger().merge(iocs)
+        assert result.resolve(iocs[1]).text == "/tmp/upload.tar"
+        assert result.resolve(iocs[2]).text == "/etc/passwd"
+        assert len(result.canonical_iocs()) == 2
+
+    def test_duplicates_resolve_to_same_canonical(self):
+        iocs = [
+            IOC("/bin/tar", IOCType.FILEPATH),
+            IOC("/bin/tar", IOCType.FILEPATH),
+        ]
+        result = IOCMerger().merge(iocs)
+        assert result.resolve(iocs[0]) == result.resolve(iocs[1])
+        assert len(result.canonical_iocs()) == 1
+
+    def test_unmerged_ioc_resolves_to_itself(self):
+        ioc = IOC("/etc/shadow", IOCType.FILEPATH)
+        result = IOCMerger().merge([ioc])
+        assert result.resolve(ioc) == ioc
+
+    def test_figure2_iocs_stay_distinct(self):
+        texts = [
+            "/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2",
+            "/tmp/upload.tar.bz2", "/usr/bin/gpg", "/tmp/upload", "/usr/bin/curl",
+        ]
+        iocs = [IOC(text, IOCType.FILEPATH) for text in texts]
+        result = IOCMerger().merge(iocs)
+        assert len(result.canonical_iocs()) == len(texts)
+
+    def test_empty_input(self):
+        result = IOCMerger().merge([])
+        assert result.canonical_iocs() == []

@@ -1,0 +1,161 @@
+"""Unit tests for the rule-based dependency parser."""
+
+from __future__ import annotations
+
+from repro.nlp.depparse import DependencyParser, parse_sentence
+from repro.nlp.deptree import DependencyNode
+from repro.nlp.ioc import PROTECTION_WORD, protect_iocs
+
+
+def _parse_protected(text: str):
+    """Protect IOCs, parse, restore — the way the extractor drives the parser."""
+    protected = protect_iocs(text)
+    tree = DependencyParser().parse(protected.text)
+    tree.restore_iocs(protected.replacements)
+    tree.annotate()
+    return tree
+
+
+def _find(tree, text: str) -> DependencyNode:
+    for node in tree.nodes:
+        if node.text == text or (node.ioc is not None and node.ioc.text == text):
+            return node
+    raise AssertionError(f"node {text!r} not found in tree")
+
+
+class TestBasicStructures:
+    def test_subject_verb_object(self):
+        tree = parse_sentence("The attacker read the file.")
+        root = tree.root
+        assert root.text == "read"
+        labels = {child.label: child.text for child in root.children}
+        assert labels.get("nsubj") == "attacker"
+        assert labels.get("dobj") == "file"
+
+    def test_every_node_reachable_from_root(self):
+        tree = parse_sentence("As a first step, the attacker used the tool to read credentials from the store.")
+        reachable = {id(tree.root)} | {id(node) for node in tree.root.descendants()}
+        assert {id(node) for node in tree.nodes} == reachable
+
+    def test_single_root(self):
+        tree = parse_sentence("The process wrote the log and closed the handle.")
+        roots = [node for node in tree.nodes if node.parent is None]
+        assert roots == [tree.root]
+
+    def test_prepositional_attachment_to_verb(self):
+        tree = parse_sentence("The process read data from the store.")
+        root = tree.root
+        preps = [child for child in root.children if child.label.startswith("prep_")]
+        assert len(preps) == 1
+        assert preps[0].label == "prep_from"
+        assert preps[0].children[0].label == "pobj"
+
+    def test_of_attaches_to_noun(self):
+        tree = parse_sentence("The details of the attack are unclear.")
+        details = _find(tree, "details")
+        assert any(child.label == "prep_of" for child in details.children)
+
+    def test_determiners_and_modifiers_under_noun(self):
+        tree = parse_sentence("The malicious process wrote the large archive.")
+        archive = _find(tree, "archive")
+        labels = {child.label for child in archive.children}
+        assert "det" in labels and "amod" in labels
+
+    def test_empty_sentence(self):
+        tree = parse_sentence("   ")
+        assert tree.root is not None
+        assert len(tree.nodes) == 1
+
+
+class TestReportConstructions:
+    def test_instrument_purpose_clause(self):
+        tree = _parse_protected("The attacker used /bin/tar to read user credentials from /etc/passwd.")
+        used = tree.root
+        assert used.text == "used"
+        tar = _find(tree, "/bin/tar")
+        assert tar.label == "dobj"
+        read_nodes = [node for node in tree.nodes if node.text == "read"]
+        assert read_nodes and read_nodes[0].label == "xcomp"
+        passwd = _find(tree, "/etc/passwd")
+        assert passwd.label == "pobj"
+        assert passwd.parent.label == "prep_from"
+
+    def test_pronoun_subject(self):
+        tree = _parse_protected("It wrote the gathered information to a file /tmp/upload.tar.")
+        it_node = _find(tree, "It")
+        assert it_node.label == "nsubj"
+        upload = _find(tree, "/tmp/upload.tar")
+        assert upload.parent.label == "prep_to" or upload.label == "pobj"
+
+    def test_conjoined_verbs_share_structure(self):
+        tree = _parse_protected("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.")
+        read_node = tree.root
+        assert read_node.text == "read"
+        wrote = [node for node in tree.nodes if node.text == "wrote"]
+        assert wrote and wrote[0].label == "conj"
+        bz2 = _find(tree, "/tmp/upload.tar.bz2")
+        assert bz2.label == "pobj"
+
+    def test_participial_clause_after_noun(self):
+        tree = _parse_protected(
+            "The launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2 was observed."
+        )
+        gpg = _find(tree, "/usr/bin/gpg")
+        reading = [node for node in tree.nodes if node.text == "reading"]
+        assert reading
+        assert reading[0].parent is gpg
+        assert reading[0].label == "acl"
+
+    def test_parenthetical_apposition(self):
+        tree = _parse_protected("The attacker leveraged the curl utility (/usr/bin/curl) to read the data.")
+        curl = _find(tree, "/usr/bin/curl")
+        assert curl.label == "appos"
+
+    def test_by_using_gerund(self):
+        tree = _parse_protected(
+            "He leaked the information by using /usr/bin/curl to connect to 192.168.29.128."
+        )
+        using = [node for node in tree.nodes if node.text == "using"]
+        assert using and using[0].label == "pcomp"
+        curl = _find(tree, "/usr/bin/curl")
+        assert curl.label == "dobj"
+        ip_node = _find(tree, "192.168.29.128")
+        assert ip_node.label == "pobj"
+
+    def test_passive_voice(self):
+        tree = _parse_protected("The payload /tmp/locker.elf was then executed by /bin/sh.")
+        executed = [node for node in tree.nodes if node.text == "executed"][0]
+        labels = {child.label for child in executed.children}
+        assert "nsubjpass" in labels
+        assert "agent" in labels or any(
+            child.label == "agent" for child in executed.children
+        )
+
+    def test_relative_clause(self):
+        tree = _parse_protected(
+            "The attacker encrypted the file, which corresponds to the process /usr/bin/gpg."
+        )
+        corresponds = [node for node in tree.nodes if node.text == "corresponds"]
+        assert corresponds and corresponds[0].label == "relcl"
+
+
+class TestAnnotationsOnParse:
+    def test_ioc_nodes_restored(self):
+        tree = _parse_protected("The attacker used /bin/tar to read /etc/passwd.")
+        ioc_texts = {node.ioc.text for node in tree.direct_ioc_nodes()}
+        assert ioc_texts == {"/bin/tar", "/etc/passwd"}
+
+    def test_candidate_verbs_annotated(self):
+        tree = _parse_protected("The attacker used /bin/tar to read /etc/passwd.")
+        verbs = {node.text for node in tree.candidate_verb_nodes()}
+        assert "read" in verbs
+        assert "used" in verbs
+
+    def test_pronouns_annotated(self):
+        tree = _parse_protected("It wrote the data to /tmp/out.tar.")
+        assert any(node.text == "It" for node in tree.pronoun_nodes())
+
+    def test_dummy_word_without_mapping_is_not_ioc(self):
+        tree = DependencyParser().parse(f"The {PROTECTION_WORD} happened.")
+        tree.restore_iocs([])
+        assert tree.direct_ioc_nodes() == []

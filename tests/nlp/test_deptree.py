@@ -1,0 +1,107 @@
+"""Unit tests for dependency tree structure, annotation and simplification."""
+
+from __future__ import annotations
+
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.ioc import protect_iocs
+
+
+def _protected_tree(text: str, simplify: bool = False):
+    protected = protect_iocs(text)
+    tree = DependencyParser().parse(protected.text)
+    tree.restore_iocs(protected.replacements)
+    tree.annotate()
+    if simplify:
+        tree.simplify()
+    return tree
+
+
+class TestTreeQueries:
+    def test_lowest_common_ancestor(self):
+        tree = _protected_tree("The attacker used /bin/tar to read /etc/passwd.")
+        tar = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/bin/tar")
+        passwd = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/etc/passwd")
+        lca = tree.lowest_common_ancestor(tar, passwd)
+        assert lca.text == "used"
+
+    def test_lca_when_one_is_ancestor(self):
+        tree = _protected_tree("The process /usr/bin/gpg reading from /tmp/upload.tar.bz2 was seen.")
+        gpg = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/usr/bin/gpg")
+        bz2 = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/tmp/upload.tar.bz2")
+        assert tree.lowest_common_ancestor(gpg, bz2) is gpg
+
+    def test_path_from_ancestor(self):
+        tree = _protected_tree("The attacker used /bin/tar to read /etc/passwd.")
+        passwd = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/etc/passwd")
+        path = tree.path_from_ancestor(tree.root, passwd)
+        assert path[-1] is passwd
+        assert path[0].parent is tree.root
+
+    def test_path_from_ancestor_to_self_is_empty(self):
+        tree = _protected_tree("The attacker used /bin/tar.")
+        assert tree.path_from_ancestor(tree.root, tree.root) == []
+
+    def test_path_from_root(self):
+        tree = _protected_tree("The attacker used /bin/tar to read /etc/passwd.")
+        passwd = next(node for node in tree.nodes if node.ioc and node.ioc.text == "/etc/passwd")
+        chain = tree.path_from_root(passwd)
+        assert chain[0] is tree.root
+        assert chain[-1] is passwd
+
+    def test_node_at_offset(self):
+        tree = _protected_tree("The attacker used /bin/tar.")
+        node = tree.nodes[2]
+        assert tree.node_at_offset(node.offset) is node
+        assert tree.node_at_offset(10_000) is None
+
+    def test_to_lines_renders_every_kept_node(self):
+        tree = _protected_tree("The attacker used /bin/tar to read /etc/passwd.")
+        lines = tree.to_lines()
+        assert any("IOC:/bin/tar" in line for line in lines)
+        assert any("[VERB]" in line for line in lines)
+
+
+class TestSimplification:
+    def test_simplification_keeps_ioc_paths(self):
+        tree = _protected_tree(
+            "As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd.",
+            simplify=True,
+        )
+        ioc_texts = {node.ioc.text for node in tree.direct_ioc_nodes()}
+        assert ioc_texts == {"/bin/tar", "/etc/passwd"}
+        # every remaining node lies on a root→IOC/verb/pronoun path
+        for node in tree.nodes:
+            assert (
+                node is tree.root
+                or node.is_ioc()
+                or node.is_candidate_verb
+                or node.is_pronoun
+                or node.subtree_has_ioc()
+                or any(
+                    descendant.is_candidate_verb or descendant.is_pronoun
+                    for descendant in node.descendants()
+                )
+            )
+
+    def test_simplification_drops_irrelevant_branches(self):
+        tree = _protected_tree(
+            "As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd.",
+            simplify=True,
+        )
+        texts = {node.text for node in tree.nodes}
+        assert "step" not in texts  # the "As a first step" branch carries no IOC
+
+    def test_simplification_keeps_relations_extractable(self):
+        full = _protected_tree("The attacker used /bin/tar to read user credentials from /etc/passwd.")
+        simplified = _protected_tree(
+            "The attacker used /bin/tar to read user credentials from /etc/passwd.", simplify=True
+        )
+        assert len(simplified.nodes) <= len(full.nodes)
+        assert {node.ioc.text for node in simplified.direct_ioc_nodes()} == {
+            node.ioc.text for node in full.direct_ioc_nodes()
+        }
+
+    def test_sentence_without_iocs_keeps_only_annotated_nodes(self):
+        tree = _protected_tree("The campaign was highly sophisticated and quiet.", simplify=True)
+        assert tree.direct_ioc_nodes() == []
+        assert tree.root in tree.nodes

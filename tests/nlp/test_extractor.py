@@ -1,0 +1,123 @@
+"""Integration tests for the full threat behavior extraction pipeline (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ALL_REPORTS, FIGURE2_REPORT, report_by_name
+from repro.evaluation import score_ioc_extraction, score_relation_extraction
+from repro.nlp.extractor import NaiveCooccurrenceExtractor, ThreatBehaviorExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor() -> ThreatBehaviorExtractor:
+    return ThreatBehaviorExtractor()
+
+
+class TestFigure2Extraction:
+    """The paper's Figure 2 walk-through must reproduce exactly."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text)
+
+    def test_all_iocs_recognised(self, result):
+        recognised = {ioc.normalized() for ioc in result.iocs}
+        for expected in FIGURE2_REPORT.ioc_ground_truth:
+            assert expected.lower() in recognised
+
+    def test_exactly_eight_edges(self, result):
+        assert len(result.graph.edges) == 8
+
+    def test_edges_match_figure2(self, result):
+        edges = {(e.subject.text, e.verb, e.obj.text) for e in result.graph.edges}
+        assert edges == set(FIGURE2_REPORT.relation_ground_truth)
+
+    def test_edge_order_matches_attack_steps(self, result):
+        ordered = [
+            (e.subject.text, e.verb, e.obj.text) for e in result.graph.edges_in_order()
+        ]
+        assert ordered == [
+            ("/bin/tar", "read", "/etc/passwd"),
+            ("/bin/tar", "write", "/tmp/upload.tar"),
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "write", "/tmp/upload"),
+            ("/usr/bin/curl", "read", "/tmp/upload"),
+            ("/usr/bin/curl", "connect", "192.168.29.128"),
+        ]
+
+    def test_coreference_link_created(self, result):
+        assert result.coreference_links >= 1
+
+    def test_perfect_scores_on_figure2(self, result):
+        ioc_score = score_ioc_extraction(result, FIGURE2_REPORT)
+        relation_score = score_relation_extraction(result, FIGURE2_REPORT)
+        assert ioc_score.recall == 1.0
+        assert relation_score.precision == 1.0
+        assert relation_score.recall == 1.0
+
+
+class TestCorpusExtraction:
+    @pytest.mark.parametrize("report", ALL_REPORTS, ids=lambda r: r.name)
+    def test_ioc_recall_high_on_all_reports(self, extractor, report):
+        result = extractor.extract(report.text)
+        score = score_ioc_extraction(result, report)
+        assert score.recall >= 0.8, f"{report.name}: IOC recall {score.recall}"
+
+    @pytest.mark.parametrize(
+        "report",
+        [r for r in ALL_REPORTS if r.relation_ground_truth],
+        ids=lambda r: r.name,
+    )
+    def test_relation_f1_reasonable_on_all_reports(self, extractor, report):
+        result = extractor.extract(report.text)
+        score = score_relation_extraction(result, report)
+        assert score.recall >= 0.6, f"{report.name}: relation recall {score.recall}"
+        assert score.precision >= 0.6, f"{report.name}: relation precision {score.precision}"
+
+    def test_non_auditable_report_has_no_relations(self, extractor):
+        report = report_by_name("phishing-infrastructure")
+        result = extractor.extract(report.text)
+        assert len(result.graph.edges) == 0
+        assert len(result.iocs) >= 4
+
+    def test_empty_document(self, extractor):
+        result = extractor.extract("")
+        assert result.graph.summary() == {"nodes": 0, "edges": 0}
+        assert result.iocs == []
+
+    def test_document_without_iocs(self, extractor):
+        result = extractor.extract("The quick brown fox jumps over the lazy dog. It was fast.")
+        assert result.graph.edges == []
+
+    def test_multi_block_document_processed_blockwise(self, extractor):
+        document = (
+            "Stage one. The attacker used /bin/tar to read /etc/passwd.\n\n"
+            "Stage two. It connected to 10.9.8.7."
+        )
+        result = extractor.extract(document)
+        # "It" is in a different block, so it must NOT corefer to /bin/tar.
+        edges = {(e.subject.text, e.verb, e.obj.text) for e in result.graph.edges}
+        assert ("/bin/tar", "read", "/etc/passwd") in edges
+        assert ("/bin/tar", "connect", "10.9.8.7") not in edges
+
+
+class TestNaiveBaseline:
+    def test_baseline_recognises_iocs(self):
+        result = NaiveCooccurrenceExtractor().extract(FIGURE2_REPORT.text)
+        assert len(result.iocs) >= 5
+
+    def test_baseline_worse_than_full_pipeline_on_relations(self):
+        full = ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text)
+        naive = NaiveCooccurrenceExtractor().extract(FIGURE2_REPORT.text)
+        full_score = score_relation_extraction(full, FIGURE2_REPORT)
+        naive_score = score_relation_extraction(naive, FIGURE2_REPORT)
+        assert full_score.f1 > naive_score.f1
+
+    def test_baseline_produces_spurious_or_missing_relations(self):
+        naive = NaiveCooccurrenceExtractor().extract(FIGURE2_REPORT.text)
+        predicted = {(e.subject.text, e.verb, e.obj.text) for e in naive.graph.edges}
+        expected = set(FIGURE2_REPORT.relation_ground_truth)
+        assert predicted != expected

@@ -1,0 +1,51 @@
+"""Unit tests for the extraction pipeline's ablation switches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FIGURE2_REPORT, report_by_name
+from repro.evaluation import score_relation_extraction
+from repro.nlp.extractor import ThreatBehaviorExtractor
+
+
+class TestAblationSwitches:
+    def test_default_switches_enabled(self):
+        extractor = ThreatBehaviorExtractor()
+        result = extractor.extract(FIGURE2_REPORT.text)
+        assert score_relation_extraction(result, FIGURE2_REPORT).f1 == 1.0
+
+    def test_no_protection_still_runs_and_degrades(self):
+        result = ThreatBehaviorExtractor(protect_iocs_enabled=False).extract(FIGURE2_REPORT.text)
+        score = score_relation_extraction(result, FIGURE2_REPORT)
+        assert score.f1 < 1.0
+        # IOC recognition itself still works on the raw text.
+        assert {ioc.normalized() for ioc in result.iocs} >= {"/bin/tar", "/etc/passwd"}
+
+    def test_no_coreference_loses_pronoun_relation(self):
+        result = ThreatBehaviorExtractor(resolve_coreference=False).extract(FIGURE2_REPORT.text)
+        edges = {(e.subject.text, e.verb, e.obj.text) for e in result.graph.edges}
+        assert ("/bin/tar", "write", "/tmp/upload.tar") not in edges
+        assert result.coreference_links == 0
+
+    def test_no_simplification_keeps_accuracy(self):
+        full = ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text)
+        unsimplified = ThreatBehaviorExtractor(simplify_trees=False).extract(FIGURE2_REPORT.text)
+        assert {(e.subject.text, e.verb, e.obj.text) for e in full.graph.edges} == {
+            (e.subject.text, e.verb, e.obj.text) for e in unsimplified.graph.edges
+        }
+        # Unsimplified trees retain more nodes.
+        assert sum(len(t.nodes) for t in unsimplified.trees) > sum(
+            len(t.nodes) for t in full.trees
+        )
+
+    @pytest.mark.parametrize("report_name", ["password-cracking", "credential-theft"])
+    def test_ablations_never_crash_on_corpus(self, report_name):
+        text = report_by_name(report_name).text
+        for kwargs in (
+            {"protect_iocs_enabled": False},
+            {"resolve_coreference": False},
+            {"simplify_trees": False},
+        ):
+            result = ThreatBehaviorExtractor(**kwargs).extract(text)
+            assert result.graph is not None

@@ -1,0 +1,142 @@
+"""Unit tests for IOC recognition and protection."""
+
+from __future__ import annotations
+
+from repro.nlp.ioc import (
+    PROTECTION_WORD,
+    IOCType,
+    ioc_type_counts,
+    protect_iocs,
+    recognize_iocs,
+)
+
+
+def _types(text: str) -> dict[str, str]:
+    return {match.text: match.ioc_type.value for match in recognize_iocs(text)}
+
+
+class TestRecognition:
+    def test_unix_file_paths(self):
+        found = _types("The attacker used /bin/tar to read /etc/passwd quickly.")
+        assert found["/bin/tar"] == "filepath"
+        assert found["/etc/passwd"] == "filepath"
+
+    def test_path_with_extension_and_dots(self):
+        found = _types("It wrote to /tmp/upload.tar.bz2 afterwards.")
+        assert found["/tmp/upload.tar.bz2"] == "filepath"
+
+    def test_windows_path(self):
+        found = _types(r"The dropper copied itself to C:\Windows\Temp\svch0st.exe today.")
+        assert any(value == "filepath" for value in found.values())
+
+    def test_bare_filename(self):
+        found = _types("The attachment invoice.doc contains a macro.")
+        assert found["invoice.doc"] == "filename"
+
+    def test_ip_address(self):
+        found = _types("It connects to 192.168.29.128 over TLS.")
+        assert found["192.168.29.128"] == "ip"
+
+    def test_ip_with_cidr_and_port(self):
+        found = _types("Traffic went to 10.0.0.0/24 and 1.2.3.4:8080 at night.")
+        assert any(key.startswith("10.0.0.0/24") for key in found)
+        assert any(key.startswith("1.2.3.4") for key in found)
+
+    def test_defanged_ip(self):
+        found = _types("Beacons reach 203[.]0[.]113[.]7 hourly.")
+        assert any(value == "ip" for value in found.values())
+
+    def test_url(self):
+        found = _types("Payload hosted at https://evil.example.com/malware.bin for days.")
+        assert any(value == "url" for value in found.values())
+
+    def test_defanged_url(self):
+        found = _types("See hxxp://bad[.]site/payload for the dropper.")
+        assert any(value == "url" for value in found.values())
+
+    def test_domain(self):
+        found = _types("The C2 domain update-checker.net resolves daily.")
+        assert found.get("update-checker.net") == "domain"
+
+    def test_email(self):
+        found = _types("Mail came from billing@secure-pay.biz yesterday.")
+        assert found["billing@secure-pay.biz"] == "email"
+
+    def test_hashes(self):
+        md5 = "9e107d9d372bb6826bd81d3542a419d6"
+        sha1 = "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        sha256 = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        found = _types(f"Hashes: {md5} and {sha1} and {sha256} were observed.")
+        assert found[md5] == "hash"
+        assert found[sha1] == "hash"
+        assert found[sha256] == "hash"
+
+    def test_registry_key(self):
+        found = _types(r"Persistence via HKEY_LOCAL_MACHINE\Software\Run\updater key.")
+        assert any(value == "registry" for value in found.values())
+
+    def test_cve(self):
+        found = _types("Exploits CVE-2014-6271 in bash.")
+        assert found["CVE-2014-6271"] == "cve"
+
+    def test_trailing_punctuation_trimmed(self):
+        matches = recognize_iocs("The tool read /etc/passwd.")
+        assert any(match.text == "/etc/passwd" for match in matches)
+
+    def test_no_overlapping_matches(self):
+        matches = recognize_iocs("Get it from https://evil.example.com/a.exe now.")
+        spans = sorted((match.start, match.end) for match in matches)
+        for (start_a, end_a), (start_b, end_b) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_plain_english_produces_no_iocs(self):
+        assert recognize_iocs("The attacker stole valuable assets from the host.") == []
+
+    def test_matches_ordered_by_offset(self):
+        matches = recognize_iocs("/bin/tar read /etc/passwd and wrote /tmp/out.tar later.")
+        offsets = [match.start for match in matches]
+        assert offsets == sorted(offsets)
+
+    def test_ioc_type_counts(self):
+        matches = recognize_iocs("/bin/tar read /etc/passwd and sent it to 1.2.3.4 quickly.")
+        counts = ioc_type_counts(match.ioc for match in matches)
+        assert counts["filepath"] == 2
+        assert counts["ip"] == 1
+
+
+class TestProtection:
+    def test_protected_text_has_no_iocs(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd.")
+        assert "/bin/tar" not in protected.text
+        assert "/etc/passwd" not in protected.text
+        assert protected.text.count(PROTECTION_WORD) == 2
+
+    def test_replacements_recorded_in_order(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd.")
+        assert [ioc.text for ioc in protected.iocs()] == ["/bin/tar", "/etc/passwd"]
+
+    def test_offsets_point_at_dummy_words(self):
+        protected = protect_iocs("First /bin/tar then /etc/passwd were used.")
+        for offset, ioc in protected.replacements:
+            assert protected.text[offset : offset + len(PROTECTION_WORD)] == PROTECTION_WORD
+            assert protected.ioc_at_offset(offset) == ioc
+
+    def test_ioc_at_unknown_offset_returns_none(self):
+        protected = protect_iocs("/bin/tar was used.")
+        assert protected.ioc_at_offset(99999) is None
+
+    def test_original_text_preserved(self):
+        text = "/bin/tar read /etc/passwd."
+        assert protect_iocs(text).original == text
+
+    def test_text_without_iocs_unchanged(self):
+        text = "Nothing suspicious here at all."
+        protected = protect_iocs(text)
+        assert protected.text == text
+        assert protected.replacements == []
+
+    def test_protection_preserves_sentence_structure(self):
+        protected = protect_iocs("The attacker used /bin/tar to read /etc/passwd.")
+        assert protected.text == (
+            f"The attacker used {PROTECTION_WORD} to read {PROTECTION_WORD}."
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for IOC relation extraction and behavior graph construction."""
+
+from __future__ import annotations
+
+from repro.nlp.behavior_graph import BehaviorGraphBuilder
+from repro.nlp.coref import CoreferenceResolver
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.ioc import IOC, IOCType, protect_iocs
+from repro.nlp.merge import IOCMerger
+from repro.nlp.relation import IOCRelation, RelationExtractor
+from repro.nlp.segmentation import segment_sentences
+
+
+def _relations(text: str) -> set[tuple[str, str, str]]:
+    protected = protect_iocs(text)
+    parser = DependencyParser()
+    trees = []
+    for span in segment_sentences(protected.text):
+        tree = parser.parse(span.text, sentence_offset=span.start)
+        tree.restore_iocs(protected.replacements)
+        tree.annotate()
+        tree.simplify()
+        trees.append(tree)
+    CoreferenceResolver().resolve_block(trees)
+    extractor = RelationExtractor()
+    found: set[tuple[str, str, str]] = set()
+    for index, tree in enumerate(trees):
+        for relation in extractor.extract(tree, block_index=0, sentence_index=index):
+            found.add((relation.subject.text, relation.verb, relation.obj.text))
+    return found
+
+
+class TestRelationExtraction:
+    def test_instrument_purpose_clause(self):
+        assert _relations("The attacker used /bin/tar to read user credentials from /etc/passwd.") == {
+            ("/bin/tar", "read", "/etc/passwd")
+        }
+
+    def test_simple_subject_verb_prep_object(self):
+        assert _relations("/usr/bin/gpg then wrote the sensitive information to /tmp/upload.") == {
+            ("/usr/bin/gpg", "write", "/tmp/upload")
+        }
+
+    def test_direct_object(self):
+        assert _relations("/tmp/crack read /etc/shadow.") == {("/tmp/crack", "read", "/etc/shadow")}
+
+    def test_conjoined_verbs_share_subject(self):
+        found = _relations("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.")
+        assert found == {
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+        }
+
+    def test_pronoun_coreference_supplies_subject(self):
+        found = _relations(
+            "The attacker used /bin/tar to read /etc/passwd. "
+            "It wrote the gathered information to a file /tmp/upload.tar."
+        )
+        assert ("/bin/tar", "write", "/tmp/upload.tar") in found
+
+    def test_participial_clause(self):
+        found = _relations(
+            "The encryption corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2."
+        )
+        assert found == {("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2")}
+
+    def test_by_using_construction(self):
+        found = _relations(
+            "He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128."
+        )
+        assert found == {("/usr/bin/curl", "connect", "192.168.29.128")}
+
+    def test_parenthetical_apposition(self):
+        found = _relations(
+            "The attacker leveraged the curl utility (/usr/bin/curl) to read the data from /tmp/upload."
+        )
+        assert found == {("/usr/bin/curl", "read", "/tmp/upload")}
+
+    def test_passive_voice_agent(self):
+        found = _relations("The payload /tmp/locker.elf was then executed by /bin/sh.")
+        assert found == {("/bin/sh", "execute", "/tmp/locker.elf")}
+
+    def test_two_objects_no_relation_between_them(self):
+        found = _relations("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.")
+        assert ("/tmp/upload.tar", "write", "/tmp/upload.tar.bz2") not in found
+        assert ("/tmp/upload.tar.bz2", "read", "/tmp/upload.tar") not in found
+
+    def test_sentence_without_verb_produces_nothing(self):
+        assert _relations("Indicators: /bin/tar, /etc/passwd, 10.1.1.1.") == set()
+
+    def test_sentence_with_single_ioc_produces_nothing(self):
+        assert _relations("The attacker executed /tmp/crack repeatedly.") == set()
+
+    def test_download_relation(self):
+        found = _relations("/usr/bin/wget downloaded the cracker to /tmp/crack.")
+        assert ("/usr/bin/wget", "download", "/tmp/crack") in found
+
+    def test_send_relation_toward_ip(self):
+        found = _relations("/usr/bin/scp sent the archive to 198.51.100.23.")
+        assert found == {("/usr/bin/scp", "send", "198.51.100.23")}
+
+
+class TestBehaviorGraphBuilder:
+    def _relation(self, subject, verb, obj, order):
+        return IOCRelation(
+            subject=IOC(subject, IOCType.FILEPATH),
+            verb=verb,
+            obj=IOC(obj, IOCType.FILEPATH),
+            order_key=order,
+        )
+
+    def test_sequence_numbers_follow_order_keys(self):
+        relations = [
+            self._relation("/a", "write", "/b", (0, 2, 5)),
+            self._relation("/c", "read", "/d", (0, 1, 3)),
+        ]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        ordered = graph.edges_in_order()
+        assert [(e.subject.text, e.obj.text) for e in ordered] == [("/c", "/d"), ("/a", "/b")]
+        assert [e.sequence for e in ordered] == [1, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        relations = [
+            self._relation("/a", "read", "/b", (0, 0, 1)),
+            self._relation("/a", "read", "/b", (0, 1, 1)),
+        ]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        assert len(graph.edges) == 1
+        assert len(graph.nodes) == 2
+
+    def test_self_loops_dropped(self):
+        relations = [self._relation("/a", "read", "/a", (0, 0, 0))]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        assert graph.edges == []
+
+    def test_merged_iocs_share_node(self):
+        relations = [
+            IOCRelation(
+                subject=IOC("/usr/bin/wget", IOCType.FILEPATH),
+                verb="write",
+                obj=IOC("crack.elf", IOCType.FILENAME),
+                order_key=(0, 0, 0),
+            ),
+            IOCRelation(
+                subject=IOC("/tmp/crack.elf", IOCType.FILEPATH),
+                verb="read",
+                obj=IOC("/etc/shadow", IOCType.FILEPATH),
+                order_key=(0, 1, 0),
+            ),
+        ]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        texts = [node.text for node in graph.nodes]
+        assert texts.count("/tmp/crack.elf") == 1
+        assert "crack.elf" not in texts
+
+    def test_node_for_and_adjacent_edges(self):
+        relations = [self._relation("/a", "read", "/b", (0, 0, 0))]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        node = graph.node_for(IOC("/a", IOCType.FILEPATH))
+        assert node is not None
+        assert len(graph.adjacent_edges(node)) == 1
+        assert graph.node_for(IOC("/zzz", IOCType.FILEPATH)) is None
+
+    def test_remove_nodes_drops_connected_edges(self):
+        relations = [
+            self._relation("/a", "read", "/b", (0, 0, 0)),
+            self._relation("/c", "read", "/d", (0, 1, 0)),
+        ]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        target = graph.node_for(IOC("/a", IOCType.FILEPATH))
+        graph.remove_nodes([target])
+        assert len(graph.edges) == 1
+        assert graph.node_for(IOC("/a", IOCType.FILEPATH)) is None
+
+    def test_summary_and_lines(self):
+        relations = [self._relation("/a", "read", "/b", (0, 0, 0))]
+        merge = IOCMerger().merge([r.subject for r in relations] + [r.obj for r in relations])
+        graph = BehaviorGraphBuilder().build(relations, merge)
+        assert graph.summary() == {"nodes": 2, "edges": 1}
+        assert graph.to_lines() == ["1. /a --[read]--> /b"]

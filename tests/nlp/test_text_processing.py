@@ -1,0 +1,210 @@
+"""Unit tests for tokenisation, segmentation, POS tagging, lemmatisation and vectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp.ioc import PROTECTION_WORD
+from repro.nlp.lemmatizer import Lemmatizer, lemmatize
+from repro.nlp.pos import PosTagger, is_relation_verb_form
+from repro.nlp.segmentation import segment_blocks, segment_sentences
+from repro.nlp.tokenizer import Tokenizer, tokenize
+from repro.nlp.wordvec import character_overlap, containment, cosine_similarity, vectorize
+
+
+class TestTokenizer:
+    def test_simple_sentence(self):
+        tokens = tokenize("The attacker read the file.")
+        assert [token.text for token in tokens] == ["The", "attacker", "read", "the", "file", "."]
+
+    def test_offsets_match_source(self):
+        text = "It wrote data."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_indices_sequential(self):
+        tokens = tokenize("a b c")
+        assert [token.index for token in tokens] == [0, 1, 2]
+
+    def test_contraction_split(self):
+        tokens = tokenize("It didn't work.")
+        texts = [token.text for token in tokens]
+        assert "did" in texts and "n't" in texts
+
+    def test_punctuation_detection(self):
+        tokens = tokenize("Hello, world!")
+        assert tokens[1].is_punctuation()
+        assert not tokens[0].is_punctuation()
+
+    def test_numbers(self):
+        tokens = tokenize("port 8080 opened")
+        assert tokens[1].text == "8080"
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("   ") == []
+
+
+class TestSegmentation:
+    def test_blocks_split_on_blank_lines(self):
+        blocks = segment_blocks("First paragraph.\n\nSecond paragraph.")
+        assert len(blocks) == 2
+        assert blocks[0].text.strip() == "First paragraph."
+
+    def test_bullet_items_become_blocks(self):
+        document = "Intro line.\n- first step\n- second step"
+        blocks = segment_blocks(document)
+        assert len(blocks) == 3
+
+    def test_block_offsets(self):
+        document = "Alpha.\n\nBeta."
+        blocks = segment_blocks(document)
+        for block in blocks:
+            assert document[block.start : block.end] == block.text
+
+    def test_empty_document(self):
+        assert segment_blocks("") == []
+        assert segment_blocks("\n\n\n") == []
+
+    def test_sentence_split(self):
+        sentences = segment_sentences("The tool read the file. It wrote the output. Done!")
+        assert len(sentences) == 3
+
+    def test_abbreviations_do_not_split(self):
+        sentences = segment_sentences("Attackers use tools, e.g. netcat, to pivot.")
+        assert len(sentences) == 1
+
+    def test_sentence_offsets(self):
+        block = "One sentence here. Another one there."
+        for span in segment_sentences(block):
+            assert block[span.start : span.end] == span.text
+
+    def test_protected_lowercase_start_splits(self):
+        # Sentences in protected text can start with the lowercase dummy word.
+        block = f"The tool wrote data. {PROTECTION_WORD} then read the result."
+        assert len(segment_sentences(block)) == 2
+
+    def test_no_terminal_punctuation(self):
+        sentences = segment_sentences("a single unterminated sentence")
+        assert len(sentences) == 1
+
+
+class TestPosTagger:
+    def _tags(self, text: str) -> list[tuple[str, str]]:
+        tokens = tokenize(text)
+        PosTagger().tag(tokens)
+        return [(token.text, token.pos) for token in tokens]
+
+    def test_protection_word_is_noun(self):
+        tags = dict(self._tags(f"The attacker used {PROTECTION_WORD} yesterday."))
+        assert tags[PROTECTION_WORD] == "NN"
+
+    def test_relation_verbs_tagged_as_verbs(self):
+        tags = dict(self._tags("It downloaded the payload and executed it."))
+        assert tags["downloaded"].startswith("V")
+        assert tags["executed"].startswith("V")
+
+    def test_determiner_and_preposition(self):
+        tags = dict(self._tags("The data went into the archive."))
+        assert tags["The"] == "DT"
+        assert tags["into"] == "IN"
+
+    def test_pronouns(self):
+        tags = dict(self._tags("It wrote the file and they read it."))
+        assert tags["It"] == "PRP"
+        assert tags["they"] == "PRP"
+
+    def test_infinitive_to_plus_verb(self):
+        pairs = self._tags("The attacker used the tool to read credentials.")
+        tags = dict(pairs)
+        assert tags["to"] == "TO"
+        assert tags["read"] == "VB"
+
+    def test_participle_as_adjective_between_det_and_noun(self):
+        tags = dict(self._tags("It wrote the gathered information to disk."))
+        assert tags["gathered"] == "JJ"
+
+    def test_third_person_verb_after_subject(self):
+        tags = dict(self._tags("It reads the configuration file."))
+        assert tags["reads"] == "VBZ"
+
+    def test_numbers_tagged_cd(self):
+        tags = dict(self._tags("port 443 is open"))
+        assert tags["443"] == "CD"
+
+    def test_is_relation_verb_form(self):
+        assert is_relation_verb_form("reads")
+        assert is_relation_verb_form("wrote")
+        assert is_relation_verb_form("compressing")
+        assert is_relation_verb_form("exfiltrated")
+        assert not is_relation_verb_form("attacker")
+        assert not is_relation_verb_form("quickly")
+
+
+class TestLemmatizer:
+    @pytest.mark.parametrize(
+        ("word", "pos", "lemma"),
+        [
+            ("wrote", "VBD", "write"),
+            ("written", "VBN", "write"),
+            ("reads", "VBZ", "read"),
+            ("reading", "VBG", "read"),
+            ("used", "VBD", "use"),
+            ("leveraged", "VBD", "leverage"),
+            ("compressed", "VBD", "compress"),
+            ("connecting", "VBG", "connect"),
+            ("launches", "VBZ", "launch"),
+            ("copies", "VBZ", "copy"),
+            ("ran", "VBD", "run"),
+            ("sent", "VBD", "send"),
+            ("was", "AUX", "be"),
+        ],
+    )
+    def test_verb_lemmas(self, word, pos, lemma):
+        assert lemmatize(word, pos) == lemma
+
+    @pytest.mark.parametrize(
+        ("word", "lemma"),
+        [("files", "file"), ("processes", "process"), ("activities", "activity"), ("hosts", "host")],
+    )
+    def test_noun_lemmas(self, word, lemma):
+        assert lemmatize(word, "NNS") == lemma
+
+    def test_unknown_pos_falls_back(self):
+        assert lemmatize("downloads") == "download"
+        assert lemmatize("attacker") == "attacker"
+
+    def test_lemmatizer_object(self):
+        assert Lemmatizer().lemma("stole", "VBD") == "steal"
+
+
+class TestWordVectors:
+    def test_vector_is_normalised(self):
+        vector = vectorize("/tmp/upload.tar")
+        norm = sum(value * value for value in vector) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_identical_strings_have_similarity_one(self):
+        assert cosine_similarity("/bin/tar", "/bin/tar") == pytest.approx(1.0)
+
+    def test_similar_strings_more_similar_than_different(self):
+        near = cosine_similarity("upload.tar", "/tmp/upload.tar")
+        far = cosine_similarity("upload.tar", "/etc/passwd")
+        assert near > far
+
+    def test_empty_string_vector(self):
+        assert cosine_similarity("", "abc") == pytest.approx(0.0, abs=1e-9)
+
+    def test_character_overlap_symmetric(self):
+        assert character_overlap("abcdef", "abcxyz") == pytest.approx(
+            character_overlap("abcxyz", "abcdef")
+        )
+
+    def test_character_overlap_bounds(self):
+        assert character_overlap("same", "same") == pytest.approx(1.0)
+        assert 0.0 <= character_overlap("alpha", "omega") < 1.0
+
+    def test_containment_of_substring(self):
+        assert containment("upload.tar", "/tmp/upload.tar") >= 0.9
+
+    def test_vectorize_deterministic(self):
+        assert vectorize("curl") == vectorize("curl")

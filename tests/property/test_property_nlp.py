@@ -1,0 +1,132 @@
+"""Property-based tests for the NLP building blocks."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.ioc import IOC, IOCType, PROTECTION_WORD, protect_iocs, recognize_iocs
+from repro.nlp.merge import should_merge
+from repro.nlp.segmentation import segment_blocks, segment_sentences
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.wordvec import character_overlap, cosine_similarity, vectorize
+
+_printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+
+_ioc_texts = st.sampled_from(
+    [
+        "/bin/tar",
+        "/etc/passwd",
+        "/tmp/upload.tar",
+        "/tmp/upload.tar.bz2",
+        "upload.tar",
+        "192.168.29.128",
+        "192.168.29.128/32",
+        "10.0.0.1",
+        "evil-domain.com",
+        "payload.exe",
+    ]
+)
+
+_ioc_types = st.sampled_from(list(IOCType))
+
+
+class TestTokenizerProperties:
+    @given(_printable)
+    def test_token_offsets_index_into_source(self, text):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    @given(_printable)
+    def test_token_indices_are_sequential(self, text):
+        tokens = tokenize(text)
+        assert [token.index for token in tokens] == list(range(len(tokens)))
+
+    @given(_printable)
+    def test_tokens_never_contain_whitespace(self, text):
+        for token in tokenize(text):
+            assert not any(ch.isspace() for ch in token.text)
+
+
+class TestSegmentationProperties:
+    @given(_printable)
+    def test_blocks_are_substrings_at_their_offsets(self, text):
+        for block in segment_blocks(text):
+            assert text[block.start : block.end] == block.text
+
+    @given(_printable)
+    def test_sentences_cover_only_block_content(self, text):
+        for block in segment_blocks(text):
+            for sentence in segment_sentences(block.text):
+                assert block.text[sentence.start : sentence.end] == sentence.text
+
+    @given(_printable)
+    def test_segmentation_never_crashes_or_loses_nonspace_characters(self, text):
+        blocks = segment_blocks(text)
+        joined = "".join(block.text for block in blocks)
+        assert sorted(c for c in joined if not c.isspace()) == sorted(
+            c for c in text if not c.isspace()
+        )
+
+
+class TestProtectionProperties:
+    @given(st.lists(_ioc_texts, min_size=1, max_size=5, unique=True))
+    def test_protection_replaces_every_recognised_ioc(self, iocs):
+        text = "The attacker used " + " and then ".join(iocs) + " during the intrusion."
+        recognised = recognize_iocs(text)
+        protected = protect_iocs(text)
+        assert len(protected.replacements) == len(recognised)
+        for offset, _ in protected.replacements:
+            assert protected.text[offset : offset + len(PROTECTION_WORD)] == PROTECTION_WORD
+
+    @given(_printable)
+    def test_protection_is_stable_for_arbitrary_text(self, text):
+        protected = protect_iocs(text)
+        assert protected.original == text
+        assert len(protected.replacements) == len(recognize_iocs(text))
+
+    @given(st.lists(_ioc_texts, min_size=1, max_size=5))
+    def test_protected_iocs_returned_in_occurrence_order(self, iocs):
+        text = " then ".join(iocs) + " were observed."
+        protected = protect_iocs(text)
+        offsets = [offset for offset, _ in protected.replacements]
+        assert offsets == sorted(offsets)
+
+
+class TestMergeProperties:
+    @given(_ioc_texts, _ioc_types)
+    def test_merge_is_reflexive(self, text, ioc_type):
+        ioc = IOC(text, ioc_type)
+        assert should_merge(ioc, ioc)
+
+    @given(_ioc_texts, _ioc_types, _ioc_texts, _ioc_types)
+    def test_merge_is_symmetric(self, text_a, type_a, text_b, type_b):
+        first, second = IOC(text_a, type_a), IOC(text_b, type_b)
+        assert should_merge(first, second) == should_merge(second, first)
+
+
+class TestVectorProperties:
+    @given(_printable)
+    def test_vector_norm_at_most_one(self, text):
+        vector = vectorize(text)
+        norm = sum(value * value for value in vector) ** 0.5
+        assert norm <= 1.0 + 1e-9
+
+    @given(_printable)
+    def test_self_similarity_is_one_for_nonempty(self, text):
+        if len(text.strip()) < 2:
+            return
+        assert cosine_similarity(text, text) == round(
+            cosine_similarity(text, text), 10
+        ) >= 0.999 or cosine_similarity(text, text) >= 0.999
+
+    @given(_printable, _printable)
+    def test_similarities_bounded(self, first, second):
+        assert -1e-9 <= cosine_similarity(first, second) <= 1.0 + 1e-9
+        assert 0.0 <= character_overlap(first, second) <= 1.0
+
+    @given(_printable, _printable)
+    def test_similarity_symmetric(self, first, second):
+        assert cosine_similarity(first, second) == cosine_similarity(second, first)

@@ -1,0 +1,117 @@
+"""Property-based tests for Causality Preserved Reduction invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditing.entities import EntityType, FileEntity, ProcessEntity
+from repro.auditing.events import Operation, SystemEvent
+from repro.auditing.reduction import reduce_trace
+from repro.auditing.trace import AuditTrace
+
+_PROCESS_IDS = (1, 2)
+_FILE_IDS = (3, 4, 5)
+_OPERATIONS = (Operation.READ, Operation.WRITE)
+
+
+@st.composite
+def _traces(draw):
+    """Random small traces over two processes and three files."""
+    count = draw(st.integers(min_value=0, max_value=40))
+    events = []
+    clock = 0
+    for event_id in range(1, count + 1):
+        clock += draw(st.integers(min_value=1, max_value=1_000_000_000))
+        subject = draw(st.sampled_from(_PROCESS_IDS))
+        obj = draw(st.sampled_from(_FILE_IDS))
+        operation = draw(st.sampled_from(_OPERATIONS))
+        amount = draw(st.integers(min_value=0, max_value=100))
+        events.append(
+            SystemEvent(
+                event_id=event_id,
+                subject_id=subject,
+                object_id=obj,
+                operation=operation,
+                object_type=EntityType.FILE,
+                start_time=clock,
+                end_time=clock + 10,
+                amount=amount,
+            )
+        )
+    malicious = {
+        event.event_id for event in events if draw(st.booleans()) and draw(st.booleans())
+    }
+    entities = [
+        ProcessEntity(entity_id=1, exename="/bin/a", pid=1),
+        ProcessEntity(entity_id=2, exename="/bin/b", pid=2),
+        FileEntity(entity_id=3, name="/f/one"),
+        FileEntity(entity_id=4, name="/f/two"),
+        FileEntity(entity_id=5, name="/f/three"),
+    ]
+    return AuditTrace(entities=entities, events=events, malicious_event_ids=malicious)
+
+
+class TestReductionInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(_traces())
+    def test_never_increases_event_count(self, trace):
+        reduced, stats = reduce_trace(trace)
+        assert len(reduced.events) <= len(trace.events)
+        assert stats.events_after == len(reduced.events)
+        assert stats.events_before == len(trace.events)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_traces())
+    def test_preserves_distinct_edge_set(self, trace):
+        reduced, _ = reduce_trace(trace)
+
+        def edges(t: AuditTrace):
+            return {(e.subject_id, e.object_id, e.operation) for e in t.events}
+
+        assert edges(reduced) == edges(trace)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_traces())
+    def test_preserves_total_amount_and_time_span(self, trace):
+        reduced, _ = reduce_trace(trace)
+        assert sum(e.amount for e in reduced.events) == sum(e.amount for e in trace.events)
+        assert reduced.time_span() == trace.time_span()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_traces())
+    def test_malicious_presence_preserved_per_edge(self, trace):
+        reduced, _ = reduce_trace(trace)
+        malicious_edges_before = {
+            (e.subject_id, e.object_id, e.operation)
+            for e in trace.events
+            if e.event_id in trace.malicious_event_ids
+        }
+        malicious_edges_after = {
+            (e.subject_id, e.object_id, e.operation)
+            for e in reduced.events
+            if e.event_id in reduced.malicious_event_ids
+        }
+        assert malicious_edges_before == malicious_edges_after
+
+    @settings(max_examples=40, deadline=None)
+    @given(_traces())
+    def test_second_pass_is_no_worse(self, trace):
+        reduced_once, first = reduce_trace(trace)
+        reduced_twice, second = reduce_trace(reduced_once)
+        assert second.events_after <= first.events_after
+
+    @settings(max_examples=40, deadline=None)
+    @given(_traces())
+    def test_merged_windows_cover_original_windows(self, trace):
+        reduced, _ = reduce_trace(trace)
+        spans = {}
+        for event in reduced.events:
+            key = (event.subject_id, event.object_id, event.operation)
+            start, end = spans.get(key, (event.start_time, event.end_time))
+            spans[key] = (min(start, event.start_time), max(end, event.end_time))
+        for event in trace.events:
+            key = (event.subject_id, event.object_id, event.operation)
+            start, end = spans[key]
+            assert start <= event.start_time
+            assert end >= event.end_time

@@ -1,0 +1,151 @@
+"""Property-based tests for TBQL: formatter/parser round-trip and scheduling."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditing.entities import EntityType
+from repro.tbql.ast import (
+    AttributeComparison,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    OperationExpression,
+    PathPattern,
+    Query,
+    ReturnItem,
+    TemporalRelation,
+)
+from repro.tbql.formatter import format_query
+from repro.tbql.parser import parse_query
+from repro.tbql.scheduler import ExecutionScheduler
+from repro.tbql.semantics import analyze
+
+_FILE_OPERATIONS = ("read", "write", "execute", "delete")
+_NETWORK_OPERATIONS = ("connect", "send", "recv")
+_VALUES = ("%/bin/tar%", "%/etc/passwd%", "%/tmp/upload%", "192.168.29.128", "%curl%")
+
+
+@st.composite
+def _queries(draw) -> Query:
+    """Random small, semantically valid TBQL queries."""
+    pattern_count = draw(st.integers(min_value=1, max_value=5))
+    query = Query(distinct=draw(st.booleans()))
+    used_process_ids: list[str] = []
+    for index in range(1, pattern_count + 1):
+        # Subject: either a new filtered process or a previously used one.
+        if used_process_ids and draw(st.booleans()):
+            subject = EntityDeclaration(
+                entity_type=EntityType.PROCESS,
+                identifier=draw(st.sampled_from(used_process_ids)),
+            )
+        else:
+            identifier = f"p{index}"
+            used_process_ids.append(identifier)
+            subject = EntityDeclaration(
+                entity_type=EntityType.PROCESS,
+                identifier=identifier,
+                filter=FilterExpression.leaf(
+                    AttributeComparison("", FilterOperator.LIKE, draw(st.sampled_from(_VALUES)))
+                ),
+            )
+        object_is_network = draw(st.booleans())
+        if object_is_network:
+            obj = EntityDeclaration(
+                entity_type=EntityType.NETWORK,
+                identifier=f"i{index}",
+                filter=FilterExpression.leaf(
+                    AttributeComparison("", FilterOperator.EQ, "192.168.29.128")
+                ),
+            )
+            operation = OperationExpression(operations=(draw(st.sampled_from(_NETWORK_OPERATIONS)),))
+        else:
+            obj = EntityDeclaration(
+                entity_type=EntityType.FILE,
+                identifier=f"f{index}",
+                filter=FilterExpression.leaf(
+                    AttributeComparison("", FilterOperator.LIKE, draw(st.sampled_from(_VALUES)))
+                ),
+            )
+            operation = OperationExpression(operations=(draw(st.sampled_from(_FILE_OPERATIONS)),))
+        event_id = f"evt{index}"
+        if draw(st.booleans()) and not object_is_network:
+            pattern: EventPattern | PathPattern = PathPattern(
+                subject=subject,
+                operation=operation,
+                obj=obj,
+                event_id=event_id,
+                min_length=1,
+                max_length=draw(st.integers(min_value=1, max_value=4)),
+            )
+        else:
+            pattern = EventPattern(
+                subject=subject, operation=operation, obj=obj, event_id=event_id
+            )
+        query.patterns.append(pattern)
+    for earlier, later in zip(query.patterns, query.patterns[1:]):
+        query.temporal_relations.append(
+            TemporalRelation(left=earlier.event_id, relation="before", right=later.event_id)
+        )
+    for identifier in query.entity_identifiers():
+        query.return_items.append(ReturnItem(identifier=identifier))
+    return query
+
+
+class TestFormatterParserRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_roundtrip_preserves_structure(self, query):
+        text = format_query(query)
+        reparsed = parse_query(text)
+        assert len(reparsed.patterns) == len(query.patterns)
+        assert [p.event_id for p in reparsed.patterns] == [p.event_id for p in query.patterns]
+        assert len(reparsed.temporal_relations) == len(query.temporal_relations)
+        assert reparsed.distinct == query.distinct
+        assert [item.identifier for item in reparsed.return_items] == [
+            item.identifier for item in query.return_items
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_roundtrip_is_idempotent_after_first_format(self, query):
+        once = format_query(parse_query(format_query(query)))
+        twice = format_query(parse_query(once))
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_generated_queries_pass_semantic_analysis(self, query):
+        analyzed = analyze(parse_query(format_query(query)))
+        assert set(analyzed.pattern_entities) == {p.event_id for p in query.patterns}
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_schedule_is_a_permutation_of_patterns(self, query):
+        schedule = ExecutionScheduler().schedule(query)
+        assert sorted(step.pattern.event_id for step in schedule) == sorted(
+            pattern.event_id for pattern in query.patterns
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_constrained_identifiers_only_reference_earlier_patterns(self, query):
+        schedule = ExecutionScheduler().schedule(query)
+        seen: set[str] = set()
+        for step in schedule:
+            assert set(step.constrained_identifiers) <= seen
+            seen.update(step.pattern.entity_identifiers())
+
+    @settings(max_examples=60, deadline=None)
+    @given(_queries())
+    def test_first_scheduled_pattern_has_maximal_score(self, query):
+        scheduler = ExecutionScheduler()
+        schedule = scheduler.schedule(query)
+        from repro.tbql.scheduler import pruning_score
+
+        best = max(pruning_score(pattern) for pattern in query.patterns)
+        assert pruning_score(schedule[0].pattern) == best

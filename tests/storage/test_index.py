@@ -1,0 +1,79 @@
+"""Unit tests for the relational secondary indexes."""
+
+from __future__ import annotations
+
+from repro.storage.relational.index import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex("name")
+        index.insert("a", 0)
+        index.insert("b", 1)
+        index.insert("a", 2)
+        assert index.lookup("a") == [0, 2]
+        assert index.lookup("b") == [1]
+        assert index.lookup("missing") == []
+
+    def test_lookup_many_deduplicates_and_sorts(self):
+        index = HashIndex("name")
+        index.insert("a", 3)
+        index.insert("b", 1)
+        index.insert("a", 2)
+        assert index.lookup_many(["a", "b", "a"]) == [1, 2, 3]
+
+    def test_len_and_distinct(self):
+        index = HashIndex("name")
+        index.insert("a", 0)
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert len(index) == 3
+        assert index.distinct_values() == 2
+
+    def test_none_values_are_indexable(self):
+        index = HashIndex("name")
+        index.insert(None, 0)
+        assert index.lookup(None) == [0]
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = SortedIndex("t")
+        for position, value in enumerate([50, 10, 30, 20, 40]):
+            index.insert(value, position)
+        assert sorted(index.range(20, 40)) == [2, 3, 4]
+
+    def test_open_ended_ranges(self):
+        index = SortedIndex("t")
+        for position, value in enumerate([1, 2, 3]):
+            index.insert(value, position)
+        assert list(index.range(None, 2)) == [0, 1]
+        assert list(index.range(2, None)) == [1, 2]
+        assert list(index.range()) == [0, 1, 2]
+
+    def test_lookup_exact(self):
+        index = SortedIndex("t")
+        index.insert(5, 0)
+        index.insert(5, 1)
+        index.insert(6, 2)
+        assert index.lookup(5) == [0, 1]
+
+    def test_none_values_skipped(self):
+        index = SortedIndex("t")
+        index.insert(None, 0)
+        index.insert(1, 1)
+        assert len(index) == 1
+
+    def test_min_max(self):
+        index = SortedIndex("t")
+        assert index.min_value() is None
+        index.insert(7, 0)
+        index.insert(3, 1)
+        assert index.min_value() == 3
+        assert index.max_value() == 7
+
+    def test_duplicate_values_all_returned(self):
+        index = SortedIndex("t")
+        for position in range(5):
+            index.insert(9, position)
+        assert sorted(index.range(9, 9)) == [0, 1, 2, 3, 4]

@@ -1,0 +1,58 @@
+"""Unit tests for the combined audit store loader."""
+
+from __future__ import annotations
+
+from repro.auditing.workload.base import ScenarioBuilder
+from repro.auditing.workload.benign import NoisyFileServerWorkload, WebServerWorkload
+from repro.storage.loader import AuditStore
+
+
+def _bursty_trace():
+    builder = ScenarioBuilder(seed=7)
+    NoisyFileServerWorkload(sessions=3, operations_per_session=40).generate(builder)
+    WebServerWorkload(requests=10).generate(builder)
+    return builder.build()
+
+
+class TestAuditStore:
+    def test_load_into_both_backends(self):
+        trace = _bursty_trace()
+        store = AuditStore(apply_reduction=False)
+        report = store.load_trace(trace)
+        assert report.relational_rows["events"] == len(trace.events)
+        assert report.graph_counts["edges"] == len(trace.events)
+        assert report.reduction is None
+        assert store.loaded_trace is trace
+
+    def test_reduction_applied_by_default(self):
+        trace = _bursty_trace()
+        store = AuditStore()
+        report = store.load_trace(trace)
+        assert report.reduction is not None
+        assert report.reduction.events_before == len(trace.events)
+        assert report.relational_rows["events"] == report.reduction.events_after
+        assert report.graph_counts["edges"] == report.reduction.events_after
+        assert report.reduction.reduction_factor > 1.0
+
+    def test_backends_consistent_after_load(self):
+        trace = _bursty_trace()
+        store = AuditStore()
+        store.load_trace(trace)
+        relational_events = len(store.relational.table("events"))
+        graph_edges = store.graph.edge_count()
+        assert relational_events == graph_edges
+        relational_entities = len(store.relational.table("entities"))
+        assert relational_entities == store.graph.node_count()
+
+    def test_statistics_structure(self):
+        store = AuditStore()
+        store.load_trace(_bursty_trace())
+        stats = store.statistics()
+        assert "relational" in stats and "graph" in stats
+        assert stats["graph"]["nodes"] == stats["relational"]["entities"]["rows"]
+
+    def test_empty_store(self):
+        store = AuditStore()
+        assert store.loaded_trace is None
+        stats = store.statistics()
+        assert stats["graph"]["nodes"] == 0

@@ -1,0 +1,220 @@
+"""Unit tests for the SQL/Cypher compilers and the execution scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import EntityType
+from repro.storage.relational.sqlgen import render_select
+from repro.tbql.ast import FilterOperator
+from repro.tbql.compiler.cypher_compiler import CypherCompiler
+from repro.tbql.compiler.sql_compiler import SQLCompiler
+from repro.tbql.filters import (
+    comparison_to_expression,
+    constraint_count,
+    filter_to_expression,
+    filter_to_predicate,
+)
+from repro.tbql.ast import AttributeComparison, FilterExpression
+from repro.tbql.parser import parse_query
+from repro.tbql.scheduler import ExecutionScheduler, pruning_score
+
+
+def _first_pattern(source: str):
+    return parse_query(source).patterns[0]
+
+
+class TestFilterBridging:
+    def test_default_attribute_resolution(self):
+        comparison = AttributeComparison(attribute="", operator=FilterOperator.EQ, value="%/bin/tar%")
+        expression = comparison_to_expression(comparison, EntityType.PROCESS)
+        assert expression.evaluate({"exename": "/bin/tar"})
+        assert not expression.evaluate({"exename": "/bin/cat"})
+
+    def test_wildcard_value_uses_like_even_with_eq(self):
+        comparison = AttributeComparison(attribute="name", operator=FilterOperator.EQ, value="%upload%")
+        expression = comparison_to_expression(comparison, EntityType.FILE)
+        assert expression.evaluate({"name": "/tmp/upload.tar"})
+
+    def test_numeric_comparison(self):
+        comparison = AttributeComparison(attribute="pid", operator=FilterOperator.GT, value=100)
+        expression = comparison_to_expression(comparison, EntityType.PROCESS)
+        assert expression.evaluate({"pid": 101})
+        assert not expression.evaluate({"pid": 99})
+
+    def test_filter_expression_and(self):
+        pattern = _first_pattern('proc p[pid > 100 and exename = "%sh%"] read file f as e return p')
+        expression = filter_to_expression(pattern.subject.filter, EntityType.PROCESS)
+        assert expression.evaluate({"pid": 200, "exename": "/bin/sh"})
+        assert not expression.evaluate({"pid": 50, "exename": "/bin/sh"})
+
+    def test_filter_expression_or(self):
+        pattern = _first_pattern('proc p["%tar%" or "%curl%"] read file f as e return p')
+        expression = filter_to_expression(pattern.subject.filter, EntityType.PROCESS)
+        assert expression.evaluate({"exename": "/usr/bin/curl"})
+        assert expression.evaluate({"exename": "/bin/tar"})
+        assert not expression.evaluate({"exename": "/usr/bin/gpg"})
+
+    def test_none_filter_is_true(self):
+        expression = filter_to_expression(None, EntityType.FILE)
+        assert expression.evaluate({})
+
+    def test_predicate_handles_missing_attribute(self):
+        pattern = _first_pattern('proc p["%tar%"] read file f as e return p')
+        predicate = filter_to_predicate(pattern.subject.filter, EntityType.PROCESS)
+        assert not predicate({})
+
+    def test_constraint_count(self):
+        pattern = _first_pattern('proc p[pid > 100 and exename = "%sh%"] read file f["%x%"] as e return p')
+        assert constraint_count(pattern.subject.filter) == 2
+        assert constraint_count(pattern.obj.filter) == 1
+        assert constraint_count(None) == 0
+
+
+class TestSQLCompiler:
+    def test_joins_entities_with_events(self):
+        pattern = _first_pattern('proc p["%tar%"] read file f["%passwd%"] as e return p, f')
+        compiled = SQLCompiler().compile(pattern)
+        sql = render_select(compiled.query)
+        assert "FROM events e, entities s, entities o" in sql
+        assert "e.srcid = s.id" in sql and "e.dstid = o.id" in sql
+        assert "s.type = 'process'" in sql and "o.type = 'file'" in sql
+        assert "optype = 'read'" in sql
+
+    def test_event_type_filter_matches_object(self):
+        pattern = _first_pattern('proc p connect ip i["1.2.3.4"] as e return p')
+        sql = render_select(SQLCompiler().compile(pattern).query)
+        assert "eventtype = 'network'" in sql
+
+    def test_multiple_operations_render_as_in_list(self):
+        pattern = _first_pattern("proc p read or write file f as e return p")
+        sql = render_select(SQLCompiler().compile(pattern).query)
+        assert "IN ('read', 'write')" in sql
+
+    def test_time_window_renders_between(self):
+        pattern = _first_pattern("proc p read file f as e during (100, 200) return p")
+        sql = render_select(SQLCompiler().compile(pattern).query)
+        assert "BETWEEN 100 AND 200" in sql
+
+    def test_id_constraints_added(self):
+        pattern = _first_pattern("proc p read file f as e return p")
+        compiled = SQLCompiler().compile(pattern, subject_id_constraint=[5, 3], object_id_constraint=[7])
+        sql = render_select(compiled.query)
+        assert "s.id IN (3, 5)" in sql
+        assert "o.id IN (7)" in sql
+
+    def test_projection_exposes_entity_and_event_columns(self):
+        pattern = _first_pattern("proc p read file f as e return p")
+        compiled = SQLCompiler().compile(pattern)
+        names = {output.output_name for output in compiled.query.projection}
+        assert {"event.id", "subject.exename", "object.name", "event.starttime"} <= names
+
+
+class TestCypherCompiler:
+    def test_path_pattern_lengths(self):
+        pattern = _first_pattern("proc p ~>(2~4)[read] file f as e return p")
+        compiled = CypherCompiler().compile_path(pattern)
+        assert compiled.graph_pattern.min_length == 2
+        assert compiled.graph_pattern.max_length == 4
+        assert compiled.graph_pattern.final_edge.relationship == "read"
+        assert "MATCH" in compiled.cypher_text
+
+    def test_event_pattern_is_single_hop(self):
+        pattern = _first_pattern('proc p["%tar%"] read file f as e return p')
+        compiled = CypherCompiler().compile_event(pattern)
+        assert compiled.graph_pattern.max_length == 1
+        assert compiled.graph_pattern.source.label == "process"
+        assert compiled.graph_pattern.target.label == "file"
+
+    def test_node_predicate_applies_filter(self):
+        from repro.storage.graph.model import Node
+
+        pattern = _first_pattern('proc p["%tar%"] read file f as e return p')
+        compiled = CypherCompiler().compile_event(pattern)
+        matching = Node(node_id=1, label="process", properties={"exename": "/bin/tar"})
+        not_matching = Node(node_id=2, label="process", properties={"exename": "/bin/cat"})
+        assert compiled.graph_pattern.source.matches(matching)
+        assert not compiled.graph_pattern.source.matches(not_matching)
+
+    def test_id_constraint_restricts_nodes(self):
+        from repro.storage.graph.model import Node
+
+        pattern = _first_pattern("proc p read file f as e return p")
+        compiled = CypherCompiler().compile_event(pattern, subject_id_constraint=[10])
+        allowed = Node(node_id=10, label="process", properties={"exename": "/bin/x"})
+        denied = Node(node_id=11, label="process", properties={"exename": "/bin/x"})
+        assert compiled.graph_pattern.source.matches(allowed)
+        assert not compiled.graph_pattern.source.matches(denied)
+
+    def test_window_constrains_edges(self):
+        from repro.storage.graph.model import Edge
+
+        pattern = _first_pattern("proc p read file f as e during (100, 200) return p")
+        compiled = CypherCompiler().compile_event(pattern)
+        inside = Edge(1, 1, 2, "read", {"starttime": 150, "endtime": 160})
+        outside = Edge(2, 1, 2, "read", {"starttime": 500, "endtime": 600})
+        assert compiled.graph_pattern.final_edge.matches(inside)
+        assert not compiled.graph_pattern.final_edge.matches(outside)
+
+
+class TestScheduler:
+    def test_pruning_score_counts_constraints(self):
+        constrained = _first_pattern('proc p["%tar%"] read file f["%passwd%"] as e return p')
+        bare = _first_pattern("proc p read file f as e return p")
+        assert pruning_score(constrained) > pruning_score(bare)
+
+    def test_path_patterns_penalised(self):
+        event = _first_pattern('proc p["%tar%"] read file f["%x%"] as e return p')
+        path = _first_pattern('proc p["%tar%"] ~>(1~4)[read] file f["%x%"] as e return p')
+        assert pruning_score(event) > pruning_score(path)
+
+    def test_shorter_paths_score_higher(self):
+        short = _first_pattern('proc p["%tar%"] ~>(1~2)[read] file f as e return p')
+        long = _first_pattern('proc p["%tar%"] ~>(1~6)[read] file f as e return p')
+        assert pruning_score(short) > pruning_score(long)
+
+    def test_most_constrained_pattern_runs_first(self):
+        query = parse_query(
+            "proc p read file f as e1 "
+            'proc q["%curl%"] connect ip i["1.2.3.4"] as e2 '
+            "return p, q"
+        )
+        schedule = ExecutionScheduler().schedule(query)
+        assert schedule[0].pattern.event_id == "e2"
+
+    def test_connected_patterns_preferred_and_constrained(self):
+        query = parse_query(
+            'proc p["%tar%"] read file f["%passwd%"] as e1 '
+            "proc p write file g as e2 "
+            'proc z["%gpg%"] read file w as e3 '
+            "return p, f, g, z, w"
+        )
+        schedule = ExecutionScheduler().schedule(query)
+        assert schedule[0].pattern.event_id == "e1"
+        second = schedule[1]
+        # e2 shares p with e1, so it should run second with p constrained,
+        # even though e3 has a higher raw score than e2.
+        assert second.pattern.event_id == "e2"
+        assert "p" in second.constrained_identifiers
+
+    def test_unoptimized_schedule_keeps_declaration_order(self):
+        query = parse_query(
+            "proc p read file f as e1 "
+            'proc q["%curl%"] connect ip i["1.2.3.4"] as e2 '
+            "return p, q"
+        )
+        schedule = ExecutionScheduler().schedule_unoptimized(query)
+        assert [step.pattern.event_id for step in schedule] == ["e1", "e2"]
+        assert all(step.constrained_identifiers == () for step in schedule)
+
+    def test_every_pattern_scheduled_exactly_once(self):
+        from repro.data import FIGURE2_REPORT
+        from repro.nlp.extractor import ThreatBehaviorExtractor
+        from repro.tbql.synthesis import QuerySynthesizer
+
+        graph = ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text).graph
+        query = QuerySynthesizer().synthesize(graph)
+        schedule = ExecutionScheduler().schedule(query)
+        assert sorted(step.pattern.event_id for step in schedule) == sorted(
+            pattern.event_id for pattern in query.patterns
+        )

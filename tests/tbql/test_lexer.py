@@ -1,0 +1,88 @@
+"""Unit tests for the TBQL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TBQLSyntaxError
+from repro.tbql.lexer import TokenType, tokenize
+
+
+def _types(source: str) -> list[TokenType]:
+    return [token.type for token in tokenize(source)]
+
+
+def _values(source: str) -> list[str]:
+    return [token.value for token in tokenize(source)][:-1]  # drop EOF
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("PROC File Return DISTINCT")
+        assert all(token.type is TokenType.KEYWORD for token in tokens[:-1])
+        assert [token.value for token in tokens[:-1]] == ["proc", "file", "return", "distinct"]
+
+    def test_identifiers(self):
+        tokens = tokenize("p1 evt_2 myVar")
+        assert all(token.type is TokenType.IDENTIFIER for token in tokens[:-1])
+
+    def test_string_literals_double_and_single_quotes(self):
+        assert _values('"%/bin/tar%"') == ["%/bin/tar%"]
+        assert _values("'1.2.3.4'") == ["1.2.3.4"]
+
+    def test_string_escape(self):
+        assert _values(r'"a\"b"') == ['a"b']
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TBQLSyntaxError, match="unterminated"):
+            tokenize('"never closed')
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [token.value for token in tokens[:-1]] == ["42", "3.14"]
+        assert tokens[0].type is TokenType.NUMBER
+
+    def test_arrow_and_tilde(self):
+        types = _types("p ~>(2~4)")
+        assert TokenType.ARROW in types
+        assert TokenType.TILDE in types
+
+    def test_operators(self):
+        values = _values("= != <= >= < > && ||")
+        assert values == ["=", "!=", "<=", ">=", "<", ">", "&&", "||"]
+
+    def test_brackets_and_punctuation(self):
+        types = _types("[ ] ( ) , .")
+        assert types[:-1] == [
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+        ]
+
+    def test_comments_skipped(self):
+        values = _values("proc p1 # trailing comment\nfile f1 // another")
+        assert values == ["proc", "p1", "file", "f1"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("proc p1\nfile f1")
+        file_token = tokens[2]
+        assert file_token.value == "file"
+        assert file_token.line == 2
+        assert file_token.column == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(TBQLSyntaxError, match="unexpected character"):
+            tokenize("proc p1 @ file")
+
+    def test_eof_always_appended(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_figure2_query_tokenizes(self):
+        source = 'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1'
+        values = _values(source)
+        assert values[0] == "proc"
+        assert "%/bin/tar%" in values
+        assert values[-1] == "evt1"

@@ -1,0 +1,173 @@
+"""Unit tests for the TBQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import EntityType
+from repro.errors import TBQLSyntaxError
+from repro.tbql.ast import EventPattern, FilterOperator, PathPattern
+from repro.tbql.parser import parse_query
+
+FIG2_QUERY = """
+proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+proc p2["%/bin/bzip2%"] read file f2 as evt3
+proc p2 write file f3["%/tmp/upload.tar.bz2%"] as evt4
+proc p3["%/usr/bin/gpg%"] read file f3 as evt5
+proc p3 write file f4["%/tmp/upload%"] as evt6
+proc p4["%/usr/bin/curl%"] read file f4 as evt7
+proc p4["%/usr/bin/curl%"] connect ip i1["192.168.29.128"] as evt8
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5,
+     evt5 before evt6, evt6 before evt7, evt7 before evt8
+return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1
+"""
+
+
+class TestFigure2Query:
+    """The paper's example query must parse into the expected structure."""
+
+    @pytest.fixture(scope="class")
+    def query(self):
+        return parse_query(FIG2_QUERY)
+
+    def test_eight_event_patterns(self, query):
+        assert len(query.patterns) == 8
+        assert all(isinstance(pattern, EventPattern) for pattern in query.patterns)
+
+    def test_event_ids(self, query):
+        assert [pattern.event_id for pattern in query.patterns] == [
+            f"evt{i}" for i in range(1, 9)
+        ]
+
+    def test_entity_types_and_identifiers(self, query):
+        first = query.patterns[0]
+        assert first.subject.entity_type is EntityType.PROCESS
+        assert first.subject.identifier == "p1"
+        assert first.obj.entity_type is EntityType.FILE
+        last = query.patterns[-1]
+        assert last.obj.entity_type is EntityType.NETWORK
+        assert last.obj.identifier == "i1"
+
+    def test_default_attribute_filters(self, query):
+        comparison = query.patterns[0].subject.filter.comparisons()[0]
+        assert comparison.attribute == ""  # default attribute shorthand
+        assert comparison.value == "%/bin/tar%"
+
+    def test_entity_reuse_without_filter(self, query):
+        second = query.patterns[1]
+        assert second.subject.identifier == "p1"
+        assert second.subject.filter is None
+
+    def test_temporal_relations(self, query):
+        assert len(query.temporal_relations) == 7
+        assert query.temporal_relations[0].left == "evt1"
+        assert query.temporal_relations[0].relation == "before"
+
+    def test_return_clause(self, query):
+        assert query.distinct
+        assert [item.identifier for item in query.return_items] == [
+            "p1", "f1", "f2", "p2", "f3", "p3", "f4", "p4", "i1",
+        ]
+
+
+class TestPatternVariants:
+    def test_explicit_attribute_filter(self):
+        query = parse_query('proc p[exename = "/bin/sh" and pid > 100] read file f as e return p')
+        comparisons = query.patterns[0].subject.filter.comparisons()
+        assert {c.attribute for c in comparisons} == {"exename", "pid"}
+        assert any(c.operator is FilterOperator.GT for c in comparisons)
+
+    def test_or_filter(self):
+        query = parse_query('proc p["a" or "b"] read file f as e return p')
+        assert query.patterns[0].subject.filter.combinator == "or"
+
+    def test_mixed_and_or_rejected(self):
+        with pytest.raises(TBQLSyntaxError, match="mixing"):
+            parse_query('proc p[exename = "a" and pid > 1 or pid < 5] read file f as e return p')
+
+    def test_operation_alternatives(self):
+        query = parse_query("proc p read or write file f as e return p")
+        assert query.patterns[0].operation.operations == ("read", "write")
+
+    def test_negated_operation(self):
+        query = parse_query("proc p not delete file f as e return p")
+        assert query.patterns[0].operation.negated
+
+    def test_path_pattern_default_lengths(self):
+        query = parse_query("proc p ~>[read] file f as e return p")
+        pattern = query.patterns[0]
+        assert isinstance(pattern, PathPattern)
+        assert (pattern.min_length, pattern.max_length) == (1, 5)
+
+    def test_path_pattern_explicit_lengths(self):
+        query = parse_query("proc p ~>(2~4)[read] file f as e return p")
+        pattern = query.patterns[0]
+        assert (pattern.min_length, pattern.max_length) == (2, 4)
+
+    def test_path_pattern_invalid_lengths(self):
+        with pytest.raises(TBQLSyntaxError, match="invalid path length"):
+            parse_query("proc p ~>(4~2)[read] file f as e return p")
+
+    def test_time_window(self):
+        query = parse_query("proc p read file f as e during (100, 200) return p")
+        assert query.patterns[0].window.start == 100
+        assert query.patterns[0].window.end == 200
+
+    def test_invalid_time_window(self):
+        with pytest.raises(TBQLSyntaxError, match="window end"):
+            parse_query("proc p read file f as e during (200, 100) return p")
+
+    def test_auto_event_id_when_as_omitted(self):
+        query = parse_query("proc p read file f return p")
+        assert query.patterns[0].event_id.startswith("_evt")
+
+    def test_attribute_relation_in_with_clause(self):
+        query = parse_query(
+            "proc p read file f as e1 proc q write file g as e2 "
+            "with e1.srcid = e2.srcid return p"
+        )
+        relation = query.attribute_relations[0]
+        assert (relation.left_event, relation.left_attribute) == ("e1", "srcid")
+        assert (relation.right_event, relation.right_attribute) == ("e2", "srcid")
+
+    def test_return_with_attributes(self):
+        query = parse_query("proc p read file f as e return p.pid, f.name")
+        assert [(item.identifier, item.attribute) for item in query.return_items] == [
+            ("p", "pid"),
+            ("f", "name"),
+        ]
+
+
+class TestSyntaxErrors:
+    def test_missing_return_clause(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_query("proc p read file f as e")
+
+    def test_empty_query(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_query("")
+
+    def test_bad_entity_type(self):
+        with pytest.raises(TBQLSyntaxError, match="entity type"):
+            parse_query("socket s read file f as e return s")
+
+    def test_missing_operation(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_query("proc p file f as e return p")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TBQLSyntaxError, match="trailing"):
+            parse_query("proc p read file f as e return p garbage here")
+
+    def test_bad_with_clause(self):
+        with pytest.raises(TBQLSyntaxError, match="before"):
+            parse_query("proc p read file f as e with e around e return p")
+
+    def test_error_carries_location(self):
+        try:
+            parse_query("proc p read file f as e\nreturn p garbage")
+        except TBQLSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,113 @@
+"""Unit tests for TBQL semantic analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.entities import EntityType
+from repro.errors import TBQLSemanticError
+from repro.tbql.parser import parse_query
+from repro.tbql.semantics import SemanticAnalyzer, analyze
+
+
+class TestValidQueries:
+    def test_entities_collected_with_types(self):
+        analyzed = analyze(parse_query('proc p["%x%"] read file f as e return p, f'))
+        assert analyzed.entity_type_of("p") is EntityType.PROCESS
+        assert analyzed.entity_type_of("f") is EntityType.FILE
+
+    def test_default_attribute_resolution_in_return(self):
+        analyzed = analyze(parse_query("proc p read file f as e return p, f"))
+        items = {(item.identifier, item.attribute) for item in analyzed.query.return_items}
+        assert items == {("p", "exename"), ("f", "name")}
+
+    def test_explicit_return_attributes_preserved(self):
+        analyzed = analyze(parse_query("proc p read file f as e return p.pid, f.name"))
+        items = [(item.identifier, item.attribute) for item in analyzed.query.return_items]
+        assert items == [("p", "pid"), ("f", "name")]
+
+    def test_network_default_attribute(self):
+        analyzed = analyze(parse_query('proc p connect ip i["1.2.3.4"] as e return i'))
+        assert analyzed.query.return_items[0].attribute == "dstip"
+
+    def test_implied_joins_from_entity_reuse(self):
+        analyzed = analyze(
+            parse_query(
+                'proc p["%tar%"] read file f as e1 proc p write file g as e2 return p, f, g'
+            )
+        )
+        assert ("e1", "srcid", "e2", "srcid", "p") in analyzed.implied_joins
+
+    def test_implied_join_roles_for_object_reuse(self):
+        analyzed = analyze(
+            parse_query(
+                "proc p write file f as e1 proc q read file f as e2 return p, q, f"
+            )
+        )
+        assert ("e1", "dstid", "e2", "dstid", "f") in analyzed.implied_joins
+
+    def test_pattern_entities_recorded(self):
+        analyzed = analyze(parse_query("proc p read file f as e return p"))
+        assert analyzed.pattern_entities["e"] == ("p", "f")
+
+
+class TestSemanticErrors:
+    def test_duplicate_event_id(self):
+        with pytest.raises(TBQLSemanticError, match="duplicate event identifier"):
+            analyze(parse_query("proc p read file f as e proc p write file f as e return p"))
+
+    def test_subject_must_be_process(self):
+        with pytest.raises(TBQLSemanticError, match="subject must be"):
+            analyze(parse_query("file f read file g as e return f"))
+
+    def test_inconsistent_entity_type_for_identifier(self):
+        with pytest.raises(TBQLSemanticError, match="declared as"):
+            analyze(
+                parse_query(
+                    "proc p read file x as e1 proc p connect ip x as e2 return p"
+                )
+            )
+
+    def test_unknown_attribute_in_filter(self):
+        with pytest.raises(TBQLSemanticError, match="does not exist"):
+            analyze(parse_query('proc p[dstip = "1.2.3.4"] read file f as e return p'))
+
+    def test_invalid_operation_for_object_type(self):
+        with pytest.raises(TBQLSemanticError, match="not valid"):
+            analyze(parse_query("proc p connect file f as e return p"))
+
+    def test_unknown_operation(self):
+        with pytest.raises(TBQLSemanticError, match="unknown operation"):
+            analyze(parse_query("proc p teleport file f as e return p"))
+
+    def test_with_clause_references_unknown_event(self):
+        with pytest.raises(TBQLSemanticError, match="undeclared event"):
+            analyze(parse_query("proc p read file f as e1 with e1 before e9 return p"))
+
+    def test_temporal_self_relation_rejected(self):
+        with pytest.raises(TBQLSemanticError, match="itself"):
+            analyze(parse_query("proc p read file f as e1 with e1 before e1 return p"))
+
+    def test_attribute_relation_unknown_attribute(self):
+        with pytest.raises(TBQLSemanticError, match="unknown event attribute"):
+            analyze(
+                parse_query(
+                    "proc p read file f as e1 proc q write file g as e2 "
+                    "with e1.bogus = e2.srcid return p"
+                )
+            )
+
+    def test_return_references_unknown_entity(self):
+        with pytest.raises(TBQLSemanticError, match="undeclared entity"):
+            analyze(parse_query("proc p read file f as e return z"))
+
+    def test_return_unknown_attribute(self):
+        with pytest.raises(TBQLSemanticError, match="does not exist"):
+            analyze(parse_query("proc p read file f as e return f.exename"))
+
+    def test_analyzer_reusable(self):
+        analyzer = SemanticAnalyzer()
+        first = analyzer.analyze(parse_query("proc p read file f as e return p"))
+        second = analyzer.analyze(parse_query("proc q write file g as e return q"))
+        assert set(first.entities) == {"p", "f"}
+        assert set(second.entities) == {"q", "g"}

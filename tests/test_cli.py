@@ -1,0 +1,87 @@
+"""Tests for the threatraptor command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import FIGURE2_REPORT
+
+
+@pytest.fixture()
+def audit_log(tmp_path):
+    path = tmp_path / "audit.log"
+    exit_code = main(
+        ["simulate", str(path), "--seed", "3", "--scale", "0.3", "--attack", "figure2-data-leakage"]
+    )
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture()
+def report_file(tmp_path):
+    path = tmp_path / "report.txt"
+    path.write_text(FIGURE2_REPORT.text, encoding="utf-8")
+    return path
+
+
+class TestSimulate:
+    def test_simulate_writes_log(self, audit_log, capsys):
+        assert audit_log.exists()
+        assert audit_log.stat().st_size > 0
+
+    def test_simulate_default_attacks(self, tmp_path, capsys):
+        path = tmp_path / "demo.log"
+        assert main(["simulate", str(path), "--scale", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "malicious=" in output
+
+
+class TestExtractAndSynthesize:
+    def test_extract_prints_graph(self, report_file, capsys):
+        assert main(["extract", str(report_file)]) == 0
+        output = capsys.readouterr().out
+        assert "/bin/tar --[read]--> /etc/passwd" in output
+
+    def test_synthesize_prints_tbql(self, report_file, capsys):
+        assert main(["synthesize", str(report_file)]) == 0
+        output = capsys.readouterr().out
+        assert 'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1' in output
+        assert "return distinct" in output
+
+    def test_synthesize_path_patterns(self, report_file, capsys):
+        assert main(["synthesize", str(report_file), "--path-patterns"]) == 0
+        assert "~>" in capsys.readouterr().out
+
+    def test_missing_report_file_is_error(self, capsys):
+        assert main(["extract", "/nonexistent/report.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestHuntAndQuery:
+    def test_hunt_finds_attack(self, report_file, audit_log, capsys):
+        assert main(["hunt", str(report_file), str(audit_log)]) == 0
+        output = capsys.readouterr().out
+        assert "Synthesized TBQL query" in output
+        assert "192.168.29.128" in output
+        assert "matched events=8" in output
+
+    def test_hunt_unoptimized_backend_graph(self, report_file, audit_log, capsys):
+        assert main(["hunt", str(report_file), str(audit_log), "--backend", "graph", "--no-optimize"]) == 0
+        assert "matched events=8" in capsys.readouterr().out
+
+    def test_query_command(self, tmp_path, audit_log, capsys):
+        query_file = tmp_path / "query.tbql"
+        query_file.write_text(
+            'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e return p, f\n',
+            encoding="utf-8",
+        )
+        assert main(["query", str(query_file), str(audit_log)]) == 0
+        output = capsys.readouterr().out
+        assert "/etc/passwd" in output
+
+    def test_query_syntax_error_reports_cleanly(self, tmp_path, audit_log, capsys):
+        query_file = tmp_path / "bad.tbql"
+        query_file.write_text("this is not tbql", encoding="utf-8")
+        assert main(["query", str(query_file), str(audit_log)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FIGURE2_REPORT
+from repro.evaluation import (
+    PrecisionRecall,
+    score_hunting,
+    score_ioc_extraction,
+    score_relation_extraction,
+    score_sets,
+)
+from repro.nlp.extractor import ThreatBehaviorExtractor
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        score = PrecisionRecall(true_positives=5, false_positives=0, false_negatives=0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_zero_denominators(self):
+        score = PrecisionRecall(true_positives=0, false_positives=0, false_negatives=0)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_partial(self):
+        score = PrecisionRecall(true_positives=3, false_positives=1, false_negatives=3)
+        assert score.precision == pytest.approx(0.75)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(0.6)
+
+    def test_as_dict_rounding(self):
+        score = PrecisionRecall(true_positives=1, false_positives=2, false_negatives=0)
+        assert score.as_dict() == {"precision": 0.3333, "recall": 1.0, "f1": 0.5}
+
+    def test_score_sets(self):
+        score = score_sets({"a", "b", "c"}, {"b", "c", "d"})
+        assert score.true_positives == 2
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+
+
+class TestExtractionScoring:
+    def test_figure2_scores_perfect(self):
+        result = ThreatBehaviorExtractor().extract(FIGURE2_REPORT.text)
+        assert score_ioc_extraction(result, FIGURE2_REPORT).recall == 1.0
+        relation_score = score_relation_extraction(result, FIGURE2_REPORT)
+        assert relation_score.precision == 1.0 and relation_score.recall == 1.0
+
+    def test_empty_extraction_scores_zero_recall(self):
+        result = ThreatBehaviorExtractor().extract("Nothing to see here.")
+        score = score_relation_extraction(result, FIGURE2_REPORT)
+        assert score.recall == 0.0
+
+
+class TestHuntingScoring:
+    def test_hunting_precision_recall(self):
+        score = score_hunting({1, 2, 3, 99}, {1, 2, 3, 4})
+        assert score.true_positives == 3
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+
+    def test_empty_match_set(self):
+        score = score_hunting(set(), {1, 2})
+        assert score.recall == 0.0
+        assert score.precision == 0.0
