@@ -28,6 +28,8 @@ from repro.auditing.events import (
 from repro.auditing.parser import AuditLogParser, ParseStatistics, parse_log_text
 from repro.auditing.reduction import (
     CausalityPreservedReducer,
+    IncrementalReducer,
+    ReducedEvent,
     ReductionStats,
     reduce_trace,
 )
@@ -44,11 +46,13 @@ __all__ = [
     "EventFactory",
     "EventType",
     "FileEntity",
+    "IncrementalReducer",
     "NetworkEntity",
     "OPERATIONS_BY_EVENT_TYPE",
     "Operation",
     "ParseStatistics",
     "ProcessEntity",
+    "ReducedEvent",
     "ReductionStats",
     "SystemEntity",
     "SystemEvent",

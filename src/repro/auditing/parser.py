@@ -11,7 +11,7 @@ same file/process/connection map to a single entity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from repro.auditing.entities import EntityFactory, SystemEntity
 from repro.auditing.events import Operation, SystemEvent
@@ -62,8 +62,37 @@ class AuditLogParser:
         factory = EntityFactory(host=self._host)
         trace = AuditTrace(host=self._host)
         stats = ParseStatistics()
-        events: list[SystemEvent] = []
+        events = [event for event, _, _ in self.iter_events(stream, factory=factory, stats=stats)]
+        trace.add_entities(factory.all_entities())
+        trace.add_events(events)
+        return trace, stats
 
+    def iter_events(
+        self,
+        stream: TextIO | Iterable[str],
+        factory: EntityFactory | None = None,
+        stats: ParseStatistics | None = None,
+    ) -> Iterator[tuple[SystemEvent, SystemEntity, SystemEntity]]:
+        """Incrementally parse ``stream``, yielding one event at a time.
+
+        This is the streaming counterpart of :meth:`parse`: records are
+        converted as they are read instead of materialising a whole trace, so a
+        log can be tailed line by line.  Each item is the parsed event together
+        with its subject and object entities (deduplicated through
+        ``factory``, which callers tailing across multiple reads should pass in
+        and keep).
+
+        Args:
+            factory: Entity factory to deduplicate entities through; a fresh
+                one is created when omitted.
+            stats: Statistics object to update in place; counters are discarded
+                when omitted.
+
+        Raises:
+            AuditLogError: in strict mode, on the first malformed record.
+        """
+        factory = factory if factory is not None else EntityFactory(host=self._host)
+        stats = stats if stats is not None else ParseStatistics()
         for record, error in iter_records_lenient(stream):
             stats.records_seen += 1
             if error is not None:
@@ -74,19 +103,15 @@ class AuditLogParser:
                 continue
             assert record is not None
             try:
-                event = self._record_to_event(record, factory)
+                event, subject, obj = self._record_to_event(record, factory)
             except (AuditLogError, KeyError, ValueError) as exc:
                 if self._strict:
                     raise AuditLogError(str(exc)) from exc
                 stats.records_skipped += 1
                 stats.errors.append(str(exc))
                 continue
-            events.append(event)
             stats.records_parsed += 1
-
-        trace.add_entities(factory.all_entities())
-        trace.add_events(events)
-        return trace, stats
+            yield event, subject, obj
 
     def parse_file(self, path: str) -> tuple[AuditTrace, ParseStatistics]:
         """Parse an audit log file from disk."""
@@ -97,7 +122,7 @@ class AuditLogParser:
 
     def _record_to_event(
         self, record: dict[str, str], factory: EntityFactory
-    ) -> SystemEvent:
+    ) -> tuple[SystemEvent, SystemEntity, SystemEntity]:
         subject = factory.process(
             exename=record["proc.name"],
             pid=int(record["proc.pid"]),
@@ -108,7 +133,7 @@ class AuditLogParser:
         operation = Operation.from_string(record["evt.type"])
         start_time = int(record["evt.time"])
         end_time = int(record.get("evt.endtime", start_time))
-        return SystemEvent(
+        event = SystemEvent(
             event_id=int(record["evt.num"]),
             subject_id=subject.entity_id,
             object_id=obj.entity_id,
@@ -119,6 +144,7 @@ class AuditLogParser:
             amount=int(record.get("evt.buflen", "0") or 0),
             host=record.get("host", self._host),
         )
+        return event, subject, obj
 
     def _parse_object(
         self, record: dict[str, str], factory: EntityFactory

@@ -21,6 +21,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.auditing.events import SystemEvent
 from repro.auditing.trace import AuditTrace
@@ -128,6 +129,16 @@ class CausalityPreservedReducer:
         )
         return reduced, ReductionStats(events_before=before, events_after=len(reduced_events))
 
+    def incremental(self) -> "IncrementalReducer":
+        """A stateful reducer for streamed event batches.
+
+        The returned :class:`IncrementalReducer` applies the same merge rule as
+        :meth:`reduce` but carries its merge-window state across batches, so
+        reducing a time-ordered stream batch by batch produces the same event
+        set as one whole-trace reduction.
+        """
+        return IncrementalReducer(merge_window_ns=self._merge_window_ns)
+
     # -- internal ----------------------------------------------------------
 
     @staticmethod
@@ -150,6 +161,157 @@ class CausalityPreservedReducer:
             if position < len(indices) and indices[position] < index:
                 return True
         return False
+
+
+@dataclass
+class ReducedEvent:
+    """One reduced event emitted by the incremental reducer."""
+
+    event: SystemEvent
+    malicious: bool = False
+
+
+@dataclass
+class _PendingEdge:
+    """The still-merge-open representative of the last event on one edge.
+
+    ``last_end`` is the end time of the last *original* constituent, matching
+    how the batch reducer computes merge gaps against the unmerged predecessor
+    rather than the (time-extended) merged representative.
+    """
+
+    representative: SystemEvent
+    last_end: int
+    malicious: bool = False
+
+
+class IncrementalReducer:
+    """Causality Preserved Reduction over a time-ordered event stream.
+
+    The batch reducer decides whether to merge an event into its same-edge
+    predecessor by looking *backwards* for interleaving events.  Streaming, the
+    same rule is enforced *forwards*: the representative of the last event on
+    each edge stays *pending* (not yet emitted) until it can no longer legally
+    absorb a merge — i.e. until another edge touches one of its endpoints, a
+    same-edge event arrives outside the merge window, or the stream's watermark
+    moves past the window.  Only then is it sealed and emitted.
+
+    Feeding the reducer a time-ordered stream batch by batch and concatenating
+    the emitted events (plus a final :meth:`flush`) yields exactly the event
+    set :meth:`CausalityPreservedReducer.reduce` produces for the whole trace.
+
+    Args:
+        merge_window_ns: Same semantics as :class:`CausalityPreservedReducer`.
+    """
+
+    def __init__(self, merge_window_ns: int | None = 10_000_000_000) -> None:
+        self._merge_window_ns = merge_window_ns
+        self._pending: dict[tuple[int, int, str], _PendingEdge] = {}
+        self._pending_by_entity: dict[int, set[tuple[int, int, str]]] = defaultdict(set)
+        self._watermark_ns: int | None = None
+        self.events_seen = 0
+        self.events_emitted = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Events currently buffered awaiting a merge decision."""
+        return len(self._pending)
+
+    @property
+    def watermark_ns(self) -> int | None:
+        """Largest event start time observed so far (``None`` before any)."""
+        return self._watermark_ns
+
+    def ingest(
+        self, events: Iterable[SystemEvent], malicious_event_ids: Iterable[int] = ()
+    ) -> list[ReducedEvent]:
+        """Feed one micro-batch of events; returns the events sealed by it.
+
+        Events are processed in ``(start_time, event_id)`` order within the
+        batch; across batches the stream is expected to arrive time-ordered
+        (batch-path equivalence only holds for in-order streams).
+        """
+        malicious = set(malicious_event_ids)
+        sealed: list[ReducedEvent] = []
+        for event in sorted(events, key=lambda e: (e.start_time, e.event_id)):
+            self.events_seen += 1
+            edge = (event.subject_id, event.object_id, event.operation.value)
+
+            # Any pending event on a *different* edge touching either endpoint
+            # can no longer absorb merges: this event interleaves it.
+            for entity_id in (event.subject_id, event.object_id):
+                for other_edge in list(self._pending_by_entity.get(entity_id, ())):
+                    if other_edge != edge:
+                        sealed.append(self._seal(other_edge))
+
+            pending = self._pending.get(edge)
+            if pending is not None:
+                gap = event.start_time - pending.last_end
+                if self._merge_window_ns is None or gap <= self._merge_window_ns:
+                    pending.representative = pending.representative.merged_with(event)
+                    pending.last_end = event.end_time
+                    pending.malicious = pending.malicious or event.event_id in malicious
+                    self._advance_watermark(event.start_time)
+                    continue
+                sealed.append(self._seal(edge))
+
+            self._pending[edge] = _PendingEdge(
+                representative=event,
+                last_end=event.end_time,
+                malicious=event.event_id in malicious,
+            )
+            self._pending_by_entity[event.subject_id].add(edge)
+            self._pending_by_entity[event.object_id].add(edge)
+            self._advance_watermark(event.start_time)
+
+        sealed.extend(self._seal_expired())
+        return sealed
+
+    def flush(self) -> list[ReducedEvent]:
+        """Seal and emit every pending event (end of stream / on demand)."""
+        return [self._seal(edge) for edge in list(self._pending)]
+
+    def statistics(self) -> ReductionStats:
+        """Reduction counters over everything ingested so far.
+
+        Pending (not yet sealed) events count as one future emission each.
+        """
+        return ReductionStats(
+            events_before=self.events_seen,
+            events_after=self.events_emitted + self.pending_count,
+        )
+
+    # -- internal ----------------------------------------------------------
+
+    def _advance_watermark(self, start_time: int) -> None:
+        if self._watermark_ns is None or start_time > self._watermark_ns:
+            self._watermark_ns = start_time
+
+    def _seal(self, edge: tuple[int, int, str]) -> ReducedEvent:
+        pending = self._pending.pop(edge)
+        for entity_id in (edge[0], edge[1]):
+            edges = self._pending_by_entity.get(entity_id)
+            if edges is not None:
+                edges.discard(edge)
+                if not edges:
+                    del self._pending_by_entity[entity_id]
+        self.events_emitted += 1
+        return ReducedEvent(event=pending.representative, malicious=pending.malicious)
+
+    def _seal_expired(self) -> list[ReducedEvent]:
+        """Seal pending events no future in-order event could merge with.
+
+        Any future event starts at or after the watermark, so a pending edge
+        whose last constituent ended more than a merge window before the
+        watermark can never be a merge target again.
+        """
+        if self._merge_window_ns is None or self._watermark_ns is None:
+            return []
+        horizon = self._watermark_ns - self._merge_window_ns
+        expired = [
+            edge for edge, pending in self._pending.items() if pending.last_end < horizon
+        ]
+        return [self._seal(edge) for edge in expired]
 
 
 def reduce_trace(

@@ -10,7 +10,9 @@ web UI, as four subcommands:
 * ``threatraptor synthesize`` — additionally synthesize and print the TBQL
   query;
 * ``threatraptor hunt`` — full pipeline: load an audit log, extract, synthesize
-  and execute, printing the matched system auditing records.
+  and execute, printing the matched system auditing records;
+* ``threatraptor watch`` — continuous hunting: stream an audit log through
+  micro-batched ingestion with a standing query, printing alerts as they fire.
 """
 
 from __future__ import annotations
@@ -80,6 +82,26 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("tbql", help="path of the TBQL query file (or '-' for stdin)")
     query.add_argument("log", help="path of the Sysdig-format audit log to search")
     query.add_argument("--limit", type=int, default=20, help="max result rows to print")
+
+    watch = subparsers.add_parser(
+        "watch", help="continuously hunt over a streamed audit log (standing query)"
+    )
+    watch.add_argument("report", help="path of the OSCTI report text file")
+    watch.add_argument("log", help="path of the Sysdig-format audit log to stream")
+    watch.add_argument(
+        "--batch-size", type=int, default=256, help="events per ingestion micro-batch (default: 256)"
+    )
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the log for new records instead of stopping at EOF",
+    )
+    watch.add_argument(
+        "--max-events", type=int, default=None, help="stop after streaming this many events"
+    )
+    watch.add_argument(
+        "--alerts", default=None, help="also append alerts as JSON lines to this file"
+    )
     return parser
 
 
@@ -157,12 +179,53 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.streaming import CallbackSink, JSONLSink, LogTailSource
+
+    with open(args.report, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    raptor = ThreatRaptor()
+    service = raptor.watch(text, name="watch", batch_size=args.batch_size)
+    service.add_sink(CallbackSink(lambda alert: print(f"ALERT {alert.describe()}")))
+
+    standing = service.hunts[0]
+    print("Standing TBQL query:")
+    print(standing.query_text)
+    print()
+
+    source = LogTailSource(
+        path=args.log, follow=args.follow, max_events=args.max_events
+    )
+    if args.alerts is not None:
+        with open(args.alerts, "a", encoding="utf-8") as alert_stream:
+            service.add_sink(JSONLSink(alert_stream))
+            service.run(source)
+    else:
+        service.run(source)
+
+    stats = service.statistics()
+    ingest = stats["ingest"]
+    hunt_stats = stats["hunts"]["watch"]
+    print()
+    print(
+        f"batches={ingest['batches']} events={ingest['events_ingested']} "
+        f"stored={ingest['events_stored']} "
+        f"throughput={ingest['events_per_second']:.0f} events/s"
+    )
+    print(
+        f"evaluations={hunt_stats['evaluations']} alerts={hunt_stats['alerts']} "
+        f"matched events={hunt_stats['matched_events']}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "extract": _command_extract,
     "synthesize": _command_synthesize,
     "hunt": _command_hunt,
     "query": _command_query,
+    "watch": _command_watch,
 }
 
 

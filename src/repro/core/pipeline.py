@@ -11,7 +11,7 @@ stored audit data, returning the matched system auditing records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TextIO
+from typing import TYPE_CHECKING, TextIO
 
 from repro.auditing.parser import AuditLogParser
 from repro.auditing.trace import AuditTrace
@@ -24,6 +24,10 @@ from repro.tbql.executor import TBQLExecutionEngine
 from repro.tbql.formatter import format_query
 from repro.tbql.result import TBQLResult
 from repro.tbql.synthesis import QuerySynthesizer, SynthesisPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.streaming.alerts import AlertSink
+    from repro.streaming.service import HuntingService
 
 
 @dataclass
@@ -109,6 +113,33 @@ class ThreatRaptor:
     def execute_query(self, query: Query | str) -> TBQLResult:
         """Execute a TBQL query (AST or source text) over the stored audit data."""
         return self._engine.execute(query, optimize=self.config.optimize_execution)
+
+    # -- continuous hunting ------------------------------------------------------------
+
+    def watch(
+        self,
+        report_text: str | None = None,
+        query: Query | str | None = None,
+        name: str = "hunt",
+        batch_size: int = 256,
+        sinks: "tuple[AlertSink, ...]" = (),
+    ) -> "HuntingService":
+        """Create a continuous hunting service bound to this pipeline.
+
+        The returned :class:`~repro.streaming.service.HuntingService` shares
+        this instance's audit store and execution engine, so data already
+        loaded stays huntable and streamed batches land in the same backends.
+        When ``report_text`` (an OSCTI report, synthesized on registration) or
+        ``query`` (TBQL) is given, a standing hunt called ``name`` is
+        registered immediately; either way more hunts can be registered on the
+        service afterwards.
+        """
+        from repro.streaming.service import HuntingService
+
+        service = HuntingService(raptor=self, batch_size=batch_size, sinks=sinks)
+        if report_text is not None or query is not None:
+            service.register_hunt(name, report=report_text, query=query)
+        return service
 
     # -- end to end ----------------------------------------------------------------------
 

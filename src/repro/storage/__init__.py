@@ -1,7 +1,7 @@
 """Storage component: relational (PostgreSQL-like) and graph (Neo4j-like) backends."""
 
 from repro.storage.graph import GraphDatabase
-from repro.storage.loader import AuditStore, LoadReport
+from repro.storage.loader import AppendReport, AuditStore, LoadReport
 from repro.storage.relational import RelationalDatabase
 
-__all__ = ["AuditStore", "GraphDatabase", "LoadReport", "RelationalDatabase"]
+__all__ = ["AppendReport", "AuditStore", "GraphDatabase", "LoadReport", "RelationalDatabase"]

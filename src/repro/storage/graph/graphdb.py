@@ -41,6 +41,15 @@ class GraphDatabase:
         self._outgoing: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
         self._incoming: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
 
+    def clear(self) -> None:
+        """Drop every node, edge and index."""
+        self._nodes.clear()
+        self._edges.clear()
+        self._label_index.clear()
+        self._property_index.clear()
+        self._outgoing.clear()
+        self._incoming.clear()
+
     # -- loading -----------------------------------------------------------
 
     def add_node(self, node: Node) -> None:
@@ -116,6 +125,32 @@ class GraphDatabase:
         return {
             "nodes": self.load_entities(trace.entities),
             "edges": self.load_events(trace.events),
+        }
+
+    # -- incremental loading -------------------------------------------------
+
+    def has_node(self, node_id: int) -> bool:
+        """True when a node with ``node_id`` is already stored."""
+        return node_id in self._nodes
+
+    def append_entities(self, entities: Iterable[SystemEntity]) -> int:
+        """Load entities whose ids are not yet present; returns the number added."""
+        return self.load_entities(
+            entity for entity in entities if entity.entity_id not in self._nodes
+        )
+
+    def append_batch(
+        self, entities: Iterable[SystemEntity], events: Iterable[SystemEvent]
+    ) -> dict[str, int]:
+        """Incrementally append one micro-batch of entities and events.
+
+        Unlike :meth:`load_trace` this is safe to call repeatedly: nodes for
+        entities observed in earlier batches are skipped rather than rejected
+        as duplicates.
+        """
+        return {
+            "nodes": self.append_entities(entities),
+            "edges": self.load_events(events),
         }
 
     # -- node access ---------------------------------------------------------

@@ -75,17 +75,20 @@ class RelationalDatabase:
     """In-memory relational store for audit logging data."""
 
     def __init__(self) -> None:
-        self._tables: dict[str, Table] = {
-            "entities": Table(ENTITY_SCHEMA),
-            "events": Table(EVENT_SCHEMA),
-        }
+        self._tables: dict[str, Table] = {}
+        self.clear()
+        self._executor = QueryExecutor(self._tables)
+
+    def clear(self) -> None:
+        """Drop every row and rebuild the audit schema with fresh indexes."""
+        self._tables["entities"] = Table(ENTITY_SCHEMA)
+        self._tables["events"] = Table(EVENT_SCHEMA)
         for table_name, columns in DEFAULT_HASH_INDEXES.items():
             for column in columns:
                 self._tables[table_name].create_hash_index(column)
         for table_name, columns in DEFAULT_SORTED_INDEXES.items():
             for column in columns:
                 self._tables[table_name].create_sorted_index(column)
-        self._executor = QueryExecutor(self._tables)
 
     # -- loading -----------------------------------------------------------
 
@@ -102,6 +105,38 @@ class RelationalDatabase:
         return {
             "entities": self.load_entities(trace.entities),
             "events": self.load_events(trace.events),
+        }
+
+    # -- incremental loading -------------------------------------------------
+
+    def has_entity(self, entity_id: int) -> bool:
+        """True when an entity row with ``entity_id`` is already stored."""
+        return next(self._tables["entities"].lookup_equal("id", entity_id), None) is not None
+
+    def append_entities(self, entities: Iterable[SystemEntity]) -> int:
+        """Insert entities not yet present (by id); returns the number added."""
+        count = 0
+        for entity in entities:
+            if not self.has_entity(entity.entity_id):
+                self._tables["entities"].insert(entity.to_row())
+                count += 1
+        return count
+
+    def append_events(self, events: Iterable[SystemEvent]) -> int:
+        """Append events to the store; returns the number added."""
+        return self.load_events(events)
+
+    def append_batch(
+        self, entities: Iterable[SystemEntity], events: Iterable[SystemEvent]
+    ) -> dict[str, int]:
+        """Incrementally append one micro-batch of entities and events.
+
+        Unlike :meth:`load_trace` this is safe to call repeatedly: entities
+        observed in earlier batches are skipped rather than duplicated.
+        """
+        return {
+            "entities": self.append_entities(entities),
+            "events": self.append_events(events),
         }
 
     # -- querying ----------------------------------------------------------

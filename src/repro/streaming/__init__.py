@@ -1,0 +1,46 @@
+"""Streaming ingestion and continuous hunting.
+
+This package turns the batch ThreatRaptor pipeline into a continuously
+running service:
+
+* :mod:`repro.streaming.source` — where events come from (log tailing with
+  incremental parsing, workload replay);
+* :mod:`repro.streaming.ingest` — micro-batched appends into both storage
+  backends with incremental Causality Preserved Reduction;
+* :mod:`repro.streaming.monitor` — standing TBQL queries re-evaluated per
+  batch with watermark windowing and alert deduplication;
+* :mod:`repro.streaming.alerts` — structured alerts and delivery sinks;
+* :mod:`repro.streaming.service` — the :class:`HuntingService` facade tying
+  it all together (``raptor.watch(...)`` returns one).
+"""
+
+from repro.streaming.alerts import Alert, AlertSink, CallbackSink, JSONLSink, ListSink
+from repro.streaming.ingest import IngestStatistics, IngestedBatch, StreamIngestor
+from repro.streaming.monitor import QueryMonitor, StandingQuery
+from repro.streaming.service import HuntingService
+from repro.streaming.source import (
+    EventSource,
+    LogTailSource,
+    ReplaySource,
+    StreamRecord,
+    iter_batches,
+)
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "CallbackSink",
+    "EventSource",
+    "HuntingService",
+    "IngestStatistics",
+    "IngestedBatch",
+    "JSONLSink",
+    "ListSink",
+    "LogTailSource",
+    "QueryMonitor",
+    "ReplaySource",
+    "StandingQuery",
+    "StreamIngestor",
+    "StreamRecord",
+    "iter_batches",
+]

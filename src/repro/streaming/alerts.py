@@ -1,0 +1,100 @@
+"""Structured alerts raised by standing hunts, and where they go.
+
+An :class:`Alert` is one new match of a standing query: which hunt fired, in
+which micro-batch, over which audit events, and which concrete system entities
+were bound.  Sinks deliver alerts somewhere useful — a callback for in-process
+consumers, a JSONL stream for files/pipes, or an in-memory list for tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, TextIO
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One deduplicated standing-query match.
+
+    Attributes:
+        hunt: Name of the standing hunt that fired.
+        batch_index: Micro-batch (0-based) whose data completed the match.
+        matched_event_ids: The stored audit event ids bound by the match; the
+            alert's identity for deduplication.
+        start_time_ns: Earliest event start among the matched events.
+        end_time_ns: Latest event end among the matched events.
+        entities: Bound entities, ``identifier -> display value`` (process
+            exename, file name, connection dstip).
+    """
+
+    hunt: str
+    batch_index: int
+    matched_event_ids: tuple[int, ...]
+    start_time_ns: int
+    end_time_ns: int
+    entities: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (JSONL sink, APIs)."""
+        return {
+            "hunt": self.hunt,
+            "batch": self.batch_index,
+            "matched_event_ids": list(self.matched_event_ids),
+            "start_time_ns": self.start_time_ns,
+            "end_time_ns": self.end_time_ns,
+            "entities": dict(self.entities),
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for CLIs and logs."""
+        bound = ", ".join(f"{name}={value}" for name, value in sorted(self.entities.items()))
+        return (
+            f"[{self.hunt}] batch={self.batch_index} "
+            f"events={list(self.matched_event_ids)} {bound}"
+        )
+
+
+class AlertSink:
+    """Base class for alert destinations."""
+
+    def emit(self, alert: Alert) -> None:
+        raise NotImplementedError
+
+
+class CallbackSink(AlertSink):
+    """Invokes ``callback(alert)`` for every alert."""
+
+    def __init__(self, callback: Callable[[Alert], None]) -> None:
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)
+
+
+class ListSink(AlertSink):
+    """Collects alerts in memory (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+
+class JSONLSink(AlertSink):
+    """Writes one JSON object per alert to a text stream."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+
+    def emit(self, alert: Alert) -> None:
+        self._stream.write(json.dumps(alert.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+
+
+__all__ = ["Alert", "AlertSink", "CallbackSink", "JSONLSink", "ListSink"]

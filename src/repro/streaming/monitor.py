@@ -1,0 +1,249 @@
+"""Standing TBQL queries, re-evaluated incrementally per micro-batch.
+
+A registered hunt keeps its synthesized TBQL query *standing*: after every
+ingested micro-batch the query is re-executed and any **new** matches are
+turned into alerts.  Two mechanisms keep that cheap and exact:
+
+* **Watermark windowing** — because ingestion appends events in time order,
+  every match that is new in a batch must bind at least one newly stored
+  event; and when the query's ``with`` clause orders every pattern before a
+  unique final pattern (the *temporal sink*, e.g. ``evt8`` in the Figure 2
+  query), that sink's event must itself start at or after the batch's
+  watermark.  The monitor therefore narrows the sink pattern to the window
+  ``[watermark, ∞)``, so each re-evaluation scans only new data and constrains
+  the remaining patterns from it, instead of re-running the query over the
+  whole store.
+* **Alert deduplication** — matches are identified by the set of audit event
+  ids they bind; signatures already seen (including ones re-found because the
+  watermark had to be conservative) are suppressed, so a match alerts exactly
+  once no matter how many batches re-find it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dataclass_field
+from dataclasses import replace
+from typing import Any, Callable, Iterable
+
+from repro.auditing.entities import DEFAULT_ATTRIBUTE, EntityType
+from repro.streaming.alerts import Alert
+from repro.tbql.ast import Query, TimeWindow
+from repro.tbql.formatter import format_query
+from repro.tbql.parser import parse_query
+from repro.tbql.result import TBQLResult
+
+#: Upper bound used for open-ended watermark windows.
+MAX_TIME_NS = 2**63 - 1
+
+
+@dataclass
+class StandingQuery:
+    """One registered hunt and its incremental evaluation state."""
+
+    name: str
+    query: Query
+    query_text: str
+    #: Event id of the temporal sink pattern (see module docstring), or
+    #: ``None`` when the query has no unique temporally-final pattern — such
+    #: hunts fall back to full re-evaluation plus deduplication.
+    sink_event_id: str | None = None
+    evaluations: int = 0
+    eval_seconds: float = 0.0
+    alerts_raised: int = 0
+    _seen_signatures: set[tuple[int, ...]] = dataclass_field(default_factory=set)
+    _matched_event_ids: set[int] = dataclass_field(default_factory=set)
+    _initialized: bool = False
+
+    def matched_event_ids(self) -> set[int]:
+        """Union of audit event ids matched by this hunt so far."""
+        return set(self._matched_event_ids)
+
+
+class QueryMonitor:
+    """Evaluates standing queries against the store after each batch.
+
+    Args:
+        execute: Query execution callable, typically
+            :meth:`ThreatRaptor.execute_query` or an engine's ``execute``.
+    """
+
+    def __init__(self, execute: Callable[[Query], TBQLResult]) -> None:
+        self._execute = execute
+        self._queries: dict[str, StandingQuery] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name: str, query: Query | str) -> StandingQuery:
+        """Register a standing query under ``name``.
+
+        Raises:
+            ValueError: if the name is already taken.
+        """
+        if name in self._queries:
+            raise ValueError(f"a standing query named {name!r} is already registered")
+        ast = parse_query(query) if isinstance(query, str) else query
+        standing = StandingQuery(
+            name=name,
+            query=ast,
+            query_text=format_query(ast),
+            sink_event_id=self._temporal_sink(ast),
+        )
+        self._queries[name] = standing
+        return standing
+
+    def unregister(self, name: str) -> None:
+        self._queries.pop(name, None)
+
+    @property
+    def queries(self) -> list[StandingQuery]:
+        return list(self._queries.values())
+
+    def query(self, name: str) -> StandingQuery:
+        return self._queries[name]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self, batch_index: int, watermark_start_ns: int | None
+    ) -> list[Alert]:
+        """Re-evaluate every standing query against the current store state.
+
+        Args:
+            batch_index: Sequence number recorded on raised alerts.
+            watermark_start_ns: Earliest start time of the events the batch
+                just made queryable; sink patterns are narrowed to
+                ``[watermark, ∞)``.  ``None`` forces a full evaluation.
+
+        Returns:
+            The newly raised (deduplicated) alerts across all hunts.
+        """
+        alerts: list[Alert] = []
+        for standing in self._queries.values():
+            alerts.extend(self._evaluate_one(standing, batch_index, watermark_start_ns))
+        return alerts
+
+    def _evaluate_one(
+        self, standing: StandingQuery, batch_index: int, watermark_start_ns: int | None
+    ) -> list[Alert]:
+        # The first evaluation always scans everything: data ingested before
+        # the hunt was registered would otherwise never be matched.
+        windowed = self._windowed_query(standing, watermark_start_ns)
+        started = time.perf_counter()
+        result = self._execute(windowed)
+        standing.eval_seconds += time.perf_counter() - started
+        standing.evaluations += 1
+        standing._initialized = True
+
+        alerts: list[Alert] = []
+        for binding in result.bindings:
+            signature = self._signature(binding)
+            if not signature or signature in standing._seen_signatures:
+                continue
+            standing._seen_signatures.add(signature)
+            standing._matched_event_ids.update(signature)
+            standing.alerts_raised += 1
+            alerts.append(self._alert(standing, batch_index, binding, signature))
+        return alerts
+
+    # -- internal ------------------------------------------------------------
+
+    def _windowed_query(
+        self, standing: StandingQuery, watermark_start_ns: int | None
+    ) -> Query:
+        """The query to actually run: sink narrowed to new data when possible."""
+        if (
+            watermark_start_ns is None
+            or not standing._initialized
+            or standing.sink_event_id is None
+        ):
+            return standing.query
+        patterns = []
+        for pattern in standing.query.patterns:
+            if pattern.event_id == standing.sink_event_id:
+                window = pattern.window
+                start = watermark_start_ns if window is None else max(window.start, watermark_start_ns)
+                end = MAX_TIME_NS if window is None else window.end
+                pattern = replace(pattern, window=TimeWindow(start=start, end=end))
+            patterns.append(pattern)
+        return replace(standing.query, patterns=patterns)
+
+    @staticmethod
+    def _temporal_sink(query: Query) -> str | None:
+        """The unique temporally-final pattern every other pattern precedes.
+
+        Windowing is only sound when *every* pattern is ordered before the
+        sink: then any match containing a new event has a sink event at least
+        as recent, so restricting the sink to ``[watermark, ∞)`` cannot drop a
+        new match.
+        """
+        pattern_ids = [pattern.event_id for pattern in query.patterns]
+        if len(pattern_ids) == 1:
+            return pattern_ids[0]
+        if not query.temporal_relations:
+            return None
+        successors: dict[str, set[str]] = {}
+        for relation in query.temporal_relations:
+            normalized = relation.normalized()
+            successors.setdefault(normalized.left, set()).add(normalized.right)
+        candidates = [
+            event_id for event_id in pattern_ids if not successors.get(event_id)
+        ]
+        if len(candidates) != 1:
+            return None
+        sink = candidates[0]
+        # Every other pattern must reach the sink through `before` edges.
+        reaches_sink = {sink}
+        changed = True
+        while changed:
+            changed = False
+            for left, rights in successors.items():
+                if left not in reaches_sink and rights & reaches_sink:
+                    reaches_sink.add(left)
+                    changed = True
+        if all(event_id in reaches_sink for event_id in pattern_ids):
+            return sink
+        return None
+
+    @staticmethod
+    def _signature(binding: dict[str, dict[str, Any]]) -> tuple[int, ...]:
+        """A match's identity: the sorted set of audit event ids it binds."""
+        matched: set[int] = set()
+        for key, value in binding.items():
+            if key.startswith("@"):
+                matched.update(value.get("edge_ids", ()))
+        return tuple(sorted(matched))
+
+    @staticmethod
+    def _alert(
+        standing: StandingQuery,
+        batch_index: int,
+        binding: dict[str, dict[str, Any]],
+        signature: Iterable[int],
+    ) -> Alert:
+        starts: list[int] = []
+        ends: list[int] = []
+        entities: dict[str, Any] = {}
+        for key, value in binding.items():
+            if key.startswith("@"):
+                starts.append(value["starttime"])
+                ends.append(value["endtime"])
+                continue
+            display = value.get("id")
+            try:
+                attribute = DEFAULT_ATTRIBUTE[EntityType(value.get("type"))]
+                display = value.get(attribute, display)
+            except ValueError:
+                pass
+            entities[key] = display
+        return Alert(
+            hunt=standing.name,
+            batch_index=batch_index,
+            matched_event_ids=tuple(signature),
+            start_time_ns=min(starts) if starts else 0,
+            end_time_ns=max(ends) if ends else 0,
+            entities=entities,
+        )
+
+
+__all__ = ["MAX_TIME_NS", "QueryMonitor", "StandingQuery"]

@@ -1,0 +1,167 @@
+"""The continuous hunting service: ingestion + standing queries + alerts.
+
+:class:`HuntingService` turns the one-shot ThreatRaptor pipeline into a
+continuously running monitor.  It owns a
+:class:`~repro.streaming.ingest.StreamIngestor` appending micro-batches into
+the shared audit store and a :class:`~repro.streaming.monitor.QueryMonitor`
+re-evaluating every registered hunt after each batch, dispatching new matches
+to the configured alert sinks.
+
+Typical usage::
+
+    raptor = ThreatRaptor()
+    service = raptor.watch(report_text, name="figure2")
+    service.add_sink(CallbackSink(lambda alert: print(alert.describe())))
+    service.run(LogTailSource(path="audit.log"))
+    print(service.statistics())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.streaming.alerts import Alert, AlertSink
+from repro.streaming.ingest import IngestedBatch, StreamIngestor
+from repro.streaming.monitor import QueryMonitor, StandingQuery
+from repro.streaming.source import EventSource, StreamRecord
+from repro.tbql.ast import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pipeline import ThreatRaptor
+
+
+class HuntingService:
+    """Continuous hunting over a stream of audit events.
+
+    Args:
+        raptor: The pipeline facade providing storage, synthesis and query
+            execution.  A default-configured one is built when omitted.
+        batch_size: Records per ingestion micro-batch.
+        sinks: Initial alert sinks; more can be added with :meth:`add_sink`.
+    """
+
+    def __init__(
+        self,
+        raptor: "ThreatRaptor | None" = None,
+        batch_size: int = 256,
+        sinks: Iterable[AlertSink] = (),
+    ) -> None:
+        if raptor is None:
+            from repro.core.pipeline import ThreatRaptor
+
+            raptor = ThreatRaptor()
+        self._raptor = raptor
+        self._ingestor = StreamIngestor(raptor.store, batch_size=batch_size)
+        self._monitor = QueryMonitor(raptor.execute_query)
+        self._sinks: list[AlertSink] = list(sinks)
+        self._started = time.perf_counter()
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def raptor(self) -> "ThreatRaptor":
+        return self._raptor
+
+    @property
+    def hunts(self) -> list[StandingQuery]:
+        return self._monitor.queries
+
+    def add_sink(self, sink: AlertSink) -> "HuntingService":
+        """Add one alert destination; returns ``self`` for chaining."""
+        self._sinks.append(sink)
+        return self
+
+    def register_hunt(
+        self,
+        name: str,
+        report: str | None = None,
+        query: Query | str | None = None,
+    ) -> StandingQuery:
+        """Register a standing hunt from an OSCTI report or a TBQL query.
+
+        Exactly one of ``report`` (OSCTI text, synthesized into a TBQL query on
+        registration — the paper's pipeline) or ``query`` (hand-written TBQL
+        source or AST) must be given.
+        """
+        if (report is None) == (query is None):
+            raise ValueError("register_hunt needs exactly one of report= or query=")
+        if report is not None:
+            extraction = self._raptor.extract_behavior_graph(report)
+            query = self._raptor.synthesize_query(extraction.graph)
+        assert query is not None
+        return self._monitor.register(name, query)
+
+    # -- processing ----------------------------------------------------------
+
+    def process_batch(self, records: Iterable[StreamRecord]) -> list[Alert]:
+        """Ingest one micro-batch and re-evaluate every standing hunt."""
+        batch = self._ingestor.ingest(records)
+        return self._evaluate(batch)
+
+    def run(
+        self, source: EventSource | Iterable[StreamRecord], max_batches: int | None = None
+    ) -> list[Alert]:
+        """Consume a source to exhaustion, then flush pending events.
+
+        Returns every alert raised during the run.  Follow-mode sources never
+        exhaust on their own; bound them with ``max_batches`` or the source's
+        own ``max_events``.
+        """
+        alerts: list[Alert] = []
+        for processed, batch in enumerate(self._ingestor.ingest_stream(iter(source)), start=1):
+            alerts.extend(self._evaluate(batch))
+            if max_batches is not None and processed >= max_batches:
+                break
+        alerts.extend(self.flush())
+        return alerts
+
+    def flush(self) -> list[Alert]:
+        """Seal pending (merge-open) events and run a final evaluation."""
+        batch = self._ingestor.flush()
+        if not batch.report.stored_events:
+            return []
+        return self._evaluate(batch)
+
+    def _evaluate(self, batch: IngestedBatch) -> list[Alert]:
+        if not batch.report.stored_events:
+            return []
+        alerts = self._monitor.evaluate(batch.index, batch.watermark_start_ns)
+        for alert in alerts:
+            for sink in self._sinks:
+                sink.emit(alert)
+        return alerts
+
+    # -- statistics ----------------------------------------------------------
+
+    def matched_event_ids(self, name: str) -> set[int]:
+        """Audit event ids matched so far by the hunt called ``name``."""
+        return self._monitor.query(name).matched_event_ids()
+
+    def statistics(self) -> dict[str, Any]:
+        """Ingest throughput and per-hunt evaluation/alert counters."""
+        ingest = self._ingestor.statistics
+        return {
+            "uptime_seconds": time.perf_counter() - self._started,
+            "ingest": {
+                "batches": ingest.batches,
+                "events_ingested": ingest.events_ingested,
+                "events_stored": ingest.events_stored,
+                "entities_stored": ingest.entities_stored,
+                "seconds": ingest.seconds,
+                "events_per_second": ingest.events_per_second,
+                "pending_events": self._raptor.store.pending_events,
+            },
+            "hunts": {
+                standing.name: {
+                    "evaluations": standing.evaluations,
+                    "eval_seconds": standing.eval_seconds,
+                    "alerts": standing.alerts_raised,
+                    "matched_events": len(standing.matched_event_ids()),
+                }
+                for standing in self._monitor.queries
+            },
+        }
+
+
+__all__ = ["HuntingService"]

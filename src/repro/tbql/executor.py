@@ -109,6 +109,7 @@ class TBQLExecutionEngine:
         statistics: dict[str, Any],
     ) -> list[Binding]:
         combined: list[Binding] | None = None
+        bound_identifiers: set[str] = set()
         for step in schedule:
             constraints = {}
             if optimize and combined is not None:
@@ -119,7 +120,13 @@ class TBQLExecutionEngine:
             if combined is None:
                 combined = match_set.bindings
             else:
-                combined = self._join(combined, match_set.bindings)
+                shared = tuple(
+                    identifier
+                    for identifier in dict.fromkeys(step.pattern.entity_identifiers())
+                    if identifier in bound_identifiers
+                )
+                combined = self._join(combined, match_set.bindings, shared)
+            bound_identifiers.update(step.pattern.entity_identifiers())
             if not combined:
                 # Early termination: a conjunctive query with an empty pattern
                 # result can never produce rows.
@@ -243,17 +250,26 @@ class TBQLExecutionEngine:
     # -- joining -------------------------------------------------------------------
 
     @staticmethod
-    def _join(left: list[Binding], right: list[Binding]) -> list[Binding]:
+    def _join(
+        left: list[Binding], right: list[Binding], shared: tuple[str, ...]
+    ) -> list[Binding]:
+        """Hash-join two binding sets on the ``shared`` entity identifiers.
+
+        ``shared`` comes from the patterns' *declared* entity identifiers, not
+        from inspecting the first binding of each side: a binding missing a
+        declared identifier must fail loudly rather than silently dropping the
+        join key and cross-joining.
+        """
         if not left or not right:
             return []
-        shared = [
-            key
-            for key in left[0]
-            if not key.startswith("@") and right and key in right[0]
-        ]
 
         def key_of(binding: Binding) -> tuple[Any, ...]:
-            return tuple(binding[name]["id"] for name in shared)
+            try:
+                return tuple(binding[name]["id"] for name in shared)
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"binding is missing shared entity identifier {exc.args[0]!r}"
+                ) from None
 
         buckets: dict[tuple[Any, ...], list[Binding]] = {}
         for binding in left:

@@ -55,22 +55,24 @@ class ExecutionScheduler:
 
     def schedule(self, query: Query) -> list[ScheduledPattern]:
         """Produce the execution order for ``query``'s patterns."""
-        remaining: list[Pattern] = list(query.patterns)
-        scores = {pattern.event_id: pruning_score(pattern) for pattern in remaining}
+        # Ties on pruning score break toward declaration order.  Declaration
+        # indices are precomputed per position: looking a pattern up with
+        # ``list.index`` would find the *first equal* pattern, misordering
+        # queries that declare duplicate (dataclass-equal) patterns.
+        scores = [pruning_score(pattern) for pattern in query.patterns]
+        remaining: list[int] = list(range(len(query.patterns)))
         scheduled: list[ScheduledPattern] = []
         bound_identifiers: set[str] = set()
 
         while remaining:
             connected = [
-                pattern
-                for pattern in remaining
-                if bound_identifiers.intersection(pattern.entity_identifiers())
+                index
+                for index in remaining
+                if bound_identifiers.intersection(query.patterns[index].entity_identifiers())
             ]
             candidates = connected if connected else remaining
-            best = max(
-                candidates,
-                key=lambda pattern: (scores[pattern.event_id], -query.patterns.index(pattern)),
-            )
+            best_index = max(candidates, key=lambda index: (scores[index], -index))
+            best = query.patterns[best_index]
             shared = tuple(
                 identifier
                 for identifier in best.entity_identifiers()
@@ -78,11 +80,11 @@ class ExecutionScheduler:
             )
             scheduled.append(
                 ScheduledPattern(
-                    pattern=best, score=scores[best.event_id], constrained_identifiers=shared
+                    pattern=best, score=scores[best_index], constrained_identifiers=shared
                 )
             )
             bound_identifiers.update(best.entity_identifiers())
-            remaining.remove(best)
+            remaining.remove(best_index)
         return scheduled
 
     def schedule_unoptimized(self, query: Query) -> list[ScheduledPattern]:

@@ -142,3 +142,65 @@ class TestCausalityPreservedReducer:
         trace = builder.build()
         reduced, _ = reduce_trace(trace)
         assert sum(e.amount for e in reduced.events) == sum(e.amount for e in trace.events)
+
+
+class TestIncrementalReducer:
+    """The streaming-mode reducer must match whole-trace reduction exactly."""
+
+    @staticmethod
+    def _noisy_trace():
+        builder = ScenarioBuilder(seed=3)
+        NoisyFileServerWorkload(sessions=3, operations_per_session=30).generate(builder)
+        return builder.build()
+
+    def _stream(self, reducer, trace, batch_size):
+        incremental = reducer.incremental()
+        ordered = sorted(trace.events, key=lambda e: (e.start_time, e.event_id))
+        emitted = []
+        for start in range(0, len(ordered), batch_size):
+            emitted.extend(
+                incremental.ingest(ordered[start : start + batch_size], trace.malicious_event_ids)
+            )
+        emitted.extend(incremental.flush())
+        return incremental, emitted
+
+    def test_matches_batch_reduction_for_any_batch_size(self):
+        trace = self._noisy_trace()
+        for window in (10_000_000_000, 2_000_000, None):
+            reducer = CausalityPreservedReducer(merge_window_ns=window)
+            reduced, _ = reducer.reduce(trace)
+            expected = {
+                (e.event_id, e.start_time, e.end_time, e.amount) for e in reduced.events
+            }
+            for batch_size in (1, 13, 10_000):
+                _, emitted = self._stream(reducer, trace, batch_size)
+                streamed = {
+                    (r.event.event_id, r.event.start_time, r.event.end_time, r.event.amount)
+                    for r in emitted
+                }
+                assert streamed == expected, (window, batch_size)
+
+    def test_malicious_labels_match_batch_reduction(self):
+        builder = ScenarioBuilder(seed=5)
+        NoisyFileServerWorkload(sessions=2, operations_per_session=25).generate(builder)
+        trace = builder.build()
+        # Label a run of events malicious so some merge into representatives.
+        for event in trace.events[10:30]:
+            trace.malicious_event_ids.add(event.event_id)
+        reducer = CausalityPreservedReducer()
+        reduced, _ = reducer.reduce(trace)
+        _, emitted = self._stream(reducer, trace, batch_size=7)
+        assert {r.event.event_id for r in emitted if r.malicious} == reduced.malicious_event_ids
+
+    def test_counters_and_pending(self):
+        trace = self._noisy_trace()
+        reducer = CausalityPreservedReducer()
+        incremental = reducer.incremental()
+        incremental.ingest(trace.events, trace.malicious_event_ids)
+        assert incremental.events_seen == len(trace.events)
+        assert incremental.pending_count > 0
+        stats = incremental.statistics()
+        assert stats.events_before == len(trace.events)
+        incremental.flush()
+        assert incremental.pending_count == 0
+        assert incremental.events_emitted == stats.events_after

@@ -56,3 +56,72 @@ class TestAuditStore:
         assert store.loaded_trace is None
         stats = store.statistics()
         assert stats["graph"]["nodes"] == 0
+
+
+class TestRepeatedLoads:
+    """Regression tests: repeated load_trace calls are well-defined."""
+
+    def test_double_load_replaces_not_overlays(self):
+        first = _bursty_trace()
+        builder = ScenarioBuilder(seed=99)
+        WebServerWorkload(requests=5).generate(builder)
+        second = builder.build()
+
+        store = AuditStore(apply_reduction=False)
+        store.load_trace(first)
+        report = store.load_trace(second)
+        # Exactly the second trace is stored — no half-overwritten mixture.
+        assert report.relational_rows["events"] == len(second.events)
+        assert len(store.relational.table("events")) == len(second.events)
+        assert store.graph.edge_count() == len(second.events)
+        assert len(store.relational.table("entities")) == len(second.entities)
+        assert store.graph.node_count() == len(second.entities)
+        assert store.loaded_trace is second
+
+    def test_double_load_same_trace_is_idempotent(self):
+        trace = _bursty_trace()
+        store = AuditStore()
+        store.load_trace(trace)
+        first_stats = store.statistics()
+        store.load_trace(trace)
+        assert store.statistics() == first_stats
+
+    @staticmethod
+    def _halves():
+        """One trace split in two halves sharing the entity/event id space."""
+        from repro.auditing.trace import AuditTrace
+
+        whole = _bursty_trace()
+        midpoint = len(whole.events) // 2
+        first = AuditTrace(host=whole.host, entities=list(whole.entities))
+        first.add_events(whole.events[:midpoint])
+        second = AuditTrace(host=whole.host, entities=list(whole.entities))
+        second.add_events(whole.events[midpoint:])
+        return whole, first, second
+
+    def test_append_adds_to_existing_data(self):
+        whole, first, second = self._halves()
+        store = AuditStore(apply_reduction=False)
+        store.load_trace(first)
+        store.load_trace(second, append=True)
+        assert len(store.relational.table("events")) == len(whole.events)
+        assert store.graph.edge_count() == len(whole.events)
+        assert len(store.relational.table("entities")) == len(whole.entities)
+        assert store.graph.node_count() == len(whole.entities)
+
+    def test_append_does_not_mutate_caller_trace(self):
+        _, first, second = self._halves()
+        store = AuditStore(apply_reduction=False)
+        store.load_trace(first)
+        events_before = len(first.events)
+        store.load_trace(second, append=True)
+        assert len(first.events) == events_before
+        assert store.loaded_trace is not first
+
+    def test_reset_empties_both_backends(self):
+        store = AuditStore()
+        store.load_trace(_bursty_trace())
+        store.reset()
+        assert store.loaded_trace is None
+        assert len(store.relational.table("events")) == 0
+        assert store.graph.node_count() == 0

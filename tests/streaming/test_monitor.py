@@ -1,0 +1,104 @@
+"""Tests for standing-query monitoring: windowing, dedup, sink detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.monitor import MAX_TIME_NS, QueryMonitor
+from repro.tbql.ast import TimeWindow
+from repro.tbql.parser import parse_query
+
+_CHAIN_QUERY = """
+proc p1["%tar%"] read file f1["%passwd%"] as evt1
+proc p1 write file f2["%upload%"] as evt2
+proc p2["%curl%"] read file f2 as evt3
+with evt1 before evt2, evt2 before evt3
+return p1, f1, f2, p2
+"""
+
+_UNORDERED_QUERY = """
+proc p1["%tar%"] read file f1["%passwd%"] as evt1
+proc p2["%curl%"] read file f2["%upload%"] as evt2
+return p1, p2
+"""
+
+
+def _noop_execute(query):  # pragma: no cover - only used for registration tests
+    raise AssertionError("not expected to execute")
+
+
+class TestTemporalSink:
+    def test_chain_query_has_final_sink(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        assert standing.sink_event_id == "evt3"
+
+    def test_single_pattern_is_its_own_sink(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("single", 'proc p read file f as e return p, f')
+        assert standing.sink_event_id == "e"
+
+    def test_unordered_query_has_no_sink(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("unordered", _UNORDERED_QUERY)
+        assert standing.sink_event_id is None
+
+    def test_partial_order_without_unique_sink(self):
+        query = """
+        proc p1["%a%"] read file f1["%x%"] as evt1
+        proc p2["%b%"] read file f2["%y%"] as evt2
+        proc p3["%c%"] read file f3["%z%"] as evt3
+        with evt1 before evt2
+        return p1, p2, p3
+        """
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("partial", query)
+        # evt2 and evt3 are both maximal: windowing would be unsound.
+        assert standing.sink_event_id is None
+
+
+class TestWindowing:
+    def test_sink_pattern_gets_watermark_window(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        standing._initialized = True
+        windowed = monitor._windowed_query(standing, 12345)
+        by_id = {pattern.event_id: pattern for pattern in windowed.patterns}
+        assert by_id["evt3"].window == TimeWindow(start=12345, end=MAX_TIME_NS)
+        assert by_id["evt1"].window is None
+        assert by_id["evt2"].window is None
+
+    def test_existing_window_is_intersected(self):
+        query = parse_query(
+            'proc p["%tar%"] read file f["%passwd%"] as e during (100, 500) return p, f'
+        )
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("windowed", query)
+        standing._initialized = True
+        narrowed = monitor._windowed_query(standing, 250)
+        assert narrowed.patterns[0].window == TimeWindow(start=250, end=500)
+
+    def test_first_evaluation_is_unwindowed(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        assert monitor._windowed_query(standing, 12345) is standing.query
+
+    def test_no_watermark_means_full_query(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        standing._initialized = True
+        assert monitor._windowed_query(standing, None) is standing.query
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        monitor = QueryMonitor(_noop_execute)
+        monitor.register("chain", _CHAIN_QUERY)
+        with pytest.raises(ValueError):
+            monitor.register("chain", _CHAIN_QUERY)
+
+    def test_unregister(self):
+        monitor = QueryMonitor(_noop_execute)
+        monitor.register("chain", _CHAIN_QUERY)
+        monitor.unregister("chain")
+        assert monitor.queries == []

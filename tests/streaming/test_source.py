@@ -1,0 +1,136 @@
+"""Tests for streaming event sources."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.auditing.sysdig import write_trace
+from repro.auditing.workload.attacks import Figure2DataLeakageChain
+from repro.auditing.workload.generator import HostSimulator
+from repro.errors import ConfigurationError
+from repro.streaming.source import LogTailSource, ReplaySource, iter_batches
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    return (
+        HostSimulator(seed=13, benign_scale=0.3)
+        .add_default_benign()
+        .add_attack(Figure2DataLeakageChain())
+        .run()
+    )
+
+
+class TestReplaySource:
+    def test_replays_every_event_in_time_order(self, simulation):
+        records = list(ReplaySource(simulation).records())
+        assert len(records) == len(simulation.trace.events)
+        starts = [record.event.start_time for record in records]
+        assert starts == sorted(starts)
+
+    def test_carries_malicious_labels(self, simulation):
+        records = list(ReplaySource(simulation).records())
+        labelled = {record.event.event_id for record in records if record.malicious}
+        assert labelled == simulation.trace.malicious_event_ids
+
+    def test_record_entities_match_event_endpoints(self, simulation):
+        record = next(iter(ReplaySource(simulation.trace)))
+        assert record.subject.entity_id == record.event.subject_id
+        assert record.obj.entity_id == record.event.object_id
+
+    def test_max_events_bounds_replay(self, simulation):
+        records = list(ReplaySource(simulation, max_events=5).records())
+        assert len(records) == 5
+
+    def test_rejects_nonpositive_rate(self, simulation):
+        with pytest.raises(ConfigurationError):
+            ReplaySource(simulation, rate_events_per_second=0)
+
+
+class TestLogTailSource:
+    def test_parses_written_trace(self, simulation, tmp_path):
+        path = tmp_path / "audit.log"
+        with open(path, "w", encoding="utf-8") as handle:
+            written = write_trace(simulation.trace, handle)
+        records = list(LogTailSource(path=str(path)).records())
+        assert len(records) == written
+        assert {r.event.event_id for r in records} == {
+            e.event_id for e in simulation.trace.events
+        }
+
+    def test_entities_deduplicated_across_lines(self, simulation, tmp_path):
+        path = tmp_path / "audit.log"
+        with open(path, "w", encoding="utf-8") as handle:
+            write_trace(simulation.trace, handle)
+        source = LogTailSource(path=str(path))
+        seen: dict[int, object] = {}
+        for record in source.records():
+            for entity in record.entities():
+                if entity.entity_id in seen:
+                    assert seen[entity.entity_id] is entity
+                seen[entity.entity_id] = entity
+
+    def test_skips_corrupt_lines_leniently(self, simulation):
+        buffer = io.StringIO()
+        write_trace(simulation.trace, buffer)
+        lines = buffer.getvalue().splitlines(keepends=True)
+        lines.insert(1, "this is not an audit record\n")
+        source = LogTailSource(stream=io.StringIO("".join(lines)))
+        records = list(source.records())
+        assert len(records) == len(simulation.trace.events)
+        assert source.statistics.records_skipped == 1
+
+    def test_max_events(self, simulation):
+        buffer = io.StringIO()
+        write_trace(simulation.trace, buffer)
+        buffer.seek(0)
+        records = list(LogTailSource(stream=buffer, max_events=3).records())
+        assert len(records) == 3
+
+    def test_requires_path_or_stream(self):
+        with pytest.raises(ConfigurationError):
+            LogTailSource()
+
+    def test_final_line_without_newline_still_parses(self, simulation):
+        buffer = io.StringIO()
+        write_trace(simulation.trace, buffer)
+        text = buffer.getvalue().rstrip("\n")
+        records = list(LogTailSource(stream=io.StringIO(text)).records())
+        assert len(records) == len(simulation.trace.events)
+
+    def test_follow_mode_buffers_partial_lines(self, simulation):
+        """A record caught mid-write must not be parsed until its newline."""
+        buffer = io.StringIO()
+        write_trace(simulation.trace, buffer)
+        first_line = buffer.getvalue().splitlines()[0] + "\n"
+        split_at = len(first_line) // 2
+
+        class ChunkedHandle:
+            """readline() returns a partial line, then the rest (tail -f EOF)."""
+
+            def __init__(self, chunks):
+                self._chunks = list(chunks)
+
+            def readline(self):
+                return self._chunks.pop(0) if self._chunks else ""
+
+        handle = ChunkedHandle([first_line[:split_at], "", first_line[split_at:]])
+        source = LogTailSource(
+            stream=handle, follow=True, poll_interval=0.0, max_events=1  # type: ignore[arg-type]
+        )
+        records = list(source.records())
+        assert len(records) == 1
+        assert source.statistics.records_skipped == 0
+        assert records[0].event.event_id == simulation.trace.events[0].event_id
+
+
+class TestIterBatches:
+    def test_groups_with_remainder(self):
+        batches = list(iter_batches(iter(range(10)), 4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(iter(range(3)), 0))

@@ -1,0 +1,76 @@
+"""Tests for the ``threatraptor watch`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data import FIGURE2_REPORT
+
+
+@pytest.fixture()
+def audit_log(tmp_path):
+    path = tmp_path / "audit.log"
+    exit_code = main(
+        ["simulate", str(path), "--seed", "3", "--scale", "0.3", "--attack", "figure2-data-leakage"]
+    )
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture()
+def report_file(tmp_path):
+    path = tmp_path / "report.txt"
+    path.write_text(FIGURE2_REPORT.text, encoding="utf-8")
+    return path
+
+
+class TestWatch:
+    def test_watch_raises_alert_and_matches_hunt(self, report_file, audit_log, capsys):
+        assert main(["watch", str(report_file), str(audit_log), "--batch-size", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "Standing TBQL query" in output
+        assert "ALERT [watch]" in output
+        assert "192.168.29.128" in output
+        # Same matched set as the one-shot `hunt` subcommand on this log.
+        assert "matched events=8" in output
+
+    def test_watch_writes_jsonl_alerts(self, report_file, audit_log, tmp_path, capsys):
+        alerts_path = tmp_path / "alerts.jsonl"
+        assert (
+            main(
+                [
+                    "watch",
+                    str(report_file),
+                    str(audit_log),
+                    "--batch-size",
+                    "64",
+                    "--alerts",
+                    str(alerts_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = alerts_path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        alert = json.loads(lines[0])
+        assert alert["hunt"] == "watch"
+        assert len(alert["matched_event_ids"]) == 8
+        assert alert["entities"]["i1"] == "192.168.29.128"
+
+    def test_watch_max_events_bounds_the_stream(self, report_file, audit_log, capsys):
+        assert (
+            main(
+                ["watch", str(report_file), str(audit_log), "--batch-size", "10", "--max-events", "30"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "events=30" in output
+
+    def test_watch_missing_log_is_error(self, report_file, capsys):
+        assert main(["watch", str(report_file), "/nonexistent/audit.log"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -218,3 +218,36 @@ class TestScheduler:
         assert sorted(step.pattern.event_id for step in schedule) == sorted(
             pattern.event_id for pattern in query.patterns
         )
+
+    def test_duplicate_equal_patterns_break_ties_by_declaration_order(self):
+        """Regression: `list.index` found the *first equal* pattern, so a
+        duplicate declared last inherited its twin's declaration index and
+        stole an earlier pattern's tie-break."""
+        from repro.tbql.ast import Query
+
+        base = parse_query(
+            'proc p["%tar%"] read file x["%one%"] as e1 '
+            'proc p["%tar%"] read file y["%two%"] as e2 '
+            "return p, x, y"
+        )
+        first, second = base.patterns
+        duplicate_of_first = parse_query(
+            'proc p["%tar%"] read file x["%one%"] as e1 return p'
+        ).patterns[0]
+        assert duplicate_of_first == first and duplicate_of_first is not first
+
+        query = Query(
+            patterns=[first, second, duplicate_of_first],
+            return_items=base.return_items,
+        )
+        schedule = ExecutionScheduler().schedule(query)
+        assert len(schedule) == 3
+        # All three patterns share `p` and tie on score, so after `first`
+        # runs the tie between `second` and the duplicate must fall to
+        # declaration order — the duplicate is scheduled last, not promoted
+        # to its twin's declaration index.
+        assert [id(step.pattern) for step in schedule] == [
+            id(first),
+            id(second),
+            id(duplicate_of_first),
+        ]

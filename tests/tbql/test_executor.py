@@ -243,3 +243,49 @@ class TestErrors:
         assert "p.exename" in table
         empty = execute_query(store, 'proc p["%none%"] read file f as e return p')
         assert empty.to_table() == "(no results)"
+
+
+class TestJoin:
+    """Regression tests for shared-key derivation in the binding join."""
+
+    @staticmethod
+    def _binding(identifier_ids: dict, event_id: int) -> dict:
+        binding = {name: {"id": entity_id} for name, entity_id in identifier_ids.items()}
+        binding[f"@e{event_id}"] = {"id": event_id, "edge_ids": (event_id,)}
+        return binding
+
+    def test_join_keys_come_from_declared_identifiers(self):
+        left = [self._binding({"p": 1, "f": 10}, 1), self._binding({"p": 2, "f": 20}, 2)]
+        right = [self._binding({"p": 1, "g": 30}, 3), self._binding({"p": 3, "g": 40}, 4)]
+        joined = TBQLExecutionEngine._join(left, right, shared=("p",))
+        assert len(joined) == 1
+        assert joined[0]["p"]["id"] == 1
+        assert joined[0]["f"]["id"] == 10 and joined[0]["g"]["id"] == 30
+
+    def test_binding_missing_shared_identifier_fails_loudly(self):
+        """A binding without a declared join identifier must not silently
+        drop the key and cross-join (the old behavior when the *first*
+        binding happened to lack the identifier)."""
+        left = [self._binding({"f": 10}, 1), self._binding({"p": 2, "f": 20}, 2)]
+        right = [self._binding({"p": 1, "g": 30}, 3)]
+        with pytest.raises(ExecutionError, match="missing shared entity identifier"):
+            TBQLExecutionEngine._join(left, right, shared=("p",))
+
+    def test_empty_shared_is_a_cross_join(self):
+        left = [self._binding({"p": 1}, 1)]
+        right = [self._binding({"q": 2}, 2), self._binding({"q": 3}, 3)]
+        joined = TBQLExecutionEngine._join(left, right, shared=())
+        assert len(joined) == 2
+
+    def test_disconnected_then_connected_patterns_join_correctly(self, store):
+        """End to end: a pattern connected to the *first* but not the most
+        recently joined pattern must still join on its identifier."""
+        result = execute_query(
+            store,
+            'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1 '
+            'proc p2["%/usr/bin/curl%"] connect ip i1["192.168.29.128"] as e2 '
+            'proc p1 write file f2["%/tmp/upload.tar%"] as e3 '
+            "return distinct p1, f1, f2, p2",
+        )
+        assert len(result) == 1
+        assert result.rows[0] == ("/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/usr/bin/curl")
