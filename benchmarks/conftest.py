@@ -7,6 +7,11 @@ so individual benchmarks measure query/extraction work, not data generation.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+from typing import Any
+
 import pytest
 
 from repro.auditing.workload.attacks import (
@@ -41,6 +46,63 @@ def build_store(simulation: SimulationResult, apply_reduction: bool = True) -> A
     store = AuditStore(apply_reduction=apply_reduction)
     store.load_trace(simulation.trace)
     return store
+
+
+#: Machine-readable benchmark timings accumulate here, one JSON entry per
+#: recorded measurement, so future PRs have a perf trajectory to compare
+#: against.  The file lives at the repo root next to ROADMAP.md.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+class BenchResultsRecorder:
+    """Appends machine-readable benchmark timings to ``BENCH_results.json``.
+
+    Each recorded entry is a flat JSON object with at least ``benchmark`` (a
+    stable name), ``recorded_at`` (ISO timestamp) and whatever numeric fields
+    the benchmark passes (seconds, event counts, speedup ratios).  Entries
+    from earlier runs are preserved: the file is a JSON array that only ever
+    grows, so it doubles as the perf trajectory across PRs.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._entries: list[dict[str, Any]] = []
+
+    def record(self, benchmark: str, **fields: Any) -> dict[str, Any]:
+        """Queue one measurement for writing at session teardown."""
+        entry: dict[str, Any] = {
+            "benchmark": benchmark,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        entry.update(fields)
+        self._entries.append(entry)
+        return entry
+
+    def flush(self) -> None:
+        """Append queued entries to the results file (creating it if needed)."""
+        if not self._entries:
+            return
+        existing: list[dict[str, Any]] = []
+        if self._path.exists():
+            try:
+                loaded = json.loads(self._path.read_text(encoding="utf-8"))
+                if isinstance(loaded, list):
+                    existing = loaded
+            except (OSError, json.JSONDecodeError):
+                existing = []
+        existing.extend(self._entries)
+        self._path.write_text(
+            json.dumps(existing, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+        self._entries = []
+
+
+@pytest.fixture(scope="session")
+def bench_results() -> BenchResultsRecorder:
+    """Session-wide recorder appending timings to ``BENCH_results.json``."""
+    recorder = BenchResultsRecorder(BENCH_RESULTS_PATH)
+    yield recorder
+    recorder.flush()
 
 
 @pytest.fixture(scope="session")

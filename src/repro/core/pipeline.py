@@ -22,6 +22,7 @@ from repro.storage.loader import AuditStore, LoadReport
 from repro.tbql.ast import Query
 from repro.tbql.executor import TBQLExecutionEngine
 from repro.tbql.formatter import format_query
+from repro.tbql.prepared import PreparedQuery
 from repro.tbql.result import TBQLResult
 from repro.tbql.synthesis import QuerySynthesizer, SynthesisPlan
 
@@ -113,6 +114,20 @@ class ThreatRaptor:
     def execute_query(self, query: Query | str) -> TBQLResult:
         """Execute a TBQL query (AST or source text) over the stored audit data."""
         return self._engine.execute(query, optimize=self.config.optimize_execution)
+
+    def prepare_query(
+        self, query: Query | str, window_hints: tuple[str, ...] = ()
+    ) -> "PreparedQuery":
+        """Prepare a TBQL query for repeated execution (standing hunts).
+
+        Parsing, semantic analysis, scheduling and per-pattern data-query
+        compilation happen once; each :meth:`PreparedQuery.execute` call pays
+        only for execution.  The streaming monitor prepares every registered
+        hunt this way, passing the temporal sink as a window hint.
+        """
+        return self._engine.prepare(
+            query, optimize=self.config.optimize_execution, window_hints=window_hints
+        )
 
     # -- continuous hunting ------------------------------------------------------------
 

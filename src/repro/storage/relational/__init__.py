@@ -30,11 +30,14 @@ from repro.storage.relational.query import (
     OrderBy,
     OutputColumn,
     QueryResult,
+    RowFieldView,
     SelectQuery,
     TableRef,
 )
+from repro.storage.relational.reference import ReferenceQueryExecutor
 from repro.storage.relational.sqlgen import count_query_lines, render_select
 from repro.storage.relational.table import ColumnDefinition, Table, TableSchema
+from repro.storage.relational.vectorized import filter_positions
 
 __all__ = [
     "AccessPath",
@@ -60,7 +63,9 @@ __all__ = [
     "OutputColumn",
     "QueryExecutor",
     "QueryResult",
+    "ReferenceQueryExecutor",
     "RelationalDatabase",
+    "RowFieldView",
     "SelectQuery",
     "SortedIndex",
     "Table",
@@ -70,6 +75,7 @@ __all__ = [
     "conjoin",
     "count_query_lines",
     "equality_lookups",
+    "filter_positions",
     "range_lookups",
     "render_select",
 ]

@@ -15,14 +15,17 @@ the TBQL compiler produces (an event table joined with entity tables):
 4. Cross-alias residual filters, projection, DISTINCT, ORDER BY and LIMIT are
    applied on the joined rows.
 
-Intermediate rows carry qualified column names (``alias.column``) so residual
-predicates and the projection can address any alias unambiguously.
+Execution is **columnar**: each alias resolves to a list of row *positions*
+(index lookups plus vectorized residual filtering over column arrays), joins
+carry tuples of per-alias positions, and join keys / output values are read
+straight out of the tables' column arrays.  No intermediate row dicts are
+materialized anywhere on the hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.storage.relational.expression import (
@@ -74,6 +77,49 @@ class ExecutionPlan:
         lines = [self.access_paths[alias].describe() for alias in self.join_order]
         lines.append("join order: " + " -> ".join(self.join_order))
         return lines
+
+
+class _Relation:
+    """An intermediate join result: per-alias row positions, no row dicts.
+
+    ``rows`` holds one tuple of table positions per surviving joined row,
+    aligned with ``aliases``; ``slot`` maps an alias to its tuple index.
+    """
+
+    __slots__ = ("aliases", "slot", "rows")
+
+    def __init__(self, aliases: tuple[str, ...], rows: list[tuple[int, ...]]) -> None:
+        self.aliases = aliases
+        self.slot = {alias: index for index, alias in enumerate(aliases)}
+        self.rows = rows
+
+
+class _JoinedRowView(Mapping[str, Any]):
+    """Zero-copy qualified-row view (``alias.column`` → value) over a relation.
+
+    Cross-alias residual filters evaluate against this mapping; the value is
+    read from the owning table's column array at the row's position.
+    """
+
+    __slots__ = ("_fields", "_row")
+
+    def __init__(self, fields: dict[str, tuple[int, Sequence[Any]]]) -> None:
+        self._fields = fields
+        self._row: tuple[int, ...] = ()
+
+    def rebind(self, row: tuple[int, ...]) -> "_JoinedRowView":
+        self._row = row
+        return self
+
+    def __getitem__(self, key: str) -> Any:
+        slot, array = self._fields[key]
+        return array[self._row[slot]]
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
 
 
 class QueryExecutor:
@@ -195,22 +241,32 @@ class QueryExecutor:
     def execute(self, query: SelectQuery) -> QueryResult:
         """Execute ``query`` and return its result set."""
         plan = self.plan(query)
-        joined = self._execute_joins(query, plan)
+        relation = self._execute_joins(query, plan)
 
-        # Residual cross-alias filters.
-        for predicate in query.cross_filters:
-            joined = [row for row in joined if predicate.evaluate(row)]
+        # Residual cross-alias filters, evaluated over a zero-copy view.
+        if query.cross_filters and relation.rows:
+            view = _JoinedRowView(self._qualified_fields(query, relation))
+            rows = relation.rows
+            for predicate in query.cross_filters:
+                rows = [row for row in rows if predicate.evaluate(view.rebind(row))]
+            relation.rows = rows
 
-        # Projection.
+        # Projection: read output values straight from the column arrays.
         if query.projection:
             columns = tuple(output.output_name for output in query.projection)
-            projected = [
-                tuple(row.get(f"{output.alias}.{output.column}") for output in query.projection)
-                for row in joined
+            extractors = [
+                self._extractor(relation, output.alias, self._tables[query.table_for_alias(output.alias)], output.column)
+                for output in query.projection
             ]
         else:
-            columns = self._all_columns(query)
-            projected = [tuple(row.get(column) for column in columns) for row in joined]
+            columns, extractors = self._all_column_extractors(query, relation)
+        projected = [
+            tuple(
+                array[row[slot]] if array is not None else None
+                for slot, array in extractors
+            )
+            for row in relation.rows
+        ]
 
         if query.distinct:
             seen: set[tuple[Any, ...]] = set()
@@ -247,95 +303,152 @@ class QueryExecutor:
 
     # -- internals ----------------------------------------------------------
 
-    def _all_columns(self, query: SelectQuery) -> tuple[str, ...]:
+    @staticmethod
+    def _extractor(
+        relation: _Relation, alias: str, table: Table, column: str
+    ) -> tuple[int, Sequence[Any] | None]:
+        """(slot, column array) for reading ``alias.column`` out of a relation.
+
+        A ``None`` array means the column does not exist; its value projects
+        as NULL, matching the old dict-based ``row.get``.
+        """
+        slot = relation.slot.get(alias)
+        if slot is None:
+            return (0, None)
+        return (slot, table.column_array(column))
+
+    def _all_column_extractors(
+        self, query: SelectQuery, relation: _Relation
+    ) -> tuple[tuple[str, ...], list[tuple[int, Sequence[Any] | None]]]:
         columns: list[str] = []
+        extractors: list[tuple[int, Sequence[Any] | None]] = []
         for ref in query.tables:
             table = self._tables[ref.table]
-            columns.extend(f"{ref.alias}.{name}" for name in table.schema.column_names())
-        return tuple(columns)
+            for name in table.schema.column_names():
+                columns.append(f"{ref.alias}.{name}")
+                extractors.append(self._extractor(relation, ref.alias, table, name))
+        return tuple(columns), extractors
 
-    def _rows_for_alias(self, query: SelectQuery, path: AccessPath) -> list[dict[str, Any]]:
+    def _qualified_fields(
+        self, query: SelectQuery, relation: _Relation
+    ) -> dict[str, tuple[int, Sequence[Any]]]:
+        """``alias.column`` → (slot, column array) for every joined column."""
+        fields: dict[str, tuple[int, Sequence[Any]]] = {}
+        for ref in query.tables:
+            slot = relation.slot.get(ref.alias)
+            if slot is None:
+                continue
+            table = self._tables[ref.table]
+            for name in table.schema.column_names():
+                array = table.column_array(name)
+                if array is not None:
+                    fields[f"{ref.alias}.{name}"] = (slot, array)
+        return fields
+
+    def _positions_for_alias(self, query: SelectQuery, path: AccessPath) -> list[int]:
+        """Access-path positions, narrowed by the alias's full predicate."""
         predicate = query.filter_for_alias(path.alias)
         residual = None if isinstance(predicate, TrueExpression) else predicate
         if path.kind == "index-eq":
-            raw = path.table.lookup_equal(path.column, path.value, residual=residual)
+            positions: Sequence[int] | None = path.table.positions_equal(path.column, path.value)
         elif path.kind == "index-in":
-            raw = path.table.lookup_in(path.column, path.values or (), residual=residual)
+            positions = path.table.positions_in(path.column, path.values or ())
         elif path.kind == "index-range":
-            raw = path.table.lookup_range(
-                path.column, low=path.low, high=path.high, residual=residual
-            )
+            positions = path.table.positions_range(path.column, low=path.low, high=path.high)
         else:
-            raw = path.table.scan(residual)
-        qualified: list[dict[str, Any]] = []
-        prefix = f"{path.alias}."
-        for row in raw:
-            qualified.append({prefix + key: value for key, value in row.items()})
-        return qualified
+            positions = None
+        return path.table.filter_positions(residual, positions)
 
-    def _execute_joins(self, query: SelectQuery, plan: ExecutionPlan) -> list[dict[str, Any]]:
+    def _execute_joins(self, query: SelectQuery, plan: ExecutionPlan) -> _Relation:
         order = plan.join_order
         if not order:
-            return []
-        current = self._rows_for_alias(query, plan.access_paths[order[0]])
-        joined_aliases = {order[0]}
+            return _Relation((), [])
+        alias_tables = {ref.alias: self._tables[ref.table] for ref in query.tables}
+        first = plan.access_paths[order[0]]
+        relation = _Relation(
+            (order[0],),
+            [(position,) for position in self._positions_for_alias(query, first)],
+        )
 
         for alias in order[1:]:
-            right_rows = self._rows_for_alias(query, plan.access_paths[alias])
+            path = plan.access_paths[alias]
+            right_positions = self._positions_for_alias(query, path)
             conditions = [
                 join
                 for join in query.joins
-                if (join.left_alias == alias and join.right_alias in joined_aliases)
-                or (join.right_alias == alias and join.left_alias in joined_aliases)
+                if (join.left_alias == alias and join.right_alias in relation.slot)
+                or (join.right_alias == alias and join.left_alias in relation.slot)
             ]
-            current = self._hash_join(current, right_rows, alias, conditions)
-            joined_aliases.add(alias)
-        return current
+            relation = self._hash_join(
+                relation, alias, path.table, right_positions, conditions, alias_tables
+            )
+        return relation
 
     @staticmethod
     def _hash_join(
-        left_rows: list[dict[str, Any]],
-        right_rows: list[dict[str, Any]],
+        left: _Relation,
         right_alias: str,
+        right_table: Table,
+        right_positions: list[int],
         conditions: list,
-    ) -> list[dict[str, Any]]:
+        alias_tables: dict[str, Table],
+    ) -> _Relation:
+        aliases = left.aliases + (right_alias,)
         if not conditions:
             # Cartesian product (rare: disconnected patterns).
-            return [dict(left, **right) for left in left_rows for right in right_rows]
+            rows = [
+                row + (position,) for row in left.rows for position in right_positions
+            ]
+            return _Relation(aliases, rows)
 
-        def left_key(row: dict[str, Any]) -> tuple[Any, ...]:
-            key: list[Any] = []
-            for join in conditions:
-                if join.right_alias == right_alias:
-                    key.append(row.get(f"{join.left_alias}.{join.left_column}"))
-                else:
-                    key.append(row.get(f"{join.right_alias}.{join.right_column}"))
-            return tuple(key)
+        # Per-condition key readers: (slot, array) on the joined side, a bare
+        # array on the new side.  A missing column reads as a constant None,
+        # matching the old dict-based ``row.get``.
+        left_keys: list[tuple[int, Sequence[Any] | None]] = []
+        right_keys: list[Sequence[Any] | None] = []
+        for join in conditions:
+            if join.right_alias == right_alias:
+                other_alias, other_column = join.left_alias, join.left_column
+                own_column = join.right_column
+            else:
+                other_alias, other_column = join.right_alias, join.right_column
+                own_column = join.left_column
+            other_table = alias_tables[other_alias]
+            left_keys.append(
+                (left.slot[other_alias], other_table.column_array(other_column))
+            )
+            right_keys.append(right_table.column_array(own_column))
 
-        def right_key(row: dict[str, Any]) -> tuple[Any, ...]:
-            key: list[Any] = []
-            for join in conditions:
-                if join.right_alias == right_alias:
-                    key.append(row.get(f"{join.right_alias}.{join.right_column}"))
-                else:
-                    key.append(row.get(f"{join.left_alias}.{join.left_column}"))
-            return tuple(key)
+        def left_key(row: tuple[int, ...]) -> tuple[Any, ...]:
+            return tuple(
+                array[row[slot]] if array is not None else None
+                for slot, array in left_keys
+            )
 
-        # Build on the smaller side.
-        if len(left_rows) <= len(right_rows):
-            buckets: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
-            for row in left_rows:
+        def right_key(position: int) -> tuple[Any, ...]:
+            return tuple(
+                array[position] if array is not None else None for array in right_keys
+            )
+
+        # Build on the smaller side; probe order drives output order, exactly
+        # as the row-dict executor did.
+        joined: list[tuple[int, ...]] = []
+        if len(left.rows) <= len(right_positions):
+            buckets: dict[tuple[Any, ...], list[tuple[int, ...]]] = {}
+            for row in left.rows:
                 buckets.setdefault(left_key(row), []).append(row)
-            joined: list[dict[str, Any]] = []
-            for row in right_rows:
-                for match in buckets.get(right_key(row), []):
-                    joined.append(dict(match, **row))
-            return joined
-        buckets = {}
-        for row in right_rows:
-            buckets.setdefault(right_key(row), []).append(row)
-        joined = []
-        for row in left_rows:
-            for match in buckets.get(left_key(row), []):
-                joined.append(dict(row, **match))
-        return joined
+            for position in right_positions:
+                matches = buckets.get(right_key(position))
+                if matches:
+                    for row in matches:
+                        joined.append(row + (position,))
+        else:
+            position_buckets: dict[tuple[Any, ...], list[int]] = {}
+            for position in right_positions:
+                position_buckets.setdefault(right_key(position), []).append(position)
+            for row in left.rows:
+                matches = position_buckets.get(left_key(row))
+                if matches:
+                    for position in matches:
+                        joined.append(row + (position,))
+        return _Relation(aliases, joined)

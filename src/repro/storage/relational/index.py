@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from collections import defaultdict
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
+
+#: Shared empty bucket handed out by :meth:`HashIndex.bucket` for misses.
+_EMPTY: tuple[int, ...] = ()
 
 
 class HashIndex:
@@ -26,21 +29,35 @@ class HashIndex:
     def __init__(self, column: str) -> None:
         self.column = column
         self._buckets: dict[Any, list[int]] = defaultdict(list)
+        self._size = 0
 
     def insert(self, value: Any, position: int) -> None:
         """Register that ``position`` holds ``value`` in the indexed column."""
         self._buckets[value].append(position)
+        self._size += 1
 
     def lookup(self, value: Any) -> list[int]:
-        """Row positions whose indexed column equals ``value``."""
-        return self._buckets.get(value, [])
+        """Row positions whose indexed column equals ``value``.
+
+        Returns a fresh list: handing out the internal bucket would let
+        callers mutate index state through the return value.
+        """
+        bucket = self._buckets.get(value)
+        return list(bucket) if bucket else []
+
+    def bucket(self, value: Any) -> Sequence[int]:
+        """Internal zero-copy variant of :meth:`lookup` for the executor's hot
+        path.  The returned sequence aliases index state: callers must treat
+        it as read-only.
+        """
+        return self._buckets.get(value, _EMPTY)
 
     def lookup_many(self, values: Iterable[Any]) -> list[int]:
         """Row positions matching any of ``values`` (deduplicated, ordered)."""
         seen: set[int] = set()
         positions: list[int] = []
         for value in values:
-            for position in self._buckets.get(value, []):
+            for position in self._buckets.get(value, ()):
                 if position not in seen:
                     seen.add(position)
                     positions.append(position)
@@ -48,7 +65,7 @@ class HashIndex:
         return positions
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return self._size
 
     def distinct_values(self) -> int:
         """Number of distinct keys, used for selectivity estimation."""

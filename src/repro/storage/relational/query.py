@@ -12,7 +12,7 @@ conciseness comparison against TBQL.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.storage.relational.expression import Expression, TrueExpression
@@ -167,6 +167,55 @@ class SelectQuery:
             raise QueryError(f"alias {alias!r} is not declared in the FROM clause")
 
 
+class RowFieldView(Mapping[str, Any]):
+    """Zero-copy mapping view over a slice of one result row.
+
+    ``fields`` maps an attribute name to its index in the underlying row
+    tuple, so a binding like the TBQL executor's subject/object/event dicts
+    can be exposed without copying the row into per-entity dicts.  An overlay
+    dict accepts the occasional synthesized attribute (``edge_ids``) without
+    touching the shared field map.
+    """
+
+    __slots__ = ("_row", "_fields", "_overlay")
+
+    def __init__(
+        self,
+        row: Sequence[Any],
+        fields: Mapping[str, int],
+        overlay: dict[str, Any] | None = None,
+    ) -> None:
+        self._row = row
+        self._fields = fields
+        self._overlay = overlay
+
+    def __getitem__(self, key: str) -> Any:
+        if self._overlay is not None and key in self._overlay:
+            return self._overlay[key]
+        return self._row[self._fields[key]]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if self._overlay is None:
+            self._overlay = {}
+        self._overlay[key] = value
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._fields
+        if self._overlay is not None:
+            for key in self._overlay:
+                if key not in self._fields:
+                    yield key
+
+    def __len__(self) -> int:
+        extra = 0
+        if self._overlay is not None:
+            extra = sum(1 for key in self._overlay if key not in self._fields)
+        return len(self._fields) + extra
+
+    def __repr__(self) -> str:
+        return f"RowFieldView({dict(self)!r})"
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """The result of executing a :class:`SelectQuery`.
@@ -182,6 +231,45 @@ class QueryResult:
     def as_dicts(self) -> list[dict[str, Any]]:
         """The result rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column_index(self) -> dict[str, int]:
+        """Column name → row-tuple index, for repeated positional access."""
+        return {name: index for index, name in enumerate(self.columns)}
+
+    def iter_rows(
+        self, columns: Sequence[str] | None = None
+    ) -> Iterator[tuple[Any, ...]]:
+        """Iterate result rows lazily, optionally restricted to ``columns``.
+
+        Raises:
+            QueryError: if a requested column is not part of the result.
+        """
+        if columns is None:
+            yield from self.rows
+            return
+        index = self.column_index()
+        try:
+            selected = [index[name] for name in columns]
+        except KeyError as exc:
+            raise QueryError(f"result has no column {exc.args[0]!r}") from None
+        for row in self.rows:
+            yield tuple(row[i] for i in selected)
+
+    def column_groups(self, separator: str = ".") -> dict[str, dict[str, int]]:
+        """Group columns named ``prefix<separator>attr`` into per-prefix field maps.
+
+        Returns prefix → {attribute: row index}; columns without the separator
+        are grouped under ``""``.  The maps plug straight into
+        :class:`RowFieldView`, which is how the TBQL executor splits each row
+        into subject/object/event bindings without copying.
+        """
+        groups: dict[str, dict[str, int]] = {}
+        for index, name in enumerate(self.columns):
+            prefix, sep, attribute = name.partition(separator)
+            if not sep:
+                prefix, attribute = "", name
+            groups.setdefault(prefix, {})[attribute] = index
+        return groups
 
     def column(self, name: str) -> list[Any]:
         """One output column as a list.

@@ -1,20 +1,27 @@
 """Tables for the relational engine.
 
 A :class:`Table` owns a schema (ordered column names with optional types), a
-row store (list of dicts) and any number of secondary indexes.  It exposes the
-scan/lookup primitives the query executor builds plans from: full scans,
-hash-index lookups and sorted-index range scans, each with optional residual
-filtering.
+**columnar** row store (one value array per column) and any number of
+secondary indexes.  Access paths operate on *row positions*: full scans,
+hash-index lookups and sorted-index range scans each produce position lists,
+and pushed-down predicates are evaluated vectorized over those positions by
+:mod:`repro.storage.relational.vectorized` instead of per-row
+``Expression.evaluate`` calls.
+
+The historical dict-row API (``scan`` / ``lookup_*`` yielding dicts,
+``row_at``) is kept as a thin materializing layer on top of the positional
+primitives, so existing callers and tests are untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
-from repro.storage.relational.expression import Expression
+from repro.storage.relational.expression import Expression, TrueExpression
 from repro.storage.relational.index import HashIndex, SortedIndex
+from repro.storage.relational.vectorized import filter_positions
 
 Row = dict[str, Any]
 
@@ -81,16 +88,20 @@ class TableSchema:
 
 
 class Table:
-    """An in-memory table with secondary indexes.
+    """An in-memory columnar table with secondary indexes.
 
     Rows are stored append-only; the audit-log workload never updates or
     deletes individual rows (a whole trace is reloaded instead), which is also
-    how the paper's deployment uses PostgreSQL.
+    how the paper's deployment uses PostgreSQL.  Each column lives in its own
+    parallel array, so filters and join-key extraction touch only the columns
+    they need.
     """
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
-        self._rows: list[Row] = []
+        self._column_names: tuple[str, ...] = schema.column_names()
+        self._columns: dict[str, list[Any]] = {name: [] for name in self._column_names}
+        self._row_count = 0
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
 
@@ -106,8 +117,8 @@ class Table:
         if column in self._hash_indexes:
             return
         index = HashIndex(column)
-        for position, row in enumerate(self._rows):
-            index.insert(row.get(column), position)
+        for position, value in enumerate(self._columns[column]):
+            index.insert(value, position)
         self._hash_indexes[column] = index
 
     def create_sorted_index(self, column: str) -> None:
@@ -116,8 +127,8 @@ class Table:
         if column in self._sorted_indexes:
             return
         index = SortedIndex(column)
-        for position, row in enumerate(self._rows):
-            index.insert(row.get(column), position)
+        for position, value in enumerate(self._columns[column]):
+            index.insert(value, position)
         self._sorted_indexes[column] = index
 
     def hash_indexed_columns(self) -> set[str]:
@@ -127,7 +138,7 @@ class Table:
         return set(self._sorted_indexes)
 
     def _require_column(self, column: str) -> None:
-        if column not in self.schema.column_names():
+        if column not in self._columns:
             raise SchemaError(f"table {self.name!r} has no column {column!r}")
 
     # -- mutation ------------------------------------------------------------
@@ -135,12 +146,14 @@ class Table:
     def insert(self, row: Mapping[str, Any]) -> int:
         """Insert one row; returns its position."""
         normalised = self.schema.validate_row(row)
-        position = len(self._rows)
-        self._rows.append(normalised)
-        for column, index in self._hash_indexes.items():
-            index.insert(normalised.get(column), position)
-        for column, index in self._sorted_indexes.items():
-            index.insert(normalised.get(column), position)
+        position = self._row_count
+        for name in self._column_names:
+            self._columns[name].append(normalised[name])
+        self._row_count = position + 1
+        for column, hash_index in self._hash_indexes.items():
+            hash_index.insert(normalised[column], position)
+        for column, sorted_index in self._sorted_indexes.items():
+            sorted_index.insert(normalised[column], position)
         return position
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -151,62 +164,123 @@ class Table:
             count += 1
         return count
 
-    # -- access --------------------------------------------------------------
+    # -- positional access (columnar hot path) --------------------------------
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._row_count
+
+    def column_array(self, column: str) -> Sequence[Any] | None:
+        """The live value array for ``column`` (``None`` if absent).
+
+        The array aliases table storage — callers must treat it as read-only.
+        It grows in place on insert, so positions obtained earlier stay valid.
+        """
+        return self._columns.get(column)
+
+    def column_store(self) -> Mapping[str, Sequence[Any]]:
+        """All column arrays, keyed by name (read-only alias of storage)."""
+        return self._columns
+
+    def all_positions(self) -> range:
+        """Every row position, in storage order."""
+        return range(self._row_count)
+
+    def positions_equal(self, column: str, value: Any) -> Sequence[int]:
+        """Positions whose ``column`` equals ``value`` (index-assisted).
+
+        When a hash index serves the lookup the returned sequence aliases
+        index state (zero-copy hot path) — callers must treat it as
+        read-only; use ``list(...)`` before mutating.
+        """
+        hash_index = self._hash_indexes.get(column)
+        if hash_index is not None:
+            return hash_index.bucket(value)
+        sorted_index = self._sorted_indexes.get(column)
+        if sorted_index is not None:
+            return sorted_index.lookup(value)
+        array = self._columns.get(column)
+        if array is None:
+            return ()
+        return [position for position, stored in enumerate(array) if stored == value]
+
+    def positions_in(self, column: str, values: Iterable[Any]) -> Sequence[int]:
+        """Positions whose ``column`` is one of ``values`` (deduplicated)."""
+        hash_index = self._hash_indexes.get(column)
+        if hash_index is not None:
+            return hash_index.lookup_many(values)
+        array = self._columns.get(column)
+        if array is None:
+            return ()
+        allowed = set(values)
+        return [position for position, stored in enumerate(array) if stored in allowed]
+
+    def positions_range(
+        self, column: str, low: Any = None, high: Any = None
+    ) -> Sequence[int]:
+        """Positions whose ``column`` lies in ``[low, high]`` (inclusive)."""
+        sorted_index = self._sorted_indexes.get(column)
+        if sorted_index is not None:
+            return list(sorted_index.range(low, high))
+        array = self._columns.get(column)
+        if array is None:
+            return ()
+        matched: list[int] = []
+        for position, value in enumerate(array):
+            if value is None:
+                continue
+            if low is not None and value < low:
+                continue
+            if high is not None and value > high:
+                continue
+            matched.append(position)
+        return matched
+
+    def filter_positions(
+        self, predicate: Expression | None, positions: Sequence[int] | None = None
+    ) -> list[int]:
+        """Vectorized predicate evaluation over candidate positions.
+
+        ``positions=None`` means every row; ``predicate=None`` means no
+        filtering.
+        """
+        if predicate is None:
+            return list(self.all_positions()) if positions is None else list(positions)
+        return filter_positions(self._columns, self._row_count, predicate, positions)
+
+    # -- dict-row access (compatibility layer) --------------------------------
 
     def row_at(self, position: int) -> Row:
-        """The row stored at ``position`` (no copy; callers must not mutate)."""
-        return self._rows[position]
+        """The row stored at ``position``, materialized as a dict."""
+        columns = self._columns
+        return {name: columns[name][position] for name in self._column_names}
+
+    def rows_at(self, positions: Iterable[int]) -> Iterator[Row]:
+        """Materialize the rows at ``positions`` as dicts, in order."""
+        columns = [self._columns[name] for name in self._column_names]
+        names = self._column_names
+        for position in positions:
+            yield {name: column[position] for name, column in zip(names, columns)}
 
     def scan(self, predicate: Expression | None = None) -> Iterator[Row]:
         """Full scan, optionally filtered by ``predicate``."""
-        if predicate is None:
-            yield from self._rows
-            return
-        for row in self._rows:
-            if predicate.evaluate(row):
-                yield row
+        yield from self.rows_at(self.filter_positions(predicate))
 
     def lookup_equal(
         self, column: str, value: Any, residual: Expression | None = None
     ) -> Iterator[Row]:
         """Index-assisted equality lookup with optional residual filter.
 
-        Falls back to a filtered scan when no usable index exists.
+        Falls back to a vectorized scan when no usable index exists.
         """
-        positions: Sequence[int] | None = None
-        if column in self._hash_indexes:
-            positions = self._hash_indexes[column].lookup(value)
-        elif column in self._sorted_indexes:
-            positions = self._sorted_indexes[column].lookup(value)
-        if positions is None:
-            matcher: Callable[[Row], bool] = lambda row: row.get(column) == value
-            for row in self._rows:
-                if matcher(row) and (residual is None or residual.evaluate(row)):
-                    yield row
-            return
-        for position in positions:
-            row = self._rows[position]
-            if residual is None or residual.evaluate(row):
-                yield row
+        positions = self.positions_equal(column, value)
+        yield from self.rows_at(self.filter_positions(residual, positions))
 
     def lookup_in(
         self, column: str, values: Iterable[Any], residual: Expression | None = None
     ) -> Iterator[Row]:
         """Index-assisted membership lookup with optional residual filter."""
-        value_list = list(values)
-        if column in self._hash_indexes:
-            for position in self._hash_indexes[column].lookup_many(value_list):
-                row = self._rows[position]
-                if residual is None or residual.evaluate(row):
-                    yield row
-            return
-        allowed = set(value_list)
-        for row in self._rows:
-            if row.get(column) in allowed and (residual is None or residual.evaluate(row)):
-                yield row
+        positions = self.positions_in(column, values)
+        yield from self.rows_at(self.filter_positions(residual, positions))
 
     def lookup_range(
         self,
@@ -216,23 +290,8 @@ class Table:
         residual: Expression | None = None,
     ) -> Iterator[Row]:
         """Index-assisted range lookup with optional residual filter."""
-        if column in self._sorted_indexes:
-            index = self._sorted_indexes[column]
-            for position in index.range(low, high):
-                row = self._rows[position]
-                if residual is None or residual.evaluate(row):
-                    yield row
-            return
-        for row in self._rows:
-            value = row.get(column)
-            if value is None:
-                continue
-            if low is not None and value < low:
-                continue
-            if high is not None and value > high:
-                continue
-            if residual is None or residual.evaluate(row):
-                yield row
+        positions = self.positions_range(column, low=low, high=high)
+        yield from self.rows_at(self.filter_positions(residual, positions))
 
     # -- statistics ------------------------------------------------------------
 
@@ -242,7 +301,7 @@ class Table:
         Uses the hash index's distinct-value count when available, otherwise a
         pessimistic constant.  The planner uses this to order joins.
         """
-        if not self._rows:
+        if not self._row_count:
             return 0.0
         index = self._hash_indexes.get(column)
         if index is not None and index.distinct_values():
@@ -253,7 +312,7 @@ class Table:
         """Summary statistics for EXPLAIN output and tests."""
         return {
             "name": self.name,
-            "rows": len(self._rows),
+            "rows": self._row_count,
             "hash_indexes": sorted(self._hash_indexes),
             "sorted_indexes": sorted(self._sorted_indexes),
         }

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field as dataclass_field
 from dataclasses import replace
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.auditing.entities import DEFAULT_ATTRIBUTE, EntityType
 from repro.streaming.alerts import Alert
@@ -32,6 +32,9 @@ from repro.tbql.ast import Query, TimeWindow
 from repro.tbql.formatter import format_query
 from repro.tbql.parser import parse_query
 from repro.tbql.result import TBQLResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tbql.prepared import PreparedQuery
 
 #: Upper bound used for open-ended watermark windows.
 MAX_TIME_NS = 2**63 - 1
@@ -48,6 +51,11 @@ class StandingQuery:
     #: ``None`` when the query has no unique temporally-final pattern — such
     #: hunts fall back to full re-evaluation plus deduplication.
     sink_event_id: str | None = None
+    #: The query's prepared form (analysis + schedule + compiled per-pattern
+    #: plans, derived once at registration).  ``None`` when the monitor was
+    #: constructed without a ``prepare`` callable; such hunts re-derive the
+    #: windowed query per batch.
+    prepared: "PreparedQuery | None" = None
     evaluations: int = 0
     eval_seconds: float = 0.0
     alerts_raised: int = 0
@@ -66,10 +74,20 @@ class QueryMonitor:
     Args:
         execute: Query execution callable, typically
             :meth:`ThreatRaptor.execute_query` or an engine's ``execute``.
+        prepare: Optional query preparation callable (typically
+            :meth:`ThreatRaptor.prepare_query`).  When given, every registered
+            hunt is prepared once and each batch executes the cached plans
+            with only the watermark window swapped in, instead of re-deriving
+            analysis/schedule/compilation per micro-batch.
     """
 
-    def __init__(self, execute: Callable[[Query], TBQLResult]) -> None:
+    def __init__(
+        self,
+        execute: Callable[[Query], TBQLResult],
+        prepare: "Callable[[Query], PreparedQuery] | None" = None,
+    ) -> None:
         self._execute = execute
+        self._prepare = prepare
         self._queries: dict[str, StandingQuery] = {}
 
     # -- registration --------------------------------------------------------
@@ -83,11 +101,21 @@ class QueryMonitor:
         if name in self._queries:
             raise ValueError(f"a standing query named {name!r} is already registered")
         ast = parse_query(query) if isinstance(query, str) else query
+        sink_event_id = self._temporal_sink(ast)
+        prepared = None
+        if self._prepare is not None:
+            # The sink pattern is hinted as windowed so the prepared schedule
+            # matches what per-batch re-scheduling of the watermark-narrowed
+            # query would produce (the windowed sink runs first and constrains
+            # the remaining patterns).
+            hints = (sink_event_id,) if sink_event_id is not None else ()
+            prepared = self._prepare(ast, window_hints=hints)
         standing = StandingQuery(
             name=name,
             query=ast,
             query_text=format_query(ast),
-            sink_event_id=self._temporal_sink(ast),
+            sink_event_id=sink_event_id,
+            prepared=prepared,
         )
         self._queries[name] = standing
         return standing
@@ -128,9 +156,13 @@ class QueryMonitor:
     ) -> list[Alert]:
         # The first evaluation always scans everything: data ingested before
         # the hunt was registered would otherwise never be matched.
-        windowed = self._windowed_query(standing, watermark_start_ns)
         started = time.perf_counter()
-        result = self._execute(windowed)
+        if standing.prepared is not None:
+            overrides = self._window_overrides(standing, watermark_start_ns)
+            result = standing.prepared.execute(window_overrides=overrides)
+        else:
+            windowed = self._windowed_query(standing, watermark_start_ns)
+            result = self._execute(windowed)
         standing.eval_seconds += time.perf_counter() - started
         standing.evaluations += 1
         standing._initialized = True
@@ -147,6 +179,26 @@ class QueryMonitor:
         return alerts
 
     # -- internal ------------------------------------------------------------
+
+    def _window_overrides(
+        self, standing: StandingQuery, watermark_start_ns: int | None
+    ) -> dict[str, TimeWindow] | None:
+        """Watermark window for the sink pattern, as prepared-query overrides.
+
+        Same narrowing policy as :meth:`_windowed_query`, expressed as a
+        per-execution parameter instead of a rebuilt AST.
+        """
+        if (
+            watermark_start_ns is None
+            or not standing._initialized
+            or standing.sink_event_id is None
+        ):
+            return None
+        pattern = standing.query.pattern_by_event_id(standing.sink_event_id)
+        window = pattern.window if pattern is not None else None
+        start = watermark_start_ns if window is None else max(window.start, watermark_start_ns)
+        end = MAX_TIME_NS if window is None else window.end
+        return {standing.sink_event_id: TimeWindow(start=start, end=end)}
 
     def _windowed_query(
         self, standing: StandingQuery, watermark_start_ns: int | None

@@ -53,7 +53,7 @@ class HuntingService:
             raptor = ThreatRaptor()
         self._raptor = raptor
         self._ingestor = StreamIngestor(raptor.store, batch_size=batch_size)
-        self._monitor = QueryMonitor(raptor.execute_query)
+        self._monitor = QueryMonitor(raptor.execute_query, prepare=raptor.prepare_query)
         self._sinks: list[AlertSink] = list(sinks)
         self._started = time.perf_counter()
 

@@ -16,6 +16,7 @@ from repro.tbql.ast import (
 )
 from repro.tbql.executor import TBQLExecutionEngine, execute_query
 from repro.tbql.formatter import format_pattern, format_query
+from repro.tbql.prepared import PreparedQuery
 from repro.tbql.lexer import Lexer, TBQLToken, TokenType, tokenize
 from repro.tbql.parser import Parser, parse_query
 from repro.tbql.result import TBQLResult
@@ -42,6 +43,7 @@ __all__ = [
     "OperationExpression",
     "Parser",
     "PathPattern",
+    "PreparedQuery",
     "Query",
     "QuerySynthesizer",
     "ReturnItem",

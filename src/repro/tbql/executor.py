@@ -9,18 +9,29 @@ more selective patterns constrain later data queries by adding entity-id
 filters, and the per-pattern match sets are then joined on shared entity
 identifiers, filtered by the ``with`` clause's temporal and attribute
 relationships, and projected according to the ``return`` clause.
+
+Two hot-path mechanisms keep per-row overhead low:
+
+* relational pattern matches become **zero-copy bindings**: each result row
+  stays one tuple, and the subject/object/event "dicts" of a binding are
+  :class:`~repro.storage.relational.query.RowFieldView` slices over it, so no
+  per-row dict splitting happens;
+* a standing query can be **prepared** once
+  (:meth:`TBQLExecutionEngine.prepare`) and re-executed per micro-batch from
+  cached per-pattern compiled plans — see :mod:`repro.tbql.prepared`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Iterable
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage.graph.pattern import PathMatcher
 from repro.storage.loader import AuditStore
-from repro.tbql.ast import EventPattern, Pattern, PathPattern, Query, FilterOperator
+from repro.storage.relational.query import RowFieldView, SelectQuery
+from repro.tbql.ast import EventPattern, Pattern, PathPattern, Query, FilterOperator, TimeWindow
 from repro.tbql.compiler.cypher_compiler import CypherCompiler
 from repro.tbql.compiler.sql_compiler import SQLCompiler
 from repro.tbql.parser import parse_query
@@ -28,9 +39,13 @@ from repro.tbql.result import TBQLResult
 from repro.tbql.scheduler import ExecutionScheduler, ScheduledPattern
 from repro.tbql.semantics import AnalyzedQuery, SemanticAnalyzer
 
-#: A variable binding: entity identifier -> entity dict, plus one event dict
-#: per pattern stored under the key ``"@<event id>"``.
-Binding = dict[str, dict[str, Any]]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.tbql.prepared import PreparedQuery
+
+#: A variable binding: entity identifier -> entity mapping, plus one event
+#: mapping per pattern stored under the key ``"@<event id>"``.  Relational
+#: matches use zero-copy ``RowFieldView`` mappings; graph matches use dicts.
+Binding = dict[str, Any]
 
 
 @dataclass
@@ -40,6 +55,39 @@ class PatternMatchSet:
     pattern: Pattern
     bindings: list[Binding]
     elapsed_seconds: float
+
+
+class _ConstraintCache:
+    """Per-identifier entity-id sets over the current combined binding set.
+
+    The schedule asks for constraint id-sets after every step; several
+    identifiers may be requested against the same binding list.  This cache
+    collects all missing identifiers in a *single* pass over the bindings and
+    memoizes the sets until the binding list itself is replaced (after a
+    join), instead of rebuilding each set from all prior bindings from
+    scratch per identifier.
+    """
+
+    def __init__(self) -> None:
+        self._source: list[Binding] | None = None
+        self._sets: dict[str, set[int]] = {}
+
+    def constraints_for(
+        self, identifiers: Sequence[str], bindings: list[Binding]
+    ) -> dict[str, set[int]]:
+        if bindings is not self._source:
+            self._source = bindings
+            self._sets = {}
+        missing = [name for name in identifiers if name not in self._sets]
+        if missing:
+            collected: dict[str, set[int]] = {name: set() for name in missing}
+            for binding in bindings:
+                for name in missing:
+                    entity = binding.get(name)
+                    if entity is not None:
+                        collected[name].add(int(entity["id"]))
+            self._sets.update(collected)
+        return {name: self._sets[name] for name in identifiers if self._sets[name]}
 
 
 class TBQLExecutionEngine:
@@ -82,15 +130,76 @@ class TBQLExecutionEngine:
         schedule = (
             self._scheduler.schedule(ast) if optimize else self._scheduler.schedule_unoptimized(ast)
         )
+        return self._run(ast, analyzed, schedule, optimize, started)
 
+    def prepare(
+        self,
+        query: Query | str,
+        optimize: bool = True,
+        window_hints: tuple[str, ...] = (),
+    ) -> "PreparedQuery":
+        """Parse/analyze/schedule ``query`` once for repeated execution.
+
+        The returned :class:`~repro.tbql.prepared.PreparedQuery` caches the
+        semantic analysis, the execution schedule and per-pattern compiled
+        data-query plans, so standing queries re-executed per micro-batch pay
+        only for execution.  ``window_hints`` names patterns that will receive
+        per-execution window overrides, so scheduling can account for them.
+        """
+        from repro.tbql.prepared import PreparedQuery
+
+        ast = parse_query(query) if isinstance(query, str) else query
+        return PreparedQuery(
+            engine=self, query=ast, optimize=optimize, window_hints=window_hints
+        )
+
+    def execute_prepared(
+        self,
+        prepared: "PreparedQuery",
+        window_overrides: dict[str, TimeWindow] | None = None,
+    ) -> TBQLResult:
+        """Execute a :class:`PreparedQuery`, optionally overriding pattern windows.
+
+        ``window_overrides`` maps a pattern's event id to the
+        :class:`~repro.tbql.ast.TimeWindow` to use for this execution — the
+        streaming monitor narrows the temporal-sink pattern to the current
+        watermark this way without re-deriving anything else.
+        """
+        started = time.perf_counter()
+        result = self._run(
+            prepared.query,
+            prepared.analyzed,
+            prepared.schedule,
+            prepared.optimize,
+            started,
+            plans=prepared,
+            window_overrides=window_overrides,
+        )
+        result.statistics["prepared"] = True
+        result.statistics["plan_cache"] = prepared.cache_info()
+        return result
+
+    # -- shared pipeline -------------------------------------------------------
+
+    def _run(
+        self,
+        ast: Query,
+        analyzed: AnalyzedQuery,
+        schedule: list[ScheduledPattern],
+        optimize: bool,
+        started: float,
+        plans: "PreparedQuery | None" = None,
+        window_overrides: dict[str, TimeWindow] | None = None,
+    ) -> TBQLResult:
         statistics: dict[str, Any] = {
             "schedule": [step.pattern.event_id for step in schedule],
             "pattern_matches": {},
             "pattern_seconds": {},
             "optimized": optimize,
         }
-
-        bindings = self._execute_schedule(schedule, analyzed, optimize, statistics)
+        bindings = self._execute_schedule(
+            schedule, analyzed, optimize, statistics, plans, window_overrides
+        )
         bindings = self._apply_temporal_relations(ast, bindings)
         bindings = self._apply_attribute_relations(ast, bindings)
         result = self._project(ast, analyzed, bindings)
@@ -107,14 +216,19 @@ class TBQLExecutionEngine:
         analyzed: AnalyzedQuery,
         optimize: bool,
         statistics: dict[str, Any],
+        plans: "PreparedQuery | None" = None,
+        window_overrides: dict[str, TimeWindow] | None = None,
     ) -> list[Binding]:
         combined: list[Binding] | None = None
         bound_identifiers: set[str] = set()
+        constraint_cache = _ConstraintCache()
         for step in schedule:
             constraints = {}
             if optimize and combined is not None:
-                constraints = self._collect_constraints(step, combined)
-            match_set = self._execute_pattern(step.pattern, constraints)
+                constraints = self._collect_constraints(step, combined, constraint_cache)
+            match_set = self._execute_pattern(
+                step.pattern, constraints, plans, window_overrides
+            )
             statistics["pattern_matches"][step.pattern.event_id] = len(match_set.bindings)
             statistics["pattern_seconds"][step.pattern.event_id] = match_set.elapsed_seconds
             if combined is None:
@@ -134,8 +248,13 @@ class TBQLExecutionEngine:
         return combined or []
 
     def _collect_constraints(
-        self, step: ScheduledPattern, bindings: list[Binding]
+        self,
+        step: ScheduledPattern,
+        bindings: list[Binding],
+        cache: _ConstraintCache | None = None,
     ) -> dict[str, set[int]]:
+        if cache is not None:
+            return cache.constraints_for(step.constrained_identifiers, bindings)
         constraints: dict[str, set[int]] = {}
         for identifier in step.constrained_identifiers:
             ids = {
@@ -150,52 +269,64 @@ class TBQLExecutionEngine:
     # -- per-pattern execution -------------------------------------------------------
 
     def _execute_pattern(
-        self, pattern: Pattern, constraints: dict[str, set[int]]
+        self,
+        pattern: Pattern,
+        constraints: dict[str, set[int]],
+        plans: "PreparedQuery | None" = None,
+        window_overrides: dict[str, TimeWindow] | None = None,
     ) -> PatternMatchSet:
         started = time.perf_counter()
         subject_ids = constraints.get(pattern.subject.identifier)
         object_ids = constraints.get(pattern.obj.identifier)
-        if isinstance(pattern, PathPattern) or self._backend == "graph":
-            bindings = self._execute_on_graph(pattern, subject_ids, object_ids)
+        effective = pattern
+        if window_overrides is not None:
+            override = window_overrides.get(pattern.event_id)
+            if override is not None:
+                effective = replace(pattern, window=override)
+        if isinstance(effective, PathPattern) or self._backend == "graph":
+            bindings = self._execute_on_graph(effective, subject_ids, object_ids)
         else:
-            bindings = self._execute_on_relational(pattern, subject_ids, object_ids)
+            if plans is not None:
+                compiled = plans.relational_query(
+                    pattern, effective.window, subject_ids, object_ids
+                )
+            else:
+                compiled = self._sql.compile(
+                    effective,
+                    subject_id_constraint=subject_ids,
+                    object_id_constraint=object_ids,
+                ).query
+            bindings = self._execute_on_relational(effective, compiled)
         return PatternMatchSet(
             pattern=pattern, bindings=bindings, elapsed_seconds=time.perf_counter() - started
         )
 
     def _execute_on_relational(
-        self,
-        pattern: EventPattern,
-        subject_ids: Iterable[int] | None,
-        object_ids: Iterable[int] | None,
+        self, pattern: EventPattern, compiled: SelectQuery
     ) -> list[Binding]:
-        compiled = self._sql.compile(
-            pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
-        )
-        result = self._store.relational.execute(compiled.query)
+        result = self._store.relational.execute(compiled)
+        if not result.rows:
+            return []
+        # The compiled projection names outputs "subject.*", "object.*" and
+        # "event.*"; group them once, then expose each row through zero-copy
+        # field views instead of splitting it into three dicts.
+        groups = result.column_groups()
+        subject_fields = groups.get("subject", {})
+        object_fields = groups.get("object", {})
+        event_fields = groups.get("event", {})
+        event_id_index = event_fields["id"]
+        subject_key = pattern.subject.identifier
+        object_key = pattern.obj.identifier
+        event_key = f"@{pattern.event_id}"
         bindings: list[Binding] = []
-        for row in result.as_dicts():
-            subject = {
-                key.split(".", 1)[1]: value
-                for key, value in row.items()
-                if key.startswith("subject.")
-            }
-            obj = {
-                key.split(".", 1)[1]: value
-                for key, value in row.items()
-                if key.startswith("object.")
-            }
-            event = {
-                key.split(".", 1)[1]: value
-                for key, value in row.items()
-                if key.startswith("event.")
-            }
-            event["edge_ids"] = (event["id"],)
+        for row in result.rows:
             bindings.append(
                 {
-                    pattern.subject.identifier: subject,
-                    pattern.obj.identifier: obj,
-                    f"@{pattern.event_id}": event,
+                    subject_key: RowFieldView(row, subject_fields),
+                    object_key: RowFieldView(row, object_fields),
+                    event_key: RowFieldView(
+                        row, event_fields, {"edge_ids": (row[event_id_index],)}
+                    ),
                 }
             )
         return bindings
@@ -258,7 +389,8 @@ class TBQLExecutionEngine:
         ``shared`` comes from the patterns' *declared* entity identifiers, not
         from inspecting the first binding of each side: a binding missing a
         declared identifier must fail loudly rather than silently dropping the
-        join key and cross-joining.
+        join key and cross-joining.  Join keys are extracted exactly once per
+        side (while building / probing the hash table).
         """
         if not left or not right:
             return []
@@ -337,11 +469,12 @@ class TBQLExecutionEngine:
     @staticmethod
     def _project(query: Query, analyzed: AnalyzedQuery, bindings: list[Binding]) -> TBQLResult:
         columns = tuple(f"{item.identifier}.{item.attribute}" for item in query.return_items)
+        empty: dict[str, Any] = {}
         rows: list[tuple[Any, ...]] = []
         for binding in bindings:
             row = []
             for item in query.return_items:
-                entity = binding.get(item.identifier, {})
+                entity = binding.get(item.identifier, empty)
                 row.append(entity.get(item.attribute))
             rows.append(tuple(row))
         if query.distinct:

@@ -1,0 +1,214 @@
+"""Prepared TBQL queries: parse/analyze/schedule/compile once, execute many.
+
+A standing query in the streaming monitor is re-executed against every
+micro-batch.  Without preparation each evaluation re-runs semantic analysis,
+pruning-score scheduling and per-pattern SQL compilation from scratch —
+per-batch overhead that dominates once the watermark window keeps the data
+volume per evaluation small.
+
+:class:`PreparedQuery` front-loads all of that:
+
+* the AST is analyzed and scheduled **once** at prepare time;
+* each event pattern's relational data query is compiled **once** into a
+  windowless, unconstrained *template*; per execution the template is cloned
+  (cheap shallow copies of the clause lists) and only the execution-specific
+  parts — the time window and the scheduler's entity-id constraint lists —
+  are attached;
+* compiled plans are cached keyed by ``(pattern, constraint shape)`` — the
+  pattern's event id plus which of {window, subject ids, object ids} are
+  present — with hit/miss counters exposed through :meth:`cache_info`.
+
+Time windows are supplied per execution through ``window_overrides`` (see
+:meth:`TBQLExecutionEngine.execute_prepared`), which is how the monitor
+narrows the temporal-sink pattern to ``[watermark, ∞)`` without rebuilding
+the query AST each batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.storage.relational.expression import Between, Column, InList
+from repro.storage.relational.query import SelectQuery
+from repro.tbql.ast import EventPattern, Pattern, Query, TimeWindow
+from repro.tbql.compiler.sql_compiler import EVENT_ALIAS, OBJECT_ALIAS, SUBJECT_ALIAS
+from repro.tbql.result import TBQLResult
+from repro.tbql.scheduler import ScheduledPattern
+from repro.tbql.semantics import AnalyzedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.tbql.executor import TBQLExecutionEngine
+
+#: Cache key: (event id, has window, has subject ids, has object ids).
+PlanKey = tuple[str, bool, bool, bool]
+
+#: Placeholder window used only for *scheduling* hinted patterns (see
+#: ``window_hints``): its bounds never filter anything, it merely makes the
+#: pruning score count the window constraint the execution will carry.
+_SCHEDULING_WINDOW = TimeWindow(start=0, end=2**63 - 1)
+
+
+def _clone_query(query: SelectQuery) -> SelectQuery:
+    """A shallow per-clause copy safe to extend without touching the template.
+
+    Expressions are immutable, so copying the clause containers is enough:
+    ``add_filter`` on the clone builds a new ``And`` instead of mutating the
+    cached one.
+    """
+    return SelectQuery(
+        tables=list(query.tables),
+        filters=dict(query.filters),
+        joins=list(query.joins),
+        cross_filters=list(query.cross_filters),
+        projection=list(query.projection),
+        distinct=query.distinct,
+        order_by=list(query.order_by),
+        limit=query.limit,
+    )
+
+
+@dataclass
+class _CachedPlan:
+    """One cached per-pattern plan shape."""
+
+    key: PlanKey
+    template: SelectQuery
+    hits: int = 0
+
+
+@dataclass
+class PreparedQuery:
+    """A TBQL query bound to an engine with its derivation work front-loaded.
+
+    Build via :meth:`TBQLExecutionEngine.prepare`; execute with
+    :meth:`execute` (or the engine's ``execute_prepared``).
+    """
+
+    engine: "TBQLExecutionEngine"
+    query: Query
+    optimize: bool = True
+    #: Event ids of patterns that will receive a window override at execution
+    #: time (e.g. the streaming monitor's temporal sink).  Scheduling treats
+    #: them as windowed so their pruning score — and therefore the execution
+    #: order — matches what per-batch re-scheduling of the windowed query
+    #: would have produced; execution itself still uses the original patterns.
+    window_hints: tuple[str, ...] = ()
+    analyzed: AnalyzedQuery = field(init=False)
+    schedule: list[ScheduledPattern] = field(init=False)
+    _templates: dict[str, SelectQuery] = field(init=False, default_factory=dict)
+    _plans: dict[PlanKey, _CachedPlan] = field(init=False, default_factory=dict)
+    _misses: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.analyzed = self.engine._analyzer.analyze(self.query)
+        scheduler = self.engine._scheduler
+        scheduling_query = self._scheduling_query()
+        schedule = (
+            scheduler.schedule(scheduling_query)
+            if self.optimize
+            else scheduler.schedule_unoptimized(scheduling_query)
+        )
+        if scheduling_query is not self.query:
+            # Map hinted (placeholder-windowed) patterns back to the originals
+            # so execution never sees the placeholder.
+            originals = {pattern.event_id: pattern for pattern in self.query.patterns}
+            schedule = [
+                replace(step, pattern=originals[step.pattern.event_id])
+                for step in schedule
+            ]
+        self.schedule = schedule
+
+    def _scheduling_query(self) -> Query:
+        """The query whose shape drives scheduling (hinted windows applied)."""
+        hinted = set(self.window_hints)
+        if not hinted:
+            return self.query
+        patterns: list[Pattern] = [
+            replace(pattern, window=_SCHEDULING_WINDOW)
+            if pattern.event_id in hinted and pattern.window is None
+            else pattern
+            for pattern in self.query.patterns
+        ]
+        if all(new is old for new, old in zip(patterns, self.query.patterns)):
+            return self.query
+        return replace(self.query, patterns=patterns)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, window_overrides: dict[str, TimeWindow] | None = None
+    ) -> TBQLResult:
+        """Execute the prepared query.
+
+        Args:
+            window_overrides: Per-pattern time windows for this execution,
+                keyed by event id (e.g. the monitor's watermark window on the
+                temporal-sink pattern).
+        """
+        return self.engine.execute_prepared(self, window_overrides=window_overrides)
+
+    # -- per-pattern plan cache ----------------------------------------------
+
+    def relational_query(
+        self,
+        pattern: EventPattern,
+        window: TimeWindow | None,
+        subject_ids: Iterable[int] | None,
+        object_ids: Iterable[int] | None,
+    ) -> SelectQuery:
+        """The relational data query for ``pattern`` under one execution's shape.
+
+        The windowless, unconstrained compiled form is cached per pattern;
+        only the execution-specific window bounds and entity-id constraint
+        lists are attached to a cheap clone.
+        """
+        key: PlanKey = (
+            pattern.event_id,
+            window is not None,
+            subject_ids is not None,
+            object_ids is not None,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            self._misses += 1
+            template = self._templates.get(pattern.event_id)
+            if template is None:
+                # Compile without the pattern's own window: the window is a
+                # per-execution parameter (overridable), attached below.
+                windowless = (
+                    replace(pattern, window=None) if pattern.window is not None else pattern
+                )
+                template = self.engine._sql.compile(windowless).query
+                self._templates[pattern.event_id] = template
+            plan = _CachedPlan(key=key, template=template)
+            self._plans[key] = plan
+        else:
+            plan.hits += 1
+
+        compiled = _clone_query(plan.template)
+        if window is not None:
+            compiled.add_filter(
+                EVENT_ALIAS, Between(Column("starttime"), window.start, window.end)
+            )
+        if subject_ids is not None:
+            ids = tuple(sorted(set(subject_ids)))
+            compiled.add_filter(SUBJECT_ALIAS, InList(Column("id"), ids))
+            compiled.add_filter(EVENT_ALIAS, InList(Column("srcid"), ids))
+        if object_ids is not None:
+            ids = tuple(sorted(set(object_ids)))
+            compiled.add_filter(OBJECT_ALIAS, InList(Column("id"), ids))
+            compiled.add_filter(EVENT_ALIAS, InList(Column("dstid"), ids))
+        return compiled
+
+    def cache_info(self) -> dict[str, int]:
+        """Plan-cache counters: distinct shapes, template count, hits, misses."""
+        return {
+            "shapes": len(self._plans),
+            "templates": len(self._templates),
+            "hits": sum(plan.hits for plan in self._plans.values()),
+            "misses": self._misses,
+        }
+
+
+__all__ = ["PlanKey", "PreparedQuery"]

@@ -35,6 +35,28 @@ class TestHashIndex:
         index.insert(None, 0)
         assert index.lookup(None) == [0]
 
+    def test_lookup_returns_a_copy_not_internal_state(self):
+        index = HashIndex("name")
+        index.insert("a", 0)
+        bucket = index.lookup("a")
+        bucket.append(99)
+        bucket.clear()
+        assert index.lookup("a") == [0]
+        assert len(index) == 1
+
+    def test_lookup_miss_returns_fresh_list(self):
+        index = HashIndex("name")
+        missing = index.lookup("nope")
+        missing.append(7)
+        assert index.lookup("nope") == []
+        assert len(index) == 0
+
+    def test_len_tracks_inserts_incrementally(self):
+        index = HashIndex("name")
+        for position in range(50):
+            index.insert(f"v{position % 5}", position)
+            assert len(index) == position + 1
+
 
 class TestSortedIndex:
     def test_range_inclusive(self):

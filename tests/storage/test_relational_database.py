@@ -124,6 +124,35 @@ class TestExecution:
         with pytest.raises(QueryError):
             result.column("missing")
 
+    def test_result_iter_rows(self, database: RelationalDatabase):
+        result = database.execute(_join_query("%"))
+        assert list(result.iter_rows()) == list(result.rows)
+        objects = [row for row in result.iter_rows(columns=["object"])]
+        assert objects == [(value,) for value in result.column("object")]
+        reordered = list(result.iter_rows(columns=["object", "subject"]))
+        assert reordered == [(obj, subj) for subj, obj in result.rows]
+        with pytest.raises(QueryError):
+            next(result.iter_rows(columns=["missing"]))
+
+    def test_result_column_groups_and_views(self, database: RelationalDatabase):
+        query = _join_query()
+        query.projection = []
+        query.add_output("s", "exename", "proc.exename")
+        query.add_output("o", "name", "file.name")
+        query.add_output("e", "optype", "event.optype")
+        result = database.execute(query)
+        groups = result.column_groups()
+        assert set(groups) == {"proc", "file", "event"}
+        from repro.storage.relational.query import RowFieldView
+
+        view = RowFieldView(result.rows[0], groups["proc"])
+        assert view["exename"] == "/bin/tar"
+        assert view.get("missing") is None
+        assert dict(view) == {"exename": "/bin/tar"}
+        view["extra"] = 7  # overlay write does not touch the shared field map
+        assert view["extra"] == 7 and "extra" not in groups["proc"]
+        assert len(view) == 2 and set(view) == {"exename", "extra"}
+
 
 class TestPlanner:
     def test_plan_uses_indexes(self, database: RelationalDatabase):

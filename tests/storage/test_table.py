@@ -97,6 +97,38 @@ class TestAccessPaths:
         assert len(list(table.scan(predicate))) == 3
 
 
+class TestPositionalAccess:
+    def test_column_array_aliases_storage(self, table: Table):
+        names = table.column_array("name")
+        assert list(names) == ["/etc/passwd", "/etc/shadow", "/tmp/upload.tar", "/etc/passwd"]
+        table.insert({"id": 5, "name": "/new", "size": 1})
+        assert names[-1] == "/new"  # live array grows in place
+
+    def test_column_array_missing_column(self, table: Table):
+        assert table.column_array("nonexistent") is None
+
+    def test_positions_equal_uses_hash_index(self, table: Table):
+        assert sorted(table.positions_equal("name", "/etc/passwd")) == [0, 3]
+
+    def test_positions_equal_falls_back_to_scan(self, table: Table):
+        assert list(table.positions_equal("id", 3)) == [2]
+
+    def test_positions_range(self, table: Table):
+        assert sorted(table.positions_range("size", 60, 150)) == [0, 3]
+
+    def test_filter_positions_vectorized(self, table: Table):
+        predicate = Comparison(Column("size"), ">", Literal(90))
+        assert table.filter_positions(predicate) == [0, 2, 3]
+        assert table.filter_positions(predicate, [2, 1]) == [2]
+
+    def test_filter_positions_without_predicate(self, table: Table):
+        assert table.filter_positions(None) == [0, 1, 2, 3]
+
+    def test_rows_at_materializes_in_order(self, table: Table):
+        rows = list(table.rows_at([3, 0]))
+        assert [row["id"] for row in rows] == [4, 1]
+
+
 class TestStatistics:
     def test_selectivity_uses_distinct_count(self, table: Table):
         selectivity = table.estimate_selectivity("name")

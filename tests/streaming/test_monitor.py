@@ -102,3 +102,83 @@ class TestRegistration:
         monitor.register("chain", _CHAIN_QUERY)
         monitor.unregister("chain")
         assert monitor.queries == []
+
+    def test_without_prepare_no_prepared_query(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        assert standing.prepared is None
+
+
+class TestPreparedStandingQueries:
+    @staticmethod
+    def _loaded_store():
+        from repro.auditing.workload.attacks import Figure2DataLeakageChain
+        from repro.auditing.workload.base import ScenarioBuilder
+        from repro.auditing.workload.benign import SoftwareUpdateWorkload
+        from repro.storage.loader import AuditStore
+
+        builder = ScenarioBuilder(seed=31)
+        SoftwareUpdateWorkload(packages=2).generate(builder)
+        Figure2DataLeakageChain().generate(builder)
+        store = AuditStore()
+        store.load_trace(builder.build())
+        return store
+
+    def test_register_with_prepare_builds_prepared_query(self):
+        from repro.tbql.executor import TBQLExecutionEngine
+
+        engine = TBQLExecutionEngine(self._loaded_store())
+        monitor = QueryMonitor(engine.execute, prepare=engine.prepare)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        assert standing.prepared is not None
+        # The temporal sink is hinted as windowed at prepare time.
+        assert standing.prepared.window_hints == ("evt3",)
+
+    def test_prepared_and_unprepared_raise_identical_alerts(self):
+        from repro.tbql.executor import TBQLExecutionEngine
+
+        hunt = """
+        proc p1["%tar%"] read file f1["%passwd%"] as evt1
+        proc p1 write file f2["%upload%"] as evt2
+        with evt1 before evt2
+        return p1, f1, f2
+        """
+
+        def run(prepare: bool):
+            engine = TBQLExecutionEngine(self._loaded_store())
+            monitor = QueryMonitor(
+                engine.execute, prepare=engine.prepare if prepare else None
+            )
+            monitor.register("chain", hunt)
+            alerts = monitor.evaluate(0, None)  # initializing full pass
+            alerts += monitor.evaluate(1, 0)  # windowed steady-state pass
+            return sorted(alert.matched_event_ids for alert in alerts)
+
+        prepared_alerts = run(prepare=True)
+        assert prepared_alerts == run(prepare=False)
+        assert len(prepared_alerts) >= 1
+
+    def test_window_overrides_match_windowed_query_shape(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        standing._initialized = True
+        overrides = monitor._window_overrides(standing, 12345)
+        assert overrides == {"evt3": TimeWindow(start=12345, end=MAX_TIME_NS)}
+        windowed = monitor._windowed_query(standing, 12345)
+        by_id = {pattern.event_id: pattern for pattern in windowed.patterns}
+        assert by_id["evt3"].window == overrides["evt3"]
+
+    def test_window_overrides_respect_existing_window(self):
+        query = parse_query(
+            'proc p["%tar%"] read file f["%passwd%"] as e during (100, 500) return p, f'
+        )
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("windowed", query)
+        standing._initialized = True
+        overrides = monitor._window_overrides(standing, 250)
+        assert overrides == {"e": TimeWindow(start=250, end=500)}
+
+    def test_no_overrides_before_initialization(self):
+        monitor = QueryMonitor(_noop_execute)
+        standing = monitor.register("chain", _CHAIN_QUERY)
+        assert monitor._window_overrides(standing, 12345) is None

@@ -1,0 +1,144 @@
+"""Tests for prepared TBQL queries and the per-pattern plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auditing.workload.attacks import Figure2DataLeakageChain
+from repro.auditing.workload.base import ScenarioBuilder
+from repro.auditing.workload.benign import SoftwareUpdateWorkload
+from repro.storage.loader import AuditStore
+from repro.tbql.ast import TimeWindow
+from repro.tbql.executor import TBQLExecutionEngine
+from repro.tbql.parser import parse_query
+
+TWO_PATTERN_QUERY = """
+proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+proc p write file f2["%/tmp/upload.tar%"] as e2
+with e1 before e2
+return distinct p, f1, f2
+"""
+
+SINGLE_PATTERN_QUERY = 'proc p["%/bin/tar%"] read file f as e1 return distinct p, f'
+
+
+@pytest.fixture(scope="module")
+def store() -> AuditStore:
+    builder = ScenarioBuilder(seed=23)
+    SoftwareUpdateWorkload(packages=3).generate(builder)
+    Figure2DataLeakageChain().generate(builder)
+    audit_store = AuditStore()
+    audit_store.load_trace(builder.build())
+    return audit_store
+
+
+@pytest.fixture(scope="module")
+def engine(store) -> TBQLExecutionEngine:
+    return TBQLExecutionEngine(store)
+
+
+class TestPreparedExecution:
+    def test_prepared_matches_direct_execution(self, engine):
+        prepared = engine.prepare(TWO_PATTERN_QUERY)
+        direct = engine.execute(TWO_PATTERN_QUERY)
+        via_prepared = prepared.execute()
+        assert set(via_prepared.rows) == set(direct.rows)
+        assert via_prepared.columns == direct.columns
+        assert via_prepared.all_matched_event_ids() == direct.all_matched_event_ids()
+
+    def test_prepared_accepts_source_text_and_ast(self, engine):
+        from_text = engine.prepare(SINGLE_PATTERN_QUERY)
+        from_ast = engine.prepare(parse_query(SINGLE_PATTERN_QUERY))
+        assert set(from_text.execute().rows) == set(from_ast.execute().rows)
+
+    def test_repeated_execution_is_stable(self, engine):
+        prepared = engine.prepare(TWO_PATTERN_QUERY)
+        first = prepared.execute()
+        second = prepared.execute()
+        third = prepared.execute()
+        assert set(first.rows) == set(second.rows) == set(third.rows)
+
+    def test_unoptimized_prepared_matches_optimized(self, engine):
+        optimized = engine.prepare(TWO_PATTERN_QUERY, optimize=True).execute()
+        unoptimized = engine.prepare(TWO_PATTERN_QUERY, optimize=False).execute()
+        assert set(optimized.rows) == set(unoptimized.rows)
+
+    def test_statistics_mark_prepared_runs(self, engine):
+        prepared = engine.prepare(SINGLE_PATTERN_QUERY)
+        result = prepared.execute()
+        assert result.statistics["prepared"] is True
+        assert "plan_cache" in result.statistics
+        assert result.statistics["result_rows"] == len(result.rows)
+
+
+class TestPlanCache:
+    def test_templates_compiled_once_and_hit_afterwards(self, engine):
+        prepared = engine.prepare(TWO_PATTERN_QUERY)
+        prepared.execute()
+        info_after_first = prepared.cache_info()
+        assert info_after_first["misses"] >= 1
+        assert info_after_first["templates"] >= 1
+        prepared.execute()
+        prepared.execute()
+        info = prepared.cache_info()
+        assert info["templates"] == info_after_first["templates"]
+        assert info["hits"] > 0
+
+    def test_window_override_adds_a_distinct_shape(self, engine):
+        prepared = engine.prepare(SINGLE_PATTERN_QUERY)
+        prepared.execute()
+        shapes_without_window = prepared.cache_info()["shapes"]
+        prepared.execute(window_overrides={"e1": TimeWindow(0, 2**62)})
+        assert prepared.cache_info()["shapes"] > shapes_without_window
+        # Same shape again: no new entries, one more hit.
+        hits = prepared.cache_info()["hits"]
+        prepared.execute(window_overrides={"e1": TimeWindow(0, 2**62)})
+        assert prepared.cache_info()["hits"] > hits
+
+
+class TestWindowOverrides:
+    def test_override_narrows_results_like_a_windowed_query(self, engine, store):
+        prepared = engine.prepare(SINGLE_PATTERN_QUERY)
+        everything = prepared.execute()
+        assert len(everything) >= 1
+        # A window ending before the trace starts excludes every match.
+        nothing = prepared.execute(window_overrides={"e1": TimeWindow(0, 1)})
+        assert len(nothing) == 0
+        # A window spanning the whole trace changes nothing.
+        unbounded = prepared.execute(
+            window_overrides={"e1": TimeWindow(0, 2**62)}
+        )
+        assert set(unbounded.rows) == set(everything.rows)
+
+    def test_override_matches_explicitly_windowed_query(self, engine, store):
+        events = store.loaded_trace.events
+        cutoff = sorted(event.start_time for event in events)[len(events) // 2]
+        prepared = engine.prepare(SINGLE_PATTERN_QUERY)
+        overridden = prepared.execute(
+            window_overrides={"e1": TimeWindow(cutoff, 2**62)}
+        )
+        windowed_text = SINGLE_PATTERN_QUERY.replace(
+            "as e1", f"as e1 during ({cutoff}, {2**62})"
+        )
+        direct = engine.execute(windowed_text)
+        assert set(overridden.rows) == set(direct.rows)
+
+    def test_window_hints_do_not_change_results(self, engine):
+        # e1 and e2 both carry two declared constraints; hinting e2 as
+        # windowed raises its pruning score above e1's, so the schedule flips
+        # from declaration order to sink-first.
+        query = (
+            'proc p["%/bin/tar%"] read file f1 as e1 '
+            'proc p write file f2["%/tmp/upload.tar%"] as e2 '
+            "with e1 before e2 return distinct p, f1, f2"
+        )
+        hinted = engine.prepare(query, window_hints=("e2",))
+        plain = engine.prepare(query)
+        assert set(hinted.execute().rows) == set(plain.execute().rows)
+        assert plain.schedule[0].pattern.event_id == "e1"
+        # The hinted sink is scheduled as if windowed: it runs first.
+        assert hinted.schedule[0].pattern.event_id == "e2"
+        # Execution patterns are the originals, not placeholder-windowed ones.
+        assert all(
+            step.pattern in hinted.query.patterns for step in hinted.schedule
+        )
