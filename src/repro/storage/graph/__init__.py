@@ -9,6 +9,7 @@ from repro.storage.graph.pattern import (
     PathMatcher,
     PathPattern,
 )
+from repro.storage.graph.planner import CostGuidedPathMatcher, SearchPlan
 from repro.storage.graph.provenance import (
     ProvenanceResult,
     ProvenanceTracker,
@@ -16,6 +17,7 @@ from repro.storage.graph.provenance import (
 )
 
 __all__ = [
+    "CostGuidedPathMatcher",
     "DEFAULT_PROPERTY_INDEXES",
     "Edge",
     "EdgePattern",
@@ -27,6 +29,7 @@ __all__ = [
     "PathPattern",
     "ProvenanceResult",
     "ProvenanceTracker",
+    "SearchPlan",
     "flow_endpoints",
     "render_path_pattern",
 ]

@@ -68,9 +68,17 @@ def render_path_pattern(
             f"MATCH path = {source_text}{intermediate}(){final}{target_text}"
         )
 
+    clauses = [match_clause]
+    window = pattern.final_edge.window
+    if window is not None:
+        clauses.append(
+            f"WHERE {edge_variable}.starttime >= {window[0]} "
+            f"AND {edge_variable}.starttime <= {window[1]}"
+        )
+
     return_items = [source_variable, target_variable, edge_variable]
-    return_clause = "RETURN " + ", ".join(return_items)
-    return separator.join([match_clause, return_clause]) + ";"
+    clauses.append("RETURN " + ", ".join(return_items))
+    return separator.join(clauses) + ";"
 
 
 def count_query_lines(cypher_text: str) -> int:

@@ -8,11 +8,21 @@ Neo4j ("indexes are created on key attributes to speed up the search"):
 * **property indexes** — node ids per (label, property, value), created on the
   same key attributes the relational store indexes (name, exename, dstip);
 * **adjacency indexes** — outgoing and incoming edge ids per node, grouped by
-  relationship type, which drive path pattern search.
+  relationship type and kept **sorted by edge start time**, which drive path
+  pattern search.
+
+Time-sorted adjacency is what makes temporally ordered path search cheap: a
+forward expansion that must not go back in time bisects to the first edge
+starting at or after the previous hop, and a backward expansion bisects to cut
+everything after the next hop's start.  A global time index over all edges
+supports window-seeded search (enumerate only the edges that started inside a
+watermark window) and powers the streaming monitor's delta-seeded incremental
+hunts.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from typing import Any, Iterable, Iterator
 
@@ -30,16 +40,62 @@ DEFAULT_PROPERTY_INDEXES: dict[str, tuple[str, ...]] = {
 }
 
 
+class _TimeSortedEdges:
+    """Edge ids kept sorted by start time, with O(1) in-order append.
+
+    Audit streams arrive (nearly) in time order, so the common case is an
+    append at the tail; out-of-order inserts fall back to ``insort``.  The two
+    parallel arrays allow bisecting on start times while returning edge ids.
+    """
+
+    __slots__ = ("starts", "edge_ids")
+
+    def __init__(self) -> None:
+        self.starts: list[int] = []
+        self.edge_ids: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.edge_ids)
+
+    def add(self, start: int, edge_id: int) -> None:
+        if not self.starts or start >= self.starts[-1]:
+            self.starts.append(start)
+            self.edge_ids.append(edge_id)
+            return
+        at = bisect_right(self.starts, start)
+        self.starts.insert(at, start)
+        self.edge_ids.insert(at, edge_id)
+
+    def bounds(self, min_start: int | None, max_start: int | None) -> tuple[int, int]:
+        lo = 0 if min_start is None else bisect_left(self.starts, min_start)
+        hi = len(self.starts) if max_start is None else bisect_right(self.starts, max_start)
+        return lo, hi
+
+    def ids_between(self, min_start: int | None, max_start: int | None) -> list[int]:
+        # Always a fresh slice, never the live internal list: a caller may
+        # hold the result (or a generator over it) across an append, and an
+        # out-of-order insert would shift elements under the iteration.
+        lo, hi = self.bounds(min_start, max_start)
+        return self.edge_ids[lo:hi]
+
+    def count_between(self, min_start: int | None, max_start: int | None) -> int:
+        lo, hi = self.bounds(min_start, max_start)
+        return max(0, hi - lo)
+
+
 class GraphDatabase:
-    """In-memory property graph with adjacency and property indexes."""
+    """In-memory property graph with time-sorted adjacency and property indexes."""
 
     def __init__(self) -> None:
         self._nodes: dict[int, Node] = {}
         self._edges: dict[int, Edge] = {}
         self._label_index: dict[str, set[int]] = defaultdict(set)
         self._property_index: dict[tuple[str, str, Any], set[int]] = defaultdict(set)
-        self._outgoing: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
-        self._incoming: dict[int, dict[str, list[int]]] = defaultdict(lambda: defaultdict(list))
+        self._outgoing: dict[int, dict[str, _TimeSortedEdges]] = {}
+        self._incoming: dict[int, dict[str, _TimeSortedEdges]] = {}
+        #: Global time index over every edge, total and per relationship type.
+        self._edges_by_time = _TimeSortedEdges()
+        self._edges_by_time_by_relationship: dict[str, _TimeSortedEdges] = {}
 
     def clear(self) -> None:
         """Drop every node, edge and index."""
@@ -49,6 +105,8 @@ class GraphDatabase:
         self._property_index.clear()
         self._outgoing.clear()
         self._incoming.clear()
+        self._edges_by_time = _TimeSortedEdges()
+        self._edges_by_time_by_relationship.clear()
 
     # -- loading -----------------------------------------------------------
 
@@ -68,7 +126,7 @@ class GraphDatabase:
                 self._property_index[(node.label, property_name, value)].add(node.node_id)
 
     def add_edge(self, edge: Edge) -> None:
-        """Insert one edge and maintain adjacency indexes.
+        """Insert one edge and maintain adjacency and time indexes.
 
         Raises:
             QueryError: if either endpoint is unknown or the edge id is a
@@ -81,8 +139,32 @@ class GraphDatabase:
         if edge.target_id not in self._nodes:
             raise QueryError(f"edge {edge.edge_id}: unknown target node {edge.target_id}")
         self._edges[edge.edge_id] = edge
-        self._outgoing[edge.source_id][edge.relationship].append(edge.edge_id)
-        self._incoming[edge.target_id][edge.relationship].append(edge.edge_id)
+        start = edge.start_time
+        self._adjacency_bucket(self._outgoing, edge.source_id, edge.relationship).add(
+            start, edge.edge_id
+        )
+        self._adjacency_bucket(self._incoming, edge.target_id, edge.relationship).add(
+            start, edge.edge_id
+        )
+        self._edges_by_time.add(start, edge.edge_id)
+        by_relationship = self._edges_by_time_by_relationship.get(edge.relationship)
+        if by_relationship is None:
+            by_relationship = self._edges_by_time_by_relationship.setdefault(
+                edge.relationship, _TimeSortedEdges()
+            )
+        by_relationship.add(start, edge.edge_id)
+
+    @staticmethod
+    def _adjacency_bucket(
+        adjacency: dict[int, dict[str, _TimeSortedEdges]], node_id: int, relationship: str
+    ) -> _TimeSortedEdges:
+        by_type = adjacency.get(node_id)
+        if by_type is None:
+            by_type = adjacency.setdefault(node_id, {})
+        bucket = by_type.get(relationship)
+        if bucket is None:
+            bucket = by_type.setdefault(relationship, _TimeSortedEdges())
+        return bucket
 
     def load_entities(self, entities: Iterable[SystemEntity]) -> int:
         """Load system entities as nodes; returns the count loaded."""
@@ -177,6 +259,20 @@ class GraphDatabase:
         except KeyError:
             raise QueryError(f"unknown edge id {edge_id}") from None
 
+    def labels(self) -> tuple[str, ...]:
+        """Every node label present in the label index."""
+        return tuple(self._label_index)
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (O(1), from the label index)."""
+        return len(self._label_index.get(label, ()))
+
+    def property_index_count(self, label: str, property_name: str, value: Any) -> int | None:
+        """Size of one property-index bucket, or ``None`` when not indexed."""
+        if property_name not in DEFAULT_PROPERTY_INDEXES.get(label, ()):
+            return None
+        return len(self._property_index.get((label, property_name, value), ()))
+
     def nodes_with_label(self, label: str) -> Iterator[Node]:
         """All nodes carrying ``label``."""
         for node_id in self._label_index.get(label, ()):
@@ -208,34 +304,112 @@ class GraphDatabase:
     # -- traversal -------------------------------------------------------------
 
     def outgoing_edges(
-        self, node_id: int, relationship: str | None = None
+        self,
+        node_id: int,
+        relationship: str | None = None,
+        min_start: int | None = None,
+        max_start: int | None = None,
     ) -> Iterator[Edge]:
-        """Outgoing edges of ``node_id``, optionally restricted to one type."""
-        by_type = self._outgoing.get(node_id)
-        if not by_type:
-            return
-        if relationship is not None:
-            for edge_id in by_type.get(relationship, ()):
-                yield self._edges[edge_id]
-            return
-        for edge_ids in by_type.values():
-            for edge_id in edge_ids:
-                yield self._edges[edge_id]
+        """Outgoing edges of ``node_id``, optionally restricted to one type.
+
+        ``min_start``/``max_start`` bound the edges' start times (inclusive);
+        the time-sorted adjacency arrays make the restriction a bisect, not a
+        scan, so temporally pruned path search skips dead edges entirely.
+        """
+        yield from self._adjacent(self._outgoing, node_id, relationship, min_start, max_start)
 
     def incoming_edges(
-        self, node_id: int, relationship: str | None = None
+        self,
+        node_id: int,
+        relationship: str | None = None,
+        min_start: int | None = None,
+        max_start: int | None = None,
     ) -> Iterator[Edge]:
         """Incoming edges of ``node_id``, optionally restricted to one type."""
-        by_type = self._incoming.get(node_id)
+        yield from self._adjacent(self._incoming, node_id, relationship, min_start, max_start)
+
+    def _adjacent(
+        self,
+        adjacency: dict[int, dict[str, _TimeSortedEdges]],
+        node_id: int,
+        relationship: str | None,
+        min_start: int | None,
+        max_start: int | None,
+    ) -> Iterator[Edge]:
+        by_type = adjacency.get(node_id)
         if not by_type:
             return
         if relationship is not None:
-            for edge_id in by_type.get(relationship, ()):
+            bucket = by_type.get(relationship)
+            if bucket is None:
+                return
+            for edge_id in bucket.ids_between(min_start, max_start):
                 yield self._edges[edge_id]
             return
-        for edge_ids in by_type.values():
-            for edge_id in edge_ids:
+        for bucket in by_type.values():
+            for edge_id in bucket.ids_between(min_start, max_start):
                 yield self._edges[edge_id]
+
+    def out_degree(self, node_id: int, relationship: str | None = None) -> int:
+        """Number of outgoing edges of ``node_id`` (O(1) per relationship bucket)."""
+        return self._degree(self._outgoing, node_id, relationship)
+
+    def in_degree(self, node_id: int, relationship: str | None = None) -> int:
+        """Number of incoming edges of ``node_id`` (O(1) per relationship bucket)."""
+        return self._degree(self._incoming, node_id, relationship)
+
+    @staticmethod
+    def _degree(
+        adjacency: dict[int, dict[str, _TimeSortedEdges]],
+        node_id: int,
+        relationship: str | None,
+    ) -> int:
+        by_type = adjacency.get(node_id)
+        if not by_type:
+            return 0
+        if relationship is not None:
+            bucket = by_type.get(relationship)
+            return len(bucket) if bucket is not None else 0
+        return sum(len(bucket) for bucket in by_type.values())
+
+    def edges_started_between(
+        self,
+        min_start: int | None,
+        max_start: int | None,
+        relationship: str | None = None,
+    ) -> Iterator[Edge]:
+        """Every edge whose start time lies in ``[min_start, max_start]``.
+
+        Served from the global time index (per relationship type when one is
+        given): the work is a bisect plus the matching edges, independent of
+        total graph size — this is what seeds window-restricted and
+        incremental (delta) path searches.
+        """
+        index = (
+            self._edges_by_time
+            if relationship is None
+            else self._edges_by_time_by_relationship.get(relationship)
+        )
+        if index is None:
+            return
+        for edge_id in index.ids_between(min_start, max_start):
+            yield self._edges[edge_id]
+
+    def count_edges_started_between(
+        self,
+        min_start: int | None,
+        max_start: int | None,
+        relationship: str | None = None,
+    ) -> int:
+        """Number of edges starting in the window, by bisect (no enumeration)."""
+        index = (
+            self._edges_by_time
+            if relationship is None
+            else self._edges_by_time_by_relationship.get(relationship)
+        )
+        if index is None:
+            return 0
+        return index.count_between(min_start, max_start)
 
     def neighbors(self, node_id: int, relationship: str | None = None) -> Iterator[Node]:
         """Target nodes of the outgoing edges of ``node_id``."""
@@ -253,12 +427,13 @@ class GraphDatabase:
     def statistics(self) -> dict[str, Any]:
         """Node/edge counts per label/relationship for EXPLAIN-style output."""
         per_label = {label: len(ids) for label, ids in self._label_index.items()}
-        per_relationship: dict[str, int] = defaultdict(int)
-        for edge in self._edges.values():
-            per_relationship[edge.relationship] += 1
+        per_relationship = {
+            relationship: len(index)
+            for relationship, index in self._edges_by_time_by_relationship.items()
+        }
         return {
             "nodes": self.node_count(),
             "edges": self.edge_count(),
             "nodes_by_label": dict(per_label),
-            "edges_by_relationship": dict(per_relationship),
+            "edges_by_relationship": per_relationship,
         }

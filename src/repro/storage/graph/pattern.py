@@ -37,13 +37,22 @@ def _always_true(_: Any) -> bool:
 
 @dataclass
 class NodePattern:
-    """Constraints on one endpoint of a path pattern."""
+    """Constraints on one endpoint of a path pattern.
+
+    ``allowed_ids`` is the scheduler's entity-id constraint (ids bound by
+    earlier, more selective patterns).  It is declared as data rather than
+    folded into ``predicate`` so the cost-guided planner can both enumerate
+    candidates directly from it and use its size as an exact cardinality.
+    """
 
     label: str | None = None
     properties: dict[str, Any] = field(default_factory=dict)
     predicate: NodePredicate | None = None
+    allowed_ids: frozenset[int] | None = None
 
     def matches(self, node: Node) -> bool:
+        if self.allowed_ids is not None and node.node_id not in self.allowed_ids:
+            return False
         if self.label is not None and node.label != self.label:
             return False
         for key, value in self.properties.items():
@@ -56,14 +65,25 @@ class NodePattern:
 
 @dataclass
 class EdgePattern:
-    """Constraints on one edge (the final hop of a path pattern)."""
+    """Constraints on one edge (the final hop of a path pattern).
+
+    ``window`` bounds the edge's start time (inclusive).  Like
+    ``NodePattern.allowed_ids`` it is declarative so the planner can seed the
+    search from the graph's time index instead of filtering after the fact —
+    this is what makes watermark-windowed standing hunts incremental.
+    """
 
     relationship: str | None = None
     predicate: EdgePredicate | None = None
+    window: tuple[int, int] | None = None
 
     def matches(self, edge: Edge) -> bool:
         if self.relationship is not None and edge.relationship != self.relationship:
             return False
+        if self.window is not None:
+            start = edge.start_time
+            if start < self.window[0] or start > self.window[1]:
+                return False
         if self.predicate is not None and not self.predicate(edge):
             return False
         return True
@@ -106,6 +126,11 @@ class PathMatcher:
     bounded by ``max_length``, pruned by the simple-path constraint and the
     temporal-order constraint.  Candidate source nodes are obtained through the
     property index when the source pattern constrains an indexed property.
+
+    This always-forward DFS is the **reference oracle**: the production engine
+    uses :class:`~repro.storage.graph.planner.CostGuidedPathMatcher`, and the
+    property tests and benchmarks compare it against this implementation
+    (mirroring the relational ``ReferenceQueryExecutor``).
     """
 
     def __init__(self, graph: GraphDatabase) -> None:
@@ -117,15 +142,14 @@ class PathMatcher:
             yield from self._search_from(source, pattern)
 
     def match_single_edges(self, pattern: PathPattern) -> Iterator[Path]:
-        """Fast path for 1-hop patterns: iterate matching edges directly."""
+        """Fast path for 1-hop patterns: iterate matching edges directly.
+
+        Delegates to the same ``_single_hop`` used by the general search so
+        the two code paths cannot drift apart.
+        """
         for source in self._candidate_sources(pattern):
-            relationship = pattern.final_edge.relationship
-            for edge in self._graph.outgoing_edges(source.node_id, relationship):
-                if not pattern.final_edge.matches(edge):
-                    continue
-                target = self._graph.node(edge.target_id)
-                if pattern.target.matches(target):
-                    yield Path(nodes=(source, target), edges=(edge,))
+            if pattern.source.matches(source):
+                yield from self._single_hop(source, pattern)
 
     # -- internals -----------------------------------------------------------
 
@@ -135,8 +159,9 @@ class PathMatcher:
             yield from self._graph.find_nodes(source.label, **source.properties)
             return
         # Unconstrained source: every node (rare — synthesized queries always
-        # constrain the subject process).
-        for label in ("process", "file", "network"):
+        # constrain the subject process).  Iterate the label index rather than
+        # a hard-coded label whitelist so nodes of any label participate.
+        for label in self._graph.labels():
             yield from self._graph.nodes_with_label(label)
 
     def _search_from(self, source: Node, pattern: PathPattern) -> Iterator[Path]:

@@ -25,7 +25,12 @@ class Alert:
         start_time_ns: Earliest event start among the matched events.
         end_time_ns: Latest event end among the matched events.
         entities: Bound entities, ``identifier -> display value`` (process
-            exename, file name, connection dstip).
+            exename, file name, connection dstip).  Excluded from hashing
+            (``hash=False``): the frozen dataclass generates ``__hash__`` from
+            its fields, and a mutable dict field would make every ``hash()``
+            call — e.g. putting alerts in a set — raise ``TypeError``.
+            Equality still compares it, which is sound: excluding a field from
+            the hash can only widen hash buckets, never split equal values.
     """
 
     hunt: str
@@ -33,7 +38,7 @@ class Alert:
     matched_event_ids: tuple[int, ...]
     start_time_ns: int
     end_time_ns: int
-    entities: dict[str, Any] = field(default_factory=dict)
+    entities: dict[str, Any] = field(default_factory=dict, hash=False)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (JSONL sink, APIs)."""

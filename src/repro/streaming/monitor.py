@@ -17,6 +17,17 @@ turned into alerts.  Two mechanisms keep that cheap and exact:
   ids they bind; signatures already seen (including ones re-found because the
   watermark had to be conservative) are suppressed, so a match alerts exactly
   once no matter how many batches re-find it.
+
+Graph-backed hunts (path patterns, or everything under ``backend="graph"``)
+are evaluated **incrementally** through the same watermark window: because
+path edges are temporally non-decreasing, any match that binds an edge
+appended in the current micro-batch must have its *final hop* start at or
+after the watermark, so narrowing the sink to ``[watermark, ∞)`` lets the
+cost-guided planner (:mod:`repro.storage.graph.planner`) seed the search from
+the graph's time index — only the new edges are explored, outward and
+backward, instead of re-enumerating every path in the graph.  The planner's
+strategy per evaluation is recorded on the hunt
+(:attr:`StandingQuery.last_graph_plans`) so incrementality is observable.
 """
 
 from __future__ import annotations
@@ -59,6 +70,11 @@ class StandingQuery:
     evaluations: int = 0
     eval_seconds: float = 0.0
     alerts_raised: int = 0
+    #: Graph planner EXPLAIN summaries from the most recent evaluation, keyed
+    #: by pattern event id.  After the first (full) evaluation of a
+    #: graph-backed hunt these should report the ``window-seeded`` strategy —
+    #: the observable sign that per-batch work tracks the delta, not the graph.
+    last_graph_plans: dict[str, Any] = dataclass_field(default_factory=dict)
     _seen_signatures: set[tuple[int, ...]] = dataclass_field(default_factory=set)
     _matched_event_ids: set[int] = dataclass_field(default_factory=set)
     _initialized: bool = False
@@ -165,6 +181,7 @@ class QueryMonitor:
             result = self._execute(windowed)
         standing.eval_seconds += time.perf_counter() - started
         standing.evaluations += 1
+        standing.last_graph_plans = dict(result.statistics.get("graph_plans") or {})
         standing._initialized = True
 
         alerts: list[Alert] = []

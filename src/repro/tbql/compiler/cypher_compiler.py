@@ -14,7 +14,7 @@ the single-backend comparison in EXP-QUERY-LAT).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.auditing.entities import EntityType
 from repro.auditing.events import event_type_for_object
@@ -100,28 +100,39 @@ class CypherCompiler:
         filter_expression,
         id_constraint: Iterable[int] | None,
     ) -> NodePattern:
-        predicate = filter_to_predicate(filter_expression, entity_type)
-        allowed_ids = frozenset(id_constraint) if id_constraint is not None else None
+        """Entity-id constraints are declared on the pattern, not folded into
+        the predicate, so prepared plans can cache the compiled (filter-only)
+        pattern and attach per-execution ids, and the cost-guided planner can
+        read the constraint's cardinality."""
+        predicate: Callable[[Node], bool] | None = None
+        if filter_expression is not None:
+            property_predicate = filter_to_predicate(filter_expression, entity_type)
 
-        def node_matches(node: Node) -> bool:
-            if allowed_ids is not None and node.node_id not in allowed_ids:
-                return False
-            return predicate(dict(node.properties))
+            def node_matches(node: Node) -> bool:
+                return property_predicate(node.properties)
 
-        return NodePattern(label=_LABELS[entity_type], predicate=node_matches)
+            predicate = node_matches
+        return NodePattern(
+            label=_LABELS[entity_type],
+            predicate=predicate,
+            allowed_ids=frozenset(id_constraint) if id_constraint is not None else None,
+        )
 
     @staticmethod
     def _edge_pattern(operations: tuple[str, ...], window: TimeWindow | None) -> EdgePattern:
+        """The time window is likewise declarative (see ``EdgePattern.window``)
+        so the planner can seed the search from the graph's time index."""
         relationship = operations[0] if len(operations) == 1 else None
-        allowed = frozenset(operations)
+        predicate: Callable[[Edge], bool] | None = None
+        if len(operations) > 1:
+            allowed = frozenset(operations)
 
-        def edge_matches(edge: Edge) -> bool:
-            if edge.relationship not in allowed:
-                return False
-            if window is not None:
-                start = edge.start_time
-                if start < window.start or start > window.end:
-                    return False
-            return True
+            def edge_matches(edge: Edge) -> bool:
+                return edge.relationship in allowed
 
-        return EdgePattern(relationship=relationship, predicate=edge_matches)
+            predicate = edge_matches
+        return EdgePattern(
+            relationship=relationship,
+            predicate=predicate,
+            window=(window.start, window.end) if window is not None else None,
+        )

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage.graph.pattern import PathMatcher
+from repro.storage.graph.planner import CostGuidedPathMatcher
 from repro.storage.loader import AuditStore
 from repro.storage.relational.query import RowFieldView, SelectQuery
 from repro.tbql.ast import EventPattern, Pattern, PathPattern, Query, FilterOperator, TimeWindow
@@ -55,6 +56,9 @@ class PatternMatchSet:
     pattern: Pattern
     bindings: list[Binding]
     elapsed_seconds: float
+    #: EXPLAIN summary of the graph planner's strategy choice, when the
+    #: pattern executed on the graph backend (``None`` otherwise).
+    graph_plan: dict[str, Any] | None = None
 
 
 class _ConstraintCache:
@@ -101,13 +105,23 @@ class TBQLExecutionEngine:
             back to the graph store), or ``"graph"`` (everything on the graph
             backend).  The non-default modes exist for the backend-comparison
             benchmarks.
+        graph_matcher: ``"planner"`` (the cost-guided
+            :class:`~repro.storage.graph.planner.CostGuidedPathMatcher`, the
+            default) or ``"reference"`` (the always-forward DFS
+            :class:`~repro.storage.graph.pattern.PathMatcher`, kept as the
+            correctness oracle for property tests and benchmarks).
     """
 
-    def __init__(self, store: AuditStore, backend: str = "auto") -> None:
+    def __init__(
+        self, store: AuditStore, backend: str = "auto", graph_matcher: str = "planner"
+    ) -> None:
         if backend not in ("auto", "relational", "graph"):
             raise ExecutionError(f"unknown backend {backend!r}")
+        if graph_matcher not in ("planner", "reference"):
+            raise ExecutionError(f"unknown graph matcher {graph_matcher!r}")
         self._store = store
         self._backend = backend
+        self._graph_matcher = graph_matcher
         self._sql = SQLCompiler()
         self._cypher = CypherCompiler()
         self._scheduler = ExecutionScheduler()
@@ -195,6 +209,7 @@ class TBQLExecutionEngine:
             "schedule": [step.pattern.event_id for step in schedule],
             "pattern_matches": {},
             "pattern_seconds": {},
+            "graph_plans": {},
             "optimized": optimize,
         }
         bindings = self._execute_schedule(
@@ -231,6 +246,8 @@ class TBQLExecutionEngine:
             )
             statistics["pattern_matches"][step.pattern.event_id] = len(match_set.bindings)
             statistics["pattern_seconds"][step.pattern.event_id] = match_set.elapsed_seconds
+            if match_set.graph_plan is not None:
+                statistics["graph_plans"][step.pattern.event_id] = match_set.graph_plan
             if combined is None:
                 combined = match_set.bindings
             else:
@@ -283,8 +300,11 @@ class TBQLExecutionEngine:
             override = window_overrides.get(pattern.event_id)
             if override is not None:
                 effective = replace(pattern, window=override)
+        graph_plan: dict[str, Any] | None = None
         if isinstance(effective, PathPattern) or self._backend == "graph":
-            bindings = self._execute_on_graph(effective, subject_ids, object_ids)
+            bindings, graph_plan = self._execute_on_graph(
+                effective, subject_ids, object_ids, plans
+            )
         else:
             if plans is not None:
                 compiled = plans.relational_query(
@@ -298,7 +318,10 @@ class TBQLExecutionEngine:
                 ).query
             bindings = self._execute_on_relational(effective, compiled)
         return PatternMatchSet(
-            pattern=pattern, bindings=bindings, elapsed_seconds=time.perf_counter() - started
+            pattern=pattern,
+            bindings=bindings,
+            elapsed_seconds=time.perf_counter() - started,
+            graph_plan=graph_plan,
         )
 
     def _execute_on_relational(
@@ -336,18 +359,33 @@ class TBQLExecutionEngine:
         pattern: Pattern,
         subject_ids: Iterable[int] | None,
         object_ids: Iterable[int] | None,
-    ) -> list[Binding]:
-        if isinstance(pattern, PathPattern):
-            compiled = self._cypher.compile_path(
-                pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
+        plans: "PreparedQuery | None" = None,
+    ) -> tuple[list[Binding], dict[str, Any] | None]:
+        """Run one pattern on the graph backend.
+
+        Prepared executions fetch the compiled path pattern from the shared
+        plan cache (window and entity-id constraints attached to the cached
+        template); ad-hoc executions compile it on the spot.  Returns the
+        bindings plus the planner's EXPLAIN summary.
+        """
+        if plans is not None:
+            graph_pattern = plans.graph_query(
+                pattern, pattern.window, subject_ids, object_ids
             )
+        elif isinstance(pattern, PathPattern):
+            graph_pattern = self._cypher.compile_path(
+                pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
+            ).graph_pattern
         else:
-            compiled = self._cypher.compile_event(
+            graph_pattern = self._cypher.compile_event(
                 pattern, subject_id_constraint=subject_ids, object_id_constraint=object_ids
-            )
-        matcher = PathMatcher(self._store.graph)
+            ).graph_pattern
+        if self._graph_matcher == "reference":
+            matcher = PathMatcher(self._store.graph)
+        else:
+            matcher = CostGuidedPathMatcher(self._store.graph)
         bindings: list[Binding] = []
-        for path in matcher.match(compiled.graph_pattern):
+        for path in matcher.match(graph_pattern):
             subject_node, object_node = path.start, path.end
             subject = dict(subject_node.properties)
             subject["id"] = subject_node.node_id
@@ -376,7 +414,10 @@ class TBQLExecutionEngine:
                     f"@{pattern.event_id}": event,
                 }
             )
-        return bindings
+        plan_summary = None
+        if isinstance(matcher, CostGuidedPathMatcher) and matcher.last_plan is not None:
+            plan_summary = matcher.last_plan.describe()
+        return bindings, plan_summary
 
     # -- joining -------------------------------------------------------------------
 

@@ -16,7 +16,15 @@ volume per evaluation small.
   are attached;
 * compiled plans are cached keyed by ``(pattern, constraint shape)`` — the
   pattern's event id plus which of {window, subject ids, object ids} are
-  present — with hit/miss counters exposed through :meth:`cache_info`.
+  present — with hit/miss counters exposed through :meth:`cache_info`;
+* **graph plans share the same cache discipline**: a pattern routed to the
+  graph backend (a TBQL path pattern, or any pattern under
+  ``backend="graph"``) compiles once into a windowless, unconstrained
+  :class:`~repro.storage.graph.pattern.PathPattern` template; per execution
+  the time window and entity-id constraints are attached declaratively
+  (``EdgePattern.window`` / ``NodePattern.allowed_ids``), which is also what
+  lets the cost-guided planner seed watermark-windowed standing hunts from
+  the graph's time index.
 
 Time windows are supplied per execution through ``window_overrides`` (see
 :meth:`TBQLExecutionEngine.execute_prepared`), which is how the monitor
@@ -29,9 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
+from repro.storage.graph.pattern import PathPattern as GraphPathPattern
 from repro.storage.relational.expression import Between, Column, InList
 from repro.storage.relational.query import SelectQuery
 from repro.tbql.ast import EventPattern, Pattern, Query, TimeWindow
+from repro.tbql.ast import PathPattern as TBQLPathPattern
 from repro.tbql.compiler.sql_compiler import EVENT_ALIAS, OBJECT_ALIAS, SUBJECT_ALIAS
 from repro.tbql.result import TBQLResult
 from repro.tbql.scheduler import ScheduledPattern
@@ -78,6 +88,15 @@ class _CachedPlan:
 
 
 @dataclass
+class _CachedGraphPlan:
+    """One cached per-pattern graph plan shape."""
+
+    key: PlanKey
+    template: GraphPathPattern
+    hits: int = 0
+
+
+@dataclass
 class PreparedQuery:
     """A TBQL query bound to an engine with its derivation work front-loaded.
 
@@ -98,6 +117,8 @@ class PreparedQuery:
     schedule: list[ScheduledPattern] = field(init=False)
     _templates: dict[str, SelectQuery] = field(init=False, default_factory=dict)
     _plans: dict[PlanKey, _CachedPlan] = field(init=False, default_factory=dict)
+    _graph_templates: dict[str, GraphPathPattern] = field(init=False, default_factory=dict)
+    _graph_plans: dict[PlanKey, _CachedGraphPlan] = field(init=False, default_factory=dict)
     _misses: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -201,12 +222,69 @@ class PreparedQuery:
             compiled.add_filter(EVENT_ALIAS, InList(Column("dstid"), ids))
         return compiled
 
+    def graph_query(
+        self,
+        pattern: Pattern,
+        window: TimeWindow | None,
+        subject_ids: Iterable[int] | None,
+        object_ids: Iterable[int] | None,
+    ) -> GraphPathPattern:
+        """The graph data query for ``pattern`` under one execution's shape.
+
+        Mirrors :meth:`relational_query`: the windowless, unconstrained
+        compiled path pattern is cached per pattern, and the execution's time
+        window and entity-id constraints are attached declaratively via
+        ``dataclasses.replace`` — the predicates (entity attribute filters)
+        inside the cached template are shared, never recompiled.
+        """
+        key: PlanKey = (
+            pattern.event_id,
+            window is not None,
+            subject_ids is not None,
+            object_ids is not None,
+        )
+        plan = self._graph_plans.get(key)
+        if plan is None:
+            self._misses += 1
+            template = self._graph_templates.get(pattern.event_id)
+            if template is None:
+                windowless = (
+                    replace(pattern, window=None) if pattern.window is not None else pattern
+                )
+                compiler = self.engine._cypher
+                if isinstance(windowless, TBQLPathPattern):
+                    template = compiler.compile_path(windowless).graph_pattern
+                else:
+                    template = compiler.compile_event(windowless).graph_pattern
+                self._graph_templates[pattern.event_id] = template
+            plan = _CachedGraphPlan(key=key, template=template)
+            self._graph_plans[key] = plan
+        else:
+            plan.hits += 1
+
+        template = plan.template
+        source = template.source
+        target = template.target
+        final_edge = template.final_edge
+        if subject_ids is not None:
+            source = replace(source, allowed_ids=frozenset(subject_ids))
+        if object_ids is not None:
+            target = replace(target, allowed_ids=frozenset(object_ids))
+        if window is not None:
+            final_edge = replace(final_edge, window=(window.start, window.end))
+        if source is template.source and target is template.target and final_edge is template.final_edge:
+            return template
+        return replace(template, source=source, target=target, final_edge=final_edge)
+
     def cache_info(self) -> dict[str, int]:
         """Plan-cache counters: distinct shapes, template count, hits, misses."""
         return {
-            "shapes": len(self._plans),
-            "templates": len(self._templates),
-            "hits": sum(plan.hits for plan in self._plans.values()),
+            "shapes": len(self._plans) + len(self._graph_plans),
+            "templates": len(self._templates) + len(self._graph_templates),
+            "hits": (
+                sum(plan.hits for plan in self._plans.values())
+                + sum(plan.hits for plan in self._graph_plans.values())
+            ),
             "misses": self._misses,
         }
 

@@ -101,6 +101,20 @@ class SemanticAnalyzer:
                     f"event {event_id!r}: the subject must be a 'proc' entity "
                     f"(got {pattern.subject.entity_type.value!r})"
                 )
+            if isinstance(pattern, PathPattern):
+                # Validate hop bounds here, with a query-level message, instead
+                # of letting the graph backend raise a bare ValueError when the
+                # compiled pattern is constructed mid-execution.
+                if pattern.min_length < 1:
+                    raise TBQLSemanticError(
+                        f"path pattern {event_id!r}: minimum length must be at least 1 "
+                        f"(got {pattern.min_length})"
+                    )
+                if pattern.max_length < pattern.min_length:
+                    raise TBQLSemanticError(
+                        f"path pattern {event_id!r}: maximum length {pattern.max_length} "
+                        f"is smaller than minimum length {pattern.min_length}"
+                    )
             for declaration in (pattern.subject, pattern.obj):
                 self._register_entity(declaration, event_id, analyzed)
             analyzed.pattern_entities[event_id] = (

@@ -9,6 +9,7 @@ from repro.auditing.events import EntityType, Operation, SystemEvent
 from repro.auditing.trace import AuditTrace
 from repro.storage.graph.cypher import render_path_pattern
 from repro.storage.graph.graphdb import GraphDatabase
+from repro.storage.graph.model import Edge, Node
 from repro.storage.graph.pattern import EdgePattern, NodePattern, PathMatcher, PathPattern
 
 
@@ -193,6 +194,68 @@ class TestVariableLengthMatching:
         )
         # The only tar->passwd path is the direct read (length 1) < min_length.
         assert list(PathMatcher(chain_graph).match(pattern)) == []
+
+
+class TestUnconstrainedSourceLabels:
+    def test_unconstrained_source_covers_every_label(self):
+        """Regression: sources were drawn from a hard-coded label whitelist
+        ("process", "file", "network"), silently skipping any other label."""
+        graph = GraphDatabase()
+        graph.add_node(Node(node_id=1, label="container", properties={"name": "sandbox-1"}))
+        graph.add_node(Node(node_id=2, label="file", properties={"name": "/tmp/out"}))
+        graph.add_edge(
+            Edge(
+                edge_id=1, source_id=1, target_id=2, relationship="write",
+                properties={"starttime": 100, "endtime": 110},
+            )
+        )
+        pattern = PathPattern(
+            source=NodePattern(),  # no label, no properties: fully unconstrained
+            target=NodePattern(label="file"),
+            final_edge=EdgePattern(relationship="write"),
+        )
+        paths = list(PathMatcher(graph).match(pattern))
+        assert [path.start.label for path in paths] == ["container"]
+
+
+class TestSingleEdgeFastPath:
+    def test_match_single_edges_agrees_with_general_search(self, chain_graph: GraphDatabase):
+        """Regression: the 1-hop fast path was a line-for-line copy of
+        ``_single_hop`` (and skipped the source predicate check); it now
+        delegates, so the two cannot drift."""
+        pattern = PathPattern(
+            source=NodePattern(
+                label="process",
+                predicate=lambda node: "tar" in str(node.get("exename", "")),
+            ),
+            target=NodePattern(label="file"),
+            final_edge=EdgePattern(),
+        )
+        matcher = PathMatcher(chain_graph)
+        fast = {path.edge_ids() for path in matcher.match_single_edges(pattern)}
+        general = {path.edge_ids() for path in matcher.match(pattern)}
+        assert fast == general
+        assert fast == {(1,), (2,)}
+
+
+class TestDeclarativeConstraints:
+    def test_allowed_ids_restricts_sources(self, chain_graph: GraphDatabase):
+        pattern = PathPattern(
+            source=NodePattern(label="process", allowed_ids=frozenset({2})),
+            target=NodePattern(label="file"),
+            final_edge=EdgePattern(),
+        )
+        paths = list(PathMatcher(chain_graph).match(pattern))
+        assert {path.start.node_id for path in paths} == {2}
+
+    def test_edge_window_bounds_start_time(self, chain_graph: GraphDatabase):
+        pattern = PathPattern(
+            source=NodePattern(label="process"),
+            target=NodePattern(label="file"),
+            final_edge=EdgePattern(window=(150, 350)),
+        )
+        paths = list(PathMatcher(chain_graph).match(pattern))
+        assert {path.edge_ids()[0] for path in paths} == {2, 3}
 
 
 class TestCypherRendering:

@@ -1,0 +1,58 @@
+"""Unit tests for streaming alerts, including the frozen-dataclass hash fix."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.streaming.alerts import Alert, JSONLSink, ListSink
+
+
+def _alert(batch: int = 0, entities: dict | None = None) -> Alert:
+    return Alert(
+        hunt="figure2",
+        batch_index=batch,
+        matched_event_ids=(3, 7),
+        start_time_ns=100,
+        end_time_ns=900,
+        entities={"p": "/bin/bash"} if entities is None else entities,
+    )
+
+
+class TestAlertHashing:
+    def test_alert_is_hashable_despite_mutable_entities(self):
+        """Regression: the generated ``__hash__`` of the frozen dataclass
+        hashed the ``entities`` dict and raised ``TypeError`` the moment an
+        alert was put in a set or used as a dict key."""
+        alert = _alert()
+        assert isinstance(hash(alert), int)
+        assert {alert: "value"}[alert] == "value"
+
+    def test_equal_alerts_collapse_in_sets(self):
+        first = _alert()
+        second = _alert()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_alerts_differing_only_in_entities_still_compare_unequal(self):
+        # Excluded from hashing, but still part of equality.
+        first = _alert(entities={"p": "/bin/bash"})
+        second = _alert(entities={"p": "/bin/tar"})
+        assert first != second
+        assert len({first, second}) == 2
+
+
+class TestSinks:
+    def test_list_sink_collects(self):
+        sink = ListSink()
+        sink.emit(_alert())
+        assert len(sink) == 1
+
+    def test_jsonl_sink_serialises_one_object_per_line(self):
+        stream = io.StringIO()
+        sink = JSONLSink(stream)
+        sink.emit(_alert(batch=4))
+        payload = json.loads(stream.getvalue())
+        assert payload["batch"] == 4
+        assert payload["matched_event_ids"] == [3, 7]

@@ -142,3 +142,61 @@ class TestWindowOverrides:
         assert all(
             step.pattern in hinted.query.patterns for step in hinted.schedule
         )
+
+
+PATH_QUERY = 'proc p["%/bin/tar%"] ~>(1~3)[write] file f["%/tmp/upload.tar%"] as e return distinct p, f'
+
+
+class TestGraphPlanCache:
+    """Prepared executions on the graph backend share the plan cache too."""
+
+    @pytest.fixture()
+    def graph_engine(self, store) -> TBQLExecutionEngine:
+        return TBQLExecutionEngine(store, backend="graph")
+
+    def test_path_pattern_template_compiled_once(self, engine):
+        prepared = engine.prepare(PATH_QUERY)
+        direct = engine.execute(PATH_QUERY)
+        first = prepared.execute()
+        assert set(first.rows) == set(direct.rows)
+        info_after_first = prepared.cache_info()
+        assert info_after_first["templates"] == 1
+        prepared.execute()
+        prepared.execute()
+        info = prepared.cache_info()
+        assert info["templates"] == 1
+        assert info["hits"] >= 2
+
+    def test_graph_backend_event_patterns_use_the_cache(self, graph_engine):
+        """Regression: ``backend="graph"`` used to bypass the prepared plan
+        cache entirely, recompiling node/edge predicates every execution."""
+        prepared = graph_engine.prepare(TWO_PATTERN_QUERY)
+        direct = graph_engine.execute(TWO_PATTERN_QUERY)
+        result = prepared.execute()
+        assert set(result.rows) == set(direct.rows)
+        assert prepared.cache_info()["templates"] >= 1
+        hits_before = prepared.cache_info()["hits"]
+        prepared.execute()
+        assert prepared.cache_info()["hits"] > hits_before
+
+    def test_window_override_reaches_the_graph_pattern(self, graph_engine, store):
+        events = store.loaded_trace.events
+        cutoff = sorted(event.start_time for event in events)[len(events) // 2]
+        prepared = graph_engine.prepare(SINGLE_PATTERN_QUERY)
+        everything = prepared.execute()
+        windowed = prepared.execute(
+            window_overrides={"e1": TimeWindow(cutoff, 2**62)}
+        )
+        windowed_text = SINGLE_PATTERN_QUERY.replace(
+            "as e1", f"as e1 during ({cutoff}, {2**62})"
+        )
+        direct = graph_engine.execute(windowed_text)
+        assert set(windowed.rows) == set(direct.rows)
+        assert len(windowed.rows) <= len(everything.rows)
+
+    def test_graph_template_is_not_mutated_by_constraints(self, graph_engine):
+        prepared = graph_engine.prepare(SINGLE_PATTERN_QUERY)
+        baseline = set(prepared.execute().rows)
+        # A constrained shape must not leak its window into the cached template.
+        prepared.execute(window_overrides={"e1": TimeWindow(0, 1)})
+        assert set(prepared.execute().rows) == baseline

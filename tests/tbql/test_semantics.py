@@ -111,3 +111,44 @@ class TestSemanticErrors:
         second = analyzer.analyze(parse_query("proc q write file g as e return q"))
         assert set(first.entities) == {"p", "f"}
         assert set(second.entities) == {"q", "g"}
+
+
+class TestPathLengthValidation:
+    """Hop bounds are validated at analysis time with query-level messages."""
+
+    @staticmethod
+    def _path_query(min_length: int, max_length: int) -> "Query":
+        from repro.auditing.entities import EntityType as ET
+        from repro.tbql.ast import (
+            EntityDeclaration,
+            OperationExpression,
+            PathPattern,
+            Query,
+            ReturnItem,
+        )
+
+        return Query(
+            patterns=[
+                PathPattern(
+                    subject=EntityDeclaration(ET.PROCESS, "p"),
+                    operation=OperationExpression(operations=("write",)),
+                    obj=EntityDeclaration(ET.FILE, "f"),
+                    event_id="e",
+                    min_length=min_length,
+                    max_length=max_length,
+                )
+            ],
+            return_items=[ReturnItem("p"), ReturnItem("f")],
+        )
+
+    def test_valid_lengths_pass(self):
+        analyzed = analyze(self._path_query(1, 4))
+        assert "e" in analyzed.pattern_entities
+
+    def test_zero_min_length_rejected(self):
+        with pytest.raises(TBQLSemanticError, match="minimum length must be at least 1"):
+            analyze(self._path_query(0, 3))
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(TBQLSemanticError, match="smaller than minimum length"):
+            analyze(self._path_query(3, 2))
