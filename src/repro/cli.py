@@ -12,7 +12,11 @@ web UI, as four subcommands:
 * ``threatraptor hunt`` — full pipeline: load an audit log, extract, synthesize
   and execute, printing the matched system auditing records;
 * ``threatraptor watch`` — continuous hunting: stream an audit log through
-  micro-batched ingestion with a standing query, printing alerts as they fire.
+  micro-batched ingestion with a standing query, printing alerts as they fire;
+* ``threatraptor corpus`` — corpus-scale hunting: extract a whole directory of
+  OSCTI reports (optionally in parallel), dedup equivalent synthesized queries
+  into standing hunts, and stream an audit log through them, printing alerts
+  with per-report provenance.
 """
 
 from __future__ import annotations
@@ -102,6 +106,31 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--alerts", default=None, help="also append alerts as JSON lines to this file"
     )
+
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="hunt a whole corpus of OSCTI reports over a streamed audit log",
+    )
+    corpus.add_argument(
+        "reports",
+        help=(
+            "directory of OSCTI report .txt files, a .jsonl feed dump, or the "
+            "literal 'bundled' for the built-in annotated corpus"
+        ),
+    )
+    corpus.add_argument("log", help="path of the Sysdig-format audit log to stream")
+    corpus.add_argument(
+        "--workers", type=int, default=1, help="extraction worker-pool size (default: 1)"
+    )
+    corpus.add_argument(
+        "--batch-size", type=int, default=256, help="events per ingestion micro-batch (default: 256)"
+    )
+    corpus.add_argument(
+        "--max-events", type=int, default=None, help="stop after streaming this many events"
+    )
+    corpus.add_argument(
+        "--alerts", default=None, help="also append alerts as JSON lines to this file"
+    )
     return parser
 
 
@@ -124,7 +153,7 @@ def _command_extract(args: argparse.Namespace) -> int:
         text = handle.read()
     raptor = ThreatRaptor()
     extraction = raptor.extract_behavior_graph(text)
-    print(f"IOCs recognised: {len({ioc.normalized() for ioc in extraction.iocs})}")
+    print(f"IOCs recognised: {len(extraction.canonical_iocs())}")
     print("Threat behavior graph:")
     for line in extraction.graph.to_lines():
         print(f"  {line}")
@@ -219,6 +248,60 @@ def _command_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_corpus(spec: str):
+    from repro.intel import ReportCorpus
+
+    if spec == "bundled":
+        return ReportCorpus.bundled()
+    if spec.endswith(".jsonl"):
+        return ReportCorpus.from_jsonl(spec)
+    return ReportCorpus.from_directory(spec)
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    from repro.streaming import CallbackSink, JSONLSink, LogTailSource
+
+    corpus = _load_corpus(args.reports)
+    raptor = ThreatRaptor()
+    result = raptor.hunt_corpus(
+        corpus, workers=args.workers, batch_size=args.batch_size
+    )
+    service = result.service
+    service.add_sink(CallbackSink(lambda alert: print(f"ALERT {alert.describe()}")))
+
+    summary = result.summary()
+    print(
+        f"corpus: {summary['reports']} reports -> {summary['hunts']} standing hunts "
+        f"({summary['hunts_registered']} new, {summary['skipped_reports']} skipped, "
+        f"dedup ratio {summary['dedup_ratio']:.2f})"
+    )
+    for hunt in result.hunts:
+        print(f"  {hunt.name}: reports={','.join(hunt.report_ids)}")
+    for report_id, reason in result.skipped.items():
+        print(f"  skipped {report_id}: {reason}")
+    print()
+
+    source = LogTailSource(path=args.log, follow=False, max_events=args.max_events)
+    if args.alerts is not None:
+        with open(args.alerts, "a", encoding="utf-8") as alert_stream:
+            service.add_sink(JSONLSink(alert_stream))
+            alerts = service.run(source)
+    else:
+        alerts = service.run(source)
+
+    stats = service.statistics()
+    ingest = stats["ingest"]
+    evaluations = sum(hunt["evaluations"] for hunt in stats["hunts"].values())
+    print()
+    print(
+        f"batches={ingest['batches']} events={ingest['events_ingested']} "
+        f"stored={ingest['events_stored']} "
+        f"throughput={ingest['events_per_second']:.0f} events/s"
+    )
+    print(f"hunts={len(stats['hunts'])} evaluations={evaluations} alerts={len(alerts)}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "extract": _command_extract,
@@ -226,6 +309,7 @@ _COMMANDS = {
     "hunt": _command_hunt,
     "query": _command_query,
     "watch": _command_watch,
+    "corpus": _command_corpus,
 }
 
 

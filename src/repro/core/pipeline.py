@@ -27,6 +27,8 @@ from repro.tbql.result import TBQLResult
 from repro.tbql.synthesis import QuerySynthesizer, SynthesisPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.intel.corpus import CorpusReport, ReportCorpus
+    from repro.intel.hunt import CorpusHuntResult
     from repro.streaming.alerts import AlertSink
     from repro.streaming.service import HuntingService
 
@@ -43,9 +45,14 @@ class HuntReport:
     load_report: LoadReport | None = None
 
     def summary(self) -> dict[str, object]:
-        """Compact summary used by the CLI and the examples."""
+        """Compact summary used by the CLI and the examples.
+
+        The IOC count is taken from :meth:`ExtractionResult.canonical_iocs` —
+        the same canonical form query synthesis consumes — so the reported
+        number matches the entities that can appear in synthesized filters.
+        """
         return {
-            "iocs": len({ioc.normalized() for ioc in self.extraction.iocs}),
+            "iocs": len(self.extraction.canonical_iocs()),
             "behavior_edges": len(self.behavior_graph.edges),
             "query_patterns": len(self.query.patterns),
             "result_rows": len(self.result),
@@ -155,6 +162,46 @@ class ThreatRaptor:
         if report_text is not None or query is not None:
             service.register_hunt(name, report=report_text, query=query)
         return service
+
+    def hunt_corpus(
+        self,
+        reports: "ReportCorpus | object",
+        workers: int = 1,
+        service: "HuntingService | None" = None,
+        batch_size: int = 256,
+        sinks: "tuple[AlertSink, ...]" = (),
+        name_prefix: str = "corpus",
+    ) -> "CorpusHuntResult":
+        """Register the deduped standing hunts for a whole OSCTI report corpus.
+
+        Every report is extracted (in parallel when ``workers > 1``), its
+        behavior graph synthesized into a TBQL query, and semantically
+        equivalent queries from overlapping reports are canonicalized into
+        **one** standing hunt each on the returned result's
+        :class:`~repro.streaming.service.HuntingService`.  Alerts raised by
+        those hunts carry the ids of every originating report.
+
+        Args:
+            reports: A :class:`~repro.intel.corpus.ReportCorpus` or any
+                iterable of :class:`~repro.intel.corpus.CorpusReport` /
+                :class:`~repro.data.osctireports.AnnotatedReport` /
+                ``(id, text)`` items.
+            workers: Extraction worker-pool size.
+            service: Register onto an existing hunting service (repeated
+                corpus passes dedup against its hunts); a fresh one bound to
+                this pipeline is built when omitted.
+            batch_size: Micro-batch size for a newly built service.
+            sinks: Initial alert sinks for a newly built service.
+            name_prefix: Prefix for generated hunt names.
+        """
+        from repro.intel.corpus import ReportCorpus
+        from repro.intel.hunt import CorpusHuntPlanner
+        from repro.streaming.service import HuntingService
+
+        if service is None:
+            service = HuntingService(raptor=self, batch_size=batch_size, sinks=sinks)
+        planner = CorpusHuntPlanner(self, workers=workers, name_prefix=name_prefix)
+        return planner.register(ReportCorpus.coerce(reports), service)
 
     # -- end to end ----------------------------------------------------------------------
 

@@ -16,6 +16,8 @@ scores against.
 
 from __future__ import annotations
 
+import random
+import re
 from dataclasses import dataclass, field
 
 
@@ -284,3 +286,84 @@ def report_by_name(name: str) -> AnnotatedReport:
         if report.name == name:
             return report
     raise KeyError(f"no bundled report named {name!r}")
+
+
+def auditable_reports() -> tuple[AnnotatedReport, ...]:
+    """The bundled reports whose behaviors are huntable in audit logs."""
+    return tuple(report for report in ALL_REPORTS if report.auditable)
+
+
+# ---------------------------------------------------------------------------
+# Corpus expansion.  A production deployment ingests many OSCTI reports, and
+# real feeds overlap heavily: the same advisory republished by several
+# sources, defanged renditions of the same indicators, boilerplate framing
+# around the same attack chain.  ``corpus_variants`` reproduces that shape
+# deterministically so the corpus pipeline (``repro.intel``) has a realistic,
+# arbitrarily sized workload whose overlapping reports must dedup to one
+# standing hunt each.
+# ---------------------------------------------------------------------------
+
+#: IOC-free framing blocks feeds commonly wrap around a republished advisory.
+#: They contain no indicators, so they add parse work without changing the
+#: extracted behavior graph.
+_VARIANT_INTROS: tuple[str, ...] = (
+    "This advisory was republished by a second intelligence feed.",
+    "The following activity was observed during an incident response engagement.",
+    "Analysts attribute the campaign to a financially motivated intrusion set.",
+    "A partner organisation shared the report below for community awareness.",
+)
+
+_VARIANT_OUTROS: tuple[str, ...] = (
+    "Defenders are advised to review their audit logs for this activity.",
+    "The listed indicators were shared for retrospective hunting.",
+    "Additional telemetry is being collected and will be published later.",
+)
+
+_IP_PATTERN = re.compile(r"\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b")
+
+
+def _defang_ips(text: str) -> str:
+    """Rewrite plain IPv4 addresses into the defanged ``1[.]2[.]3[.]4`` form."""
+    return _IP_PATTERN.sub(r"\1[.]\2[.]\3[.]\4", text)
+
+
+def corpus_variants(
+    count: int,
+    seed: int = 7,
+    bases: tuple[AnnotatedReport, ...] | None = None,
+) -> list[AnnotatedReport]:
+    """Deterministically expand the bundled reports into a ``count``-report corpus.
+
+    Variants cycle through the auditable bundled reports and apply
+    behavior-preserving feed noise — defanged indicators, IOC-free intro and
+    outro paragraphs — so every variant of one base describes the *same*
+    threat behavior (and synthesizes to the same canonical TBQL query).  The
+    ground-truth annotations of the base are carried over unchanged.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    bases = bases if bases is not None else auditable_reports()
+    if not bases:
+        raise ValueError("corpus_variants needs at least one base report")
+    variants: list[AnnotatedReport] = []
+    for index in range(count):
+        base = bases[index % len(bases)]
+        text = base.text
+        if rng.random() < 0.5:
+            text = _defang_ips(text)
+        if rng.random() < 0.6:
+            text = f"{rng.choice(_VARIANT_INTROS)}\n\n{text}"
+        if rng.random() < 0.4:
+            text = f"{text}\n\n{rng.choice(_VARIANT_OUTROS)}"
+        variants.append(
+            AnnotatedReport(
+                name=f"{base.name}-v{index}",
+                title=f"{base.title} (feed variant {index})",
+                text=text,
+                ioc_ground_truth=base.ioc_ground_truth,
+                relation_ground_truth=base.relation_ground_truth,
+                auditable=base.auditable,
+            )
+        )
+    return variants

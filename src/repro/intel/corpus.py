@@ -1,0 +1,168 @@
+"""OSCTI report corpus loading.
+
+A :class:`ReportCorpus` is an ordered, id-keyed collection of OSCTI reports
+destined for corpus-scale extraction and hunting.  It loads from the bundled
+annotated corpus (:mod:`repro.data.osctireports`), from a directory of plain
+text report files, or from a JSONL feed dump, and normalizes everything into
+:class:`CorpusReport` records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.data.osctireports import ALL_REPORTS, AnnotatedReport, corpus_variants
+
+
+@dataclass(frozen=True)
+class CorpusReport:
+    """One OSCTI report in a corpus.
+
+    Attributes:
+        report_id: Unique id within the corpus; becomes alert provenance.
+        text: The report body handed to the extraction pipeline.
+        title: Optional human-readable title.
+        source: Where the report came from (``bundled``, a file path, a feed).
+    """
+
+    report_id: str
+    text: str
+    title: str = ""
+    source: str = ""
+
+
+def _coerce_report(item: "CorpusReport | AnnotatedReport | tuple[str, str]") -> CorpusReport:
+    if isinstance(item, CorpusReport):
+        return item
+    if isinstance(item, AnnotatedReport):
+        return CorpusReport(
+            report_id=item.name, text=item.text, title=item.title, source="bundled"
+        )
+    if isinstance(item, tuple) and len(item) == 2:
+        report_id, text = item
+        return CorpusReport(report_id=str(report_id), text=str(text))
+    raise TypeError(f"cannot build a CorpusReport from {type(item).__name__}")
+
+
+class ReportCorpus:
+    """An ordered collection of OSCTI reports with unique ids."""
+
+    def __init__(
+        self,
+        reports: Iterable["CorpusReport | AnnotatedReport | tuple[str, str]"] = (),
+    ) -> None:
+        self._reports: dict[str, CorpusReport] = {}
+        for item in reports:
+            self.add(item)
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, item: "CorpusReport | AnnotatedReport | tuple[str, str]") -> CorpusReport:
+        """Add one report; raises ``ValueError`` on a duplicate id."""
+        report = _coerce_report(item)
+        if report.report_id in self._reports:
+            raise ValueError(f"duplicate report id {report.report_id!r}")
+        self._reports[report.report_id] = report
+        return report
+
+    def add_text(
+        self, report_id: str, text: str, title: str = "", source: str = ""
+    ) -> CorpusReport:
+        """Add one report from raw text."""
+        return self.add(CorpusReport(report_id=report_id, text=text, title=title, source=source))
+
+    @classmethod
+    def coerce(
+        cls, reports: "ReportCorpus | Iterable[CorpusReport | AnnotatedReport | tuple[str, str]]"
+    ) -> "ReportCorpus":
+        """Return ``reports`` as a :class:`ReportCorpus` (pass-through if it is one)."""
+        if isinstance(reports, ReportCorpus):
+            return reports
+        return cls(reports)
+
+    @classmethod
+    def bundled(cls, auditable_only: bool = False) -> "ReportCorpus":
+        """The annotated corpus bundled with the reproduction."""
+        reports = [r for r in ALL_REPORTS if r.auditable or not auditable_only]
+        return cls(reports)
+
+    @classmethod
+    def variants(cls, count: int, seed: int = 7) -> "ReportCorpus":
+        """A deterministically expanded corpus of overlapping feed variants."""
+        return cls(corpus_variants(count, seed=seed))
+
+    @classmethod
+    def from_directory(cls, path: str | Path, pattern: str = "*.txt") -> "ReportCorpus":
+        """Load every matching text file of a directory as one report each.
+
+        The file stem becomes the report id.
+        """
+        directory = Path(path)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"report directory not found: {directory}")
+        corpus = cls()
+        for file in sorted(directory.glob(pattern)):
+            corpus.add_text(
+                report_id=file.stem,
+                text=file.read_text(encoding="utf-8"),
+                title=file.stem,
+                source=str(file),
+            )
+        return corpus
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "ReportCorpus":
+        """Load a JSONL feed dump: one object per line with ``id`` and ``text``.
+
+        Optional ``title`` and ``source`` fields are carried through.
+        """
+        corpus = cls()
+        file = Path(path)
+        with file.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{file}:{line_number}: invalid JSON: {exc}") from exc
+                try:
+                    report_id = str(record["id"])
+                    text = str(record["text"])
+                except KeyError as exc:
+                    raise ValueError(
+                        f"{file}:{line_number}: JSONL report needs 'id' and 'text'"
+                    ) from exc
+                corpus.add_text(
+                    report_id=report_id,
+                    text=text,
+                    title=str(record.get("title", "")),
+                    source=str(record.get("source", str(file))),
+                )
+        return corpus
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[CorpusReport]:
+        return iter(self._reports.values())
+
+    def __contains__(self, report_id: str) -> bool:
+        return report_id in self._reports
+
+    def get(self, report_id: str) -> CorpusReport:
+        """Look up a report by id (raises ``KeyError`` when absent)."""
+        return self._reports[report_id]
+
+    def report_ids(self) -> list[str]:
+        """All report ids, in insertion order."""
+        return list(self._reports)
+
+
+__all__ = ["CorpusReport", "ReportCorpus"]

@@ -15,12 +15,16 @@ from repro.nlp.extractor import (
     ThreatBehaviorExtractor,
 )
 from repro.nlp.ioc import (
+    CASE_INSENSITIVE_IOC_TYPES,
     IOC,
     IOCMatch,
     IOCType,
     PROTECTION_WORD,
     ProtectedText,
+    is_protection_placeholder,
+    placeholder_index,
     protect_iocs,
+    protection_placeholder,
     recognize_iocs,
 )
 from repro.nlp.lemmatizer import Lemmatizer, lemmatize
@@ -33,6 +37,7 @@ from repro.nlp.wordvec import character_overlap, cosine_similarity, vectorize
 
 __all__ = [
     "BehaviorEdge",
+    "CASE_INSENSITIVE_IOC_TYPES",
     "BehaviorGraphBuilder",
     "BehaviorNode",
     "CoreferenceResolver",
@@ -59,10 +64,13 @@ __all__ = [
     "Tokenizer",
     "character_overlap",
     "cosine_similarity",
+    "is_protection_placeholder",
     "lemmatize",
     "merge_iocs",
     "parse_sentence",
+    "placeholder_index",
     "protect_iocs",
+    "protection_placeholder",
     "recognize_iocs",
     "segment_blocks",
     "segment_sentences",

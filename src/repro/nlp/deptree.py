@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.nlp import lexicon
-from repro.nlp.ioc import IOC, PROTECTION_WORD
+from repro.nlp.ioc import IOC, placeholder_index
 from repro.nlp.pos import is_relation_verb_form
 from repro.nlp.tokenizer import Token
 
@@ -197,22 +197,30 @@ class DependencyTree:
     # -- transformations ---------------------------------------------------------
 
     def restore_iocs(self, replacements: list[tuple[int, IOC]]) -> None:
-        """Replace protection dummy words with their original IOCs.
+        """Replace protection placeholders with their original IOCs.
+
+        Each placeholder (``something_3``) encodes the occurrence index of the
+        IOC it stands for, so restoration indexes directly into
+        ``replacements`` — unambiguous even when a report naturally contains
+        the word "something" or several IOCs share one sentence.  The token's
+        block-level offset must also match the offset recorded for that index:
+        a *literal* ``something_3`` in the raw report text sits at some other
+        offset and is left alone instead of stealing an unrelated IOC.
 
         Args:
-            replacements: ``(offset, ioc)`` pairs where the offset is relative
-                to the *block* text; the tree's ``sentence_offset`` is used to
-                translate into sentence-local token offsets.
+            replacements: ``(offset, ioc)`` pairs in occurrence order; the
+                list position is the placeholder index and the offset is where
+                the placeholder was written in the protected block text.
         """
-        by_offset = {offset: ioc for offset, ioc in replacements}
         for node in self.nodes:
-            if node.token.text != PROTECTION_WORD:
+            index = placeholder_index(node.token.text)
+            if index is None or not 0 <= index < len(replacements):
                 continue
-            block_offset = node.offset + self.sentence_offset
-            ioc = by_offset.get(block_offset)
-            if ioc is not None:
-                node.ioc = ioc
-                node.token.lemma = ioc.text
+            offset, ioc = replacements[index]
+            if node.offset + self.sentence_offset != offset:
+                continue
+            node.ioc = ioc
+            node.token.lemma = ioc.text
 
     def annotate(self) -> None:
         """Annotate IOC nodes, candidate relation verbs and pronouns.

@@ -47,6 +47,20 @@ class ExtractionResult:
     trees: list[DependencyTree] = field(default_factory=list)
     coreference_links: int = 0
 
+    def canonical_iocs(self) -> list[IOC]:
+        """Distinct canonical IOCs, in first-appearance order.
+
+        This is the same canonical form downstream query synthesis consumes
+        (merge-pass representatives, deduplicated by ``IOC.normalized()`` and
+        type), so counts derived from it match the synthesized filters.
+        """
+        if self.merge_result is not None:
+            return self.merge_result.canonical_iocs()
+        seen: dict[tuple[str, object], IOC] = {}
+        for ioc in self.iocs:
+            seen.setdefault((ioc.normalized(), ioc.ioc_type), ioc)
+        return list(seen.values())
+
 
 class ThreatBehaviorExtractor:
     """The full NLP extraction pipeline of Algorithm 1.

@@ -9,9 +9,13 @@ implements:
 * **IOC recognition** — a set of regex rules recognising the IOC types that
   appear in OSCTI reports (file paths, file names, IPs, domains, URLs, email
   addresses, hashes, registry keys, CVE identifiers).
-* **IOC protection** — every recognised IOC span is replaced by a dummy word
-  (``something``) before the general-purpose NLP modules run, and restored
-  afterwards, so tokenisation/parsing see ordinary English.
+* **IOC protection** — every recognised IOC span is replaced by a *unique
+  positional* dummy word (``something_0``, ``something_1``, …) before the
+  general-purpose NLP modules run, and restored afterwards by placeholder
+  index, so tokenisation/parsing see ordinary English.  The paper uses the
+  bare word ``something``; the positional suffix keeps the trick while making
+  restoration unambiguous when a report naturally contains the word
+  "something" or when several IOCs land in one sentence.
 """
 
 from __future__ import annotations
@@ -21,8 +25,28 @@ import re
 from dataclasses import dataclass
 from typing import Iterable
 
-#: The dummy word substituted for every protected IOC, per the paper.
+#: The dummy-word stem substituted for every protected IOC, per the paper.
+#: Each occurrence gets a unique positional suffix — see
+#: :func:`protection_placeholder`.
 PROTECTION_WORD = "something"
+
+_PLACEHOLDER_PATTERN = re.compile(rf"^{PROTECTION_WORD}_(\d+)$")
+
+
+def protection_placeholder(index: int) -> str:
+    """The unique dummy word substituted for the ``index``-th protected IOC."""
+    return f"{PROTECTION_WORD}_{index}"
+
+
+def is_protection_placeholder(text: str) -> bool:
+    """True when ``text`` is exactly one protection placeholder."""
+    return _PLACEHOLDER_PATTERN.match(text) is not None
+
+
+def placeholder_index(text: str) -> int | None:
+    """The positional index encoded in a placeholder, or ``None``."""
+    match = _PLACEHOLDER_PATTERN.match(text)
+    return int(match.group(1)) if match else None
 
 
 class IOCType(enum.Enum):
@@ -39,6 +63,14 @@ class IOCType(enum.Enum):
     CVE = "cve"
 
 
+#: IOC types whose values are case-insensitive, and therefore safe to
+#: lowercase during normalisation.  Everything else (file paths, URLs with
+#: case-sensitive path components, registry value names) stays case-exact.
+CASE_INSENSITIVE_IOC_TYPES = frozenset(
+    {IOCType.DOMAIN, IOCType.EMAIL, IOCType.HASH, IOCType.CVE}
+)
+
+
 @dataclass(frozen=True)
 class IOC:
     """One recognised indicator of compromise.
@@ -52,8 +84,22 @@ class IOC:
     ioc_type: IOCType
 
     def normalized(self) -> str:
-        """Canonical form used for comparison (lowercased, trailing dots/commas stripped)."""
-        return self.text.strip().rstrip(".,;:").lower()
+        """Canonical form used for comparison.
+
+        Trailing punctuation is stripped first, then type-specific
+        canonicalization applies: defanging brackets are removed for network
+        indicators, and only case-insensitive IOC types (domains, e-mail
+        addresses, hex hashes, CVE ids) are lowercased.  File and registry
+        paths keep their case — POSIX paths are case-sensitive, so lowercasing
+        would merge distinct artefacts like ``/tmp/Payload`` and
+        ``/tmp/payload`` and corrupt hash/registry comparisons downstream.
+        """
+        text = self.text.strip().rstrip(".,;:")
+        if self.ioc_type in (IOCType.IP, IOCType.DOMAIN, IOCType.URL):
+            text = _defang(text)
+        if self.ioc_type in CASE_INSENSITIVE_IOC_TYPES:
+            text = text.lower()
+        return text
 
 
 @dataclass(frozen=True)
@@ -198,10 +244,11 @@ class ProtectedText:
 
     Attributes:
         original: The original text.
-        text: The protected text with every IOC replaced by ``PROTECTION_WORD``.
-        replacements: For each protected IOC (in occurrence order), the
-            character offset of its dummy word in the protected text and the
-            original IOC.
+        text: The protected text with the ``index``-th IOC replaced by the
+            unique placeholder ``protection_placeholder(index)``.
+        replacements: For each protected IOC (in occurrence order — the list
+            position *is* the placeholder index), the character offset of its
+            placeholder in the protected text and the original IOC.
     """
 
     original: str
@@ -221,24 +268,27 @@ class ProtectedText:
 
 
 def protect_iocs(text: str) -> ProtectedText:
-    """Replace every recognised IOC with the dummy word and record the mapping.
+    """Replace every recognised IOC with a unique placeholder and record the mapping.
 
-    The mapping is keyed by the dummy word's start offset in the *protected*
-    text so the dependency trees (whose tokens carry protected-text offsets)
-    can restore the original IOCs exactly.
+    Each occurrence gets a positionally unique placeholder
+    (``something_0``, ``something_1``, …), so restoration is by index and
+    stays unambiguous even when the report naturally contains the word
+    "something" or several IOCs share one sentence.  Offsets into the
+    protected text are recorded too, for consumers that align by position.
     """
     matches = recognize_iocs(text)
     pieces: list[str] = []
     replacements: list[tuple[int, IOC]] = []
     cursor = 0
     output_length = 0
-    for match in matches:
+    for index, match in enumerate(matches):
         prefix = text[cursor : match.start]
         pieces.append(prefix)
         output_length += len(prefix)
         replacements.append((output_length, match.ioc))
-        pieces.append(PROTECTION_WORD)
-        output_length += len(PROTECTION_WORD)
+        placeholder = protection_placeholder(index)
+        pieces.append(placeholder)
+        output_length += len(placeholder)
         cursor = match.end
     pieces.append(text[cursor:])
     return ProtectedText(original=text, text="".join(pieces), replacements=replacements)

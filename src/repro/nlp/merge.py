@@ -43,6 +43,12 @@ def should_merge(first: IOC, second: IOC) -> bool:
 
     path_like = {IOCType.FILEPATH, IOCType.FILENAME}
     if first.ioc_type in path_like and second.ioc_type in path_like:
+        # POSIX paths are case-sensitive: /tmp/Payload and /tmp/payload are
+        # different artefacts even though every similarity heuristic below
+        # (lowercased basenames, case-folded n-gram vectors) scores them as
+        # near-identical.
+        if norm_first != norm_second and norm_first.lower() == norm_second.lower():
+            return False
         # A bare file name merges with a path whose basename equals it.
         if first.ioc_type != second.ioc_type and _basename(norm_first) == _basename(norm_second):
             return True

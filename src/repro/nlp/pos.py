@@ -12,7 +12,8 @@ The tagger assigns a coarse Penn-style tag to every token using, in order:
    right after "to" or a modal);
 5. a default of ``NN``.
 
-The dummy word ``something`` used by IOC protection is tagged ``NN`` so the
+The dummy words used by IOC protection (``something`` and the positional
+placeholders ``something_0``, ``something_1``, …) are tagged ``NN`` so the
 dependency parser treats protected IOCs as ordinary noun-phrase heads, which
 is the entire point of IOC protection.
 """
@@ -20,7 +21,7 @@ is the entire point of IOC protection.
 from __future__ import annotations
 
 from repro.nlp import lexicon
-from repro.nlp.ioc import PROTECTION_WORD
+from repro.nlp.ioc import PROTECTION_WORD, is_protection_placeholder
 from repro.nlp.tokenizer import Token
 
 _VERB_SUFFIX_TAGS = (
@@ -85,7 +86,7 @@ class PosTagger:
         word = token.lower
         if token.is_punctuation():
             return "PUNCT"
-        if word == PROTECTION_WORD:
+        if word == PROTECTION_WORD or is_protection_placeholder(word):
             return "NN"
         if word.replace(".", "").isdigit():
             return "CD"
@@ -194,7 +195,11 @@ class PosTagger:
                 and previous is not None
                 and previous.pos in ("PRP", "NN", "NNS", "NNP")
                 and nxt is not None
-                and (nxt.pos in ("DT", "PRP", "IN") or nxt.lower == PROTECTION_WORD)
+                and (
+                    nxt.pos in ("DT", "PRP", "IN")
+                    or nxt.lower == PROTECTION_WORD
+                    or is_protection_placeholder(nxt.lower)
+                )
             ):
                 token.pos = "VBZ"
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.nlp.ioc import PROTECTION_WORD
+
 
 @dataclass
 class Token:
@@ -53,8 +55,12 @@ _CONTRACTIONS = {
 }
 
 #: Pattern splitting a sentence into word, number, and punctuation tokens.
+#: IOC-protection placeholders (``something_3``) must survive as single
+#: tokens, so they are matched before the generic word rule (whose character
+#: class covers neither underscores nor digits).
 _TOKEN_PATTERN = re.compile(
-    r"[A-Za-z]+(?:'[A-Za-z]+)?"  # words with optional apostrophe part
+    rf"{re.escape(PROTECTION_WORD)}_\d+"  # IOC protection placeholders
+    r"|[A-Za-z]+(?:'[A-Za-z]+)?"  # words with optional apostrophe part
     r"|\d+(?:\.\d+)?"  # numbers
     r"|[^\w\s]"  # single punctuation characters
 )

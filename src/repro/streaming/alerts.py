@@ -31,6 +31,9 @@ class Alert:
             call — e.g. putting alerts in a set — raise ``TypeError``.
             Equality still compares it, which is sound: excluding a field from
             the hash can only widen hash buckets, never split equal values.
+        reports: Ids of the OSCTI reports whose synthesized behavior this hunt
+            stands for (corpus provenance).  Empty for hunts registered from a
+            hand-written query or a single anonymous report.
     """
 
     hunt: str
@@ -39,6 +42,7 @@ class Alert:
     start_time_ns: int
     end_time_ns: int
     entities: dict[str, Any] = field(default_factory=dict, hash=False)
+    reports: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (JSONL sink, APIs)."""
@@ -49,15 +53,19 @@ class Alert:
             "start_time_ns": self.start_time_ns,
             "end_time_ns": self.end_time_ns,
             "entities": dict(self.entities),
+            "reports": list(self.reports),
         }
 
     def describe(self) -> str:
         """One-line human-readable rendering for CLIs and logs."""
         bound = ", ".join(f"{name}={value}" for name, value in sorted(self.entities.items()))
-        return (
+        line = (
             f"[{self.hunt}] batch={self.batch_index} "
             f"events={list(self.matched_event_ids)} {bound}"
         )
+        if self.reports:
+            line += f" reports={','.join(self.reports)}"
+        return line
 
 
 class AlertSink:

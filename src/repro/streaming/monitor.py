@@ -67,6 +67,14 @@ class StandingQuery:
     #: constructed without a ``prepare`` callable; such hunts re-derive the
     #: windowed query per batch.
     prepared: "PreparedQuery | None" = None
+    #: Ids of the OSCTI reports this hunt stands for (corpus provenance);
+    #: stamped onto every raised alert.  Grows when later corpus passes dedup
+    #: an equivalent report onto this hunt.
+    provenance: tuple[str, ...] = ()
+    #: The query's canonical dedup key (see :mod:`repro.tbql.canonical`), when
+    #: the registrar computed one; corpus registration uses it to route
+    #: equivalent queries onto existing hunts.
+    canonical_key: str | None = None
     evaluations: int = 0
     eval_seconds: float = 0.0
     alerts_raised: int = 0
@@ -105,11 +113,28 @@ class QueryMonitor:
         self._execute = execute
         self._prepare = prepare
         self._queries: dict[str, StandingQuery] = {}
+        #: canonical key -> hunt name, for O(1) corpus dedup routing.  The
+        #: first registration of a key wins, matching the scan it replaces.
+        self._names_by_canonical: dict[str, str] = {}
 
     # -- registration --------------------------------------------------------
 
-    def register(self, name: str, query: Query | str) -> StandingQuery:
+    def register(
+        self,
+        name: str,
+        query: Query | str,
+        provenance: Iterable[str] = (),
+        canonical_key: str | None = None,
+    ) -> StandingQuery:
         """Register a standing query under ``name``.
+
+        Args:
+            name: Unique hunt name.
+            query: TBQL source text or AST.
+            provenance: Ids of the OSCTI reports the query stands for; carried
+                onto every alert the hunt raises.
+            canonical_key: Optional canonical dedup key of the query (corpus
+                registration routes equivalent queries by it).
 
         Raises:
             ValueError: if the name is already taken.
@@ -132,12 +157,51 @@ class QueryMonitor:
             query_text=format_query(ast),
             sink_event_id=sink_event_id,
             prepared=prepared,
+            provenance=tuple(provenance),
+            canonical_key=canonical_key,
         )
         self._queries[name] = standing
+        if canonical_key is not None:
+            self._names_by_canonical.setdefault(canonical_key, name)
         return standing
 
     def unregister(self, name: str) -> None:
-        self._queries.pop(name, None)
+        standing = self._queries.pop(name, None)
+        if (
+            standing is not None
+            and standing.canonical_key is not None
+            and self._names_by_canonical.get(standing.canonical_key) == name
+        ):
+            # Re-point the routing at a surviving hunt with the same key (two
+            # hunts can share one when both were registered directly), so
+            # corpus passes keep deduping onto it instead of re-registering.
+            survivor = next(
+                (
+                    other.name
+                    for other in self._queries.values()
+                    if other.canonical_key == standing.canonical_key
+                ),
+                None,
+            )
+            if survivor is None:
+                del self._names_by_canonical[standing.canonical_key]
+            else:
+                self._names_by_canonical[standing.canonical_key] = survivor
+
+    def extend_provenance(self, name: str, report_ids: Iterable[str]) -> StandingQuery:
+        """Append report ids to a hunt's provenance (duplicates skipped)."""
+        standing = self._queries[name]
+        merged = list(standing.provenance)
+        for report_id in report_ids:
+            if report_id not in merged:
+                merged.append(report_id)
+        standing.provenance = tuple(merged)
+        return standing
+
+    def by_canonical_key(self, canonical_key: str) -> StandingQuery | None:
+        """The registered hunt carrying ``canonical_key``, if any."""
+        name = self._names_by_canonical.get(canonical_key)
+        return self._queries.get(name) if name is not None else None
 
     @property
     def queries(self) -> list[StandingQuery]:
@@ -312,6 +376,7 @@ class QueryMonitor:
             start_time_ns=min(starts) if starts else 0,
             end_time_ns=max(ends) if ends else 0,
             entities=entities,
+            reports=standing.provenance,
         )
 
 

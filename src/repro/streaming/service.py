@@ -77,12 +77,15 @@ class HuntingService:
         name: str,
         report: str | None = None,
         query: Query | str | None = None,
+        provenance: Iterable[str] = (),
+        canonical_key: str | None = None,
     ) -> StandingQuery:
         """Register a standing hunt from an OSCTI report or a TBQL query.
 
         Exactly one of ``report`` (OSCTI text, synthesized into a TBQL query on
         registration — the paper's pipeline) or ``query`` (hand-written TBQL
-        source or AST) must be given.
+        source or AST) must be given.  ``provenance`` names the originating
+        OSCTI report ids; every alert the hunt raises carries them.
         """
         if (report is None) == (query is None):
             raise ValueError("register_hunt needs exactly one of report= or query=")
@@ -90,7 +93,17 @@ class HuntingService:
             extraction = self._raptor.extract_behavior_graph(report)
             query = self._raptor.synthesize_query(extraction.graph)
         assert query is not None
-        return self._monitor.register(name, query)
+        return self._monitor.register(
+            name, query, provenance=provenance, canonical_key=canonical_key
+        )
+
+    def hunt_by_canonical_key(self, canonical_key: str) -> StandingQuery | None:
+        """The registered hunt carrying ``canonical_key``, if any."""
+        return self._monitor.by_canonical_key(canonical_key)
+
+    def extend_hunt_provenance(self, name: str, report_ids: Iterable[str]) -> StandingQuery:
+        """Append report ids to a hunt's provenance (corpus dedup bookkeeping)."""
+        return self._monitor.extend_provenance(name, report_ids)
 
     # -- processing ----------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.tbql.ast import (
     TemporalRelation,
     TimeWindow,
 )
+from repro.tbql.canonical import canonical_query_key, canonicalize_query
 from repro.tbql.executor import TBQLExecutionEngine, execute_query
 from repro.tbql.formatter import format_pattern, format_query
 from repro.tbql.prepared import PreparedQuery
@@ -58,6 +59,8 @@ __all__ = [
     "TimeWindow",
     "TokenType",
     "analyze",
+    "canonical_query_key",
+    "canonicalize_query",
     "execute_query",
     "format_pattern",
     "format_query",

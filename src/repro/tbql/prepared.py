@@ -53,6 +53,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 #: Cache key: (event id, has window, has subject ids, has object ids).
 PlanKey = tuple[str, bool, bool, bool]
 
+
+def pattern_constraint_shape(
+    pattern: Pattern,
+    window: "TimeWindow | None" = None,
+    subject_ids: "Iterable[int] | None" = None,
+    object_ids: "Iterable[int] | None" = None,
+) -> PlanKey:
+    """The ``(pattern, constraint shape)`` plan-cache key for one execution shape.
+
+    The shape is the pattern's event id plus which of {window, subject ids,
+    object ids} are present.  Execution passes its per-batch constraints;
+    corpus-level query canonicalization (:mod:`repro.tbql.canonical`) reuses
+    the same key with the pattern's own declared window and no entity-id
+    constraints.
+    """
+    return (
+        pattern.event_id,
+        window is not None,
+        subject_ids is not None,
+        object_ids is not None,
+    )
+
 #: Placeholder window used only for *scheduling* hinted patterns (see
 #: ``window_hints``): its bounds never filter anything, it merely makes the
 #: pruning score count the window constraint the execution will carry.
@@ -184,12 +206,7 @@ class PreparedQuery:
         only the execution-specific window bounds and entity-id constraint
         lists are attached to a cheap clone.
         """
-        key: PlanKey = (
-            pattern.event_id,
-            window is not None,
-            subject_ids is not None,
-            object_ids is not None,
-        )
+        key = pattern_constraint_shape(pattern, window, subject_ids, object_ids)
         plan = self._plans.get(key)
         if plan is None:
             self._misses += 1
@@ -237,12 +254,7 @@ class PreparedQuery:
         ``dataclasses.replace`` — the predicates (entity attribute filters)
         inside the cached template are shared, never recompiled.
         """
-        key: PlanKey = (
-            pattern.event_id,
-            window is not None,
-            subject_ids is not None,
-            object_ids is not None,
-        )
+        key = pattern_constraint_shape(pattern, window, subject_ids, object_ids)
         plan = self._graph_plans.get(key)
         if plan is None:
             self._misses += 1
@@ -289,4 +301,4 @@ class PreparedQuery:
         }
 
 
-__all__ = ["PlanKey", "PreparedQuery"]
+__all__ = ["PlanKey", "PreparedQuery", "pattern_constraint_shape"]

@@ -285,7 +285,11 @@ class QuerySynthesizer:
         return declaration
 
     def _filter_value(self, node: BehaviorNode, entity_type: EntityType) -> str:
-        text = node.ioc.text
+        # The canonical form (defanged, trailing punctuation stripped) is what
+        # audit records actually contain — raw surface text from a defanged
+        # report (``192[.]168[.]29[.]128``) would never match.  It is also the
+        # form behind the IOC counts reported by ``HuntReport.summary``.
+        text = node.ioc.normalized()
         if node.ioc_type is IOCType.IP:
             # Strip any CIDR suffix: audit records store plain addresses.
             return text.split("/")[0]

@@ -1,0 +1,104 @@
+"""Tests for OSCTI report corpus loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.osctireports import (
+    ALL_REPORTS,
+    FIGURE2_REPORT,
+    auditable_reports,
+    corpus_variants,
+)
+from repro.intel.corpus import CorpusReport, ReportCorpus
+
+
+class TestReportCorpus:
+    def test_bundled_contains_all_reports(self):
+        corpus = ReportCorpus.bundled()
+        assert len(corpus) == len(ALL_REPORTS)
+        assert "figure2-data-leakage" in corpus
+
+    def test_bundled_auditable_only(self):
+        corpus = ReportCorpus.bundled(auditable_only=True)
+        assert len(corpus) == len(auditable_reports())
+        assert "phishing-infrastructure" not in corpus
+
+    def test_duplicate_id_rejected(self):
+        corpus = ReportCorpus()
+        corpus.add_text("r1", "text one")
+        with pytest.raises(ValueError, match="duplicate"):
+            corpus.add_text("r1", "text two")
+
+    def test_coerce_passthrough_and_iterables(self):
+        corpus = ReportCorpus.bundled()
+        assert ReportCorpus.coerce(corpus) is corpus
+        coerced = ReportCorpus.coerce([FIGURE2_REPORT, ("manual", "some text")])
+        assert coerced.get("figure2-data-leakage").source == "bundled"
+        assert coerced.get("manual").text == "some text"
+
+    def test_coerce_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            ReportCorpus.coerce([42])
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "alpha.txt").write_text("alpha report", encoding="utf-8")
+        (tmp_path / "beta.txt").write_text("beta report", encoding="utf-8")
+        (tmp_path / "ignored.md").write_text("not a report", encoding="utf-8")
+        corpus = ReportCorpus.from_directory(tmp_path)
+        assert corpus.report_ids() == ["alpha", "beta"]
+        assert corpus.get("alpha").text == "alpha report"
+        assert str(tmp_path / "alpha.txt") == corpus.get("alpha").source
+
+    def test_from_directory_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ReportCorpus.from_directory(tmp_path / "nope")
+
+    def test_from_jsonl(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        lines = [
+            {"id": "a", "text": "first", "title": "A", "source": "feed-1"},
+            {"id": "b", "text": "second"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines), encoding="utf-8")
+        corpus = ReportCorpus.from_jsonl(path)
+        assert corpus.report_ids() == ["a", "b"]
+        assert corpus.get("a").title == "A"
+        assert corpus.get("b").source == str(path)
+
+    def test_from_jsonl_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"id": "a"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="'id' and 'text'"):
+            ReportCorpus.from_jsonl(path)
+
+    def test_variants_constructor(self):
+        corpus = ReportCorpus.variants(12, seed=4)
+        assert len(corpus) == 12
+        assert all(isinstance(report, CorpusReport) for report in corpus)
+
+
+class TestCorpusVariants:
+    def test_deterministic_for_seed(self):
+        first = corpus_variants(10, seed=21)
+        second = corpus_variants(10, seed=21)
+        assert [r.text for r in first] == [r.text for r in second]
+
+    def test_cycles_through_bases(self):
+        variants = corpus_variants(12, seed=3)
+        bases = {v.name.rsplit("-v", 1)[0] for v in variants}
+        assert bases == {r.name for r in auditable_reports()}
+
+    def test_ground_truth_carried_over(self):
+        variants = corpus_variants(5, seed=3)
+        for variant in variants:
+            base_name = variant.name.rsplit("-v", 1)[0]
+            base = next(r for r in auditable_reports() if r.name == base_name)
+            assert variant.ioc_ground_truth == base.ioc_ground_truth
+            assert variant.relation_ground_truth == base.relation_ground_truth
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_variants(-1)

@@ -121,3 +121,66 @@ class TestNaiveBaseline:
         predicted = {(e.subject.text, e.verb, e.obj.text) for e in naive.graph.edges}
         expected = set(FIGURE2_REPORT.relation_ground_truth)
         assert predicted != expected
+
+
+class TestPlaceholderAmbiguityFix:
+    """Unique positional placeholders make IOC restoration unambiguous."""
+
+    def test_report_containing_the_word_something(self, extractor):
+        text = (
+            "The operator suspected something was wrong. "
+            "The attacker used /bin/tar to read /etc/passwd. "
+            "Something similar happened before."
+        )
+        result = extractor.extract(text)
+        edges = {
+            (edge.subject.text, edge.verb, edge.obj.text) for edge in result.graph.edges
+        }
+        assert edges == {("/bin/tar", "read", "/etc/passwd")}
+        # The natural-language "something" never becomes an IOC node.
+        assert all("something" not in node.text for node in result.graph.nodes)
+
+    def test_many_iocs_in_one_sentence_restore_positionally(self, extractor):
+        text = (
+            "/bin/tar read /etc/passwd and wrote /tmp/upload.tar, then /bin/bzip2 "
+            "read /tmp/upload.tar and wrote /tmp/upload.tar.bz2."
+        )
+        result = extractor.extract(text)
+        # Every placeholder restored to the IOC at its own position: the
+        # recognised occurrence order survives the protect/parse/restore trip.
+        assert [ioc.text for ioc in result.iocs] == [
+            "/bin/tar",
+            "/etc/passwd",
+            "/tmp/upload.tar",
+            "/bin/bzip2",
+            "/tmp/upload.tar",
+            "/tmp/upload.tar.bz2",
+        ]
+        # No placeholder text ever leaks into the graph.
+        assert all("something" not in node.text for node in result.graph.nodes)
+        edges = {
+            (edge.subject.text, edge.verb, edge.obj.text) for edge in result.graph.edges
+        }
+        assert ("/bin/tar", "read", "/etc/passwd") in edges
+
+    def test_case_sensitive_paths_stay_distinct(self, extractor):
+        text = (
+            "The dropper wrote the payload to /tmp/Payload. "
+            "Later the cleaner read /tmp/payload."
+        )
+        result = extractor.extract(text)
+        canonical = {ioc.text for ioc in result.canonical_iocs()}
+        assert {"/tmp/Payload", "/tmp/payload"} <= canonical
+
+    def test_literal_placeholder_text_not_restored(self, extractor):
+        text = (
+            "The variable something_0 appeared in the script. "
+            "The attacker used /bin/tar to read /etc/passwd."
+        )
+        result = extractor.extract(text)
+        edges = {
+            (edge.subject.text, edge.verb, edge.obj.text) for edge in result.graph.edges
+        }
+        assert edges == {("/bin/tar", "read", "/etc/passwd")}
+        # The literal token never steals the first recorded IOC.
+        assert {node.text for node in result.graph.nodes} == {"/bin/tar", "/etc/passwd"}

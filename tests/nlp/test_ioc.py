@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from repro.nlp.ioc import (
+    IOC,
     PROTECTION_WORD,
     IOCType,
     ioc_type_counts,
+    is_protection_placeholder,
+    placeholder_index,
     protect_iocs,
+    protection_placeholder,
     recognize_iocs,
 )
 
@@ -138,5 +142,65 @@ class TestProtection:
     def test_protection_preserves_sentence_structure(self):
         protected = protect_iocs("The attacker used /bin/tar to read /etc/passwd.")
         assert protected.text == (
-            f"The attacker used {PROTECTION_WORD} to read {PROTECTION_WORD}."
+            f"The attacker used {protection_placeholder(0)} "
+            f"to read {protection_placeholder(1)}."
         )
+
+    def test_placeholders_are_positionally_unique(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd and wrote /tmp/out.tar.")
+        placeholders = [
+            protected.text[offset:].split()[0].rstrip(".")
+            for offset, _ in protected.replacements
+        ]
+        assert placeholders == [protection_placeholder(i) for i in range(3)]
+        assert len(set(placeholders)) == 3
+
+    def test_literal_something_in_report_not_confused_with_placeholder(self):
+        protected = protect_iocs("The attacker did something to /etc/passwd.")
+        assert len(protected.replacements) == 1
+        # The natural word survives untouched; only the IOC is replaced.
+        assert "did something to" in protected.text
+        assert protection_placeholder(0) in protected.text
+
+    def test_placeholder_helpers(self):
+        assert is_protection_placeholder(protection_placeholder(7))
+        assert not is_protection_placeholder(PROTECTION_WORD)
+        assert not is_protection_placeholder("something_x")
+        assert placeholder_index("something_12") == 12
+        assert placeholder_index("something") is None
+
+
+class TestNormalization:
+    def test_paths_keep_case(self):
+        upper = IOC(text="/tmp/Payload", ioc_type=IOCType.FILEPATH)
+        lower = IOC(text="/tmp/payload", ioc_type=IOCType.FILEPATH)
+        assert upper.normalized() == "/tmp/Payload"
+        assert upper.normalized() != lower.normalized()
+
+    def test_case_insensitive_types_lowercased(self):
+        assert IOC(text="Evil-C2.COM", ioc_type=IOCType.DOMAIN).normalized() == "evil-c2.com"
+        assert (
+            IOC(text="Billing@Secure-Pay.biz", ioc_type=IOCType.EMAIL).normalized()
+            == "billing@secure-pay.biz"
+        )
+        assert (
+            IOC(text="9E107D9D372BB6826BD81D3542A419D6", ioc_type=IOCType.HASH).normalized()
+            == "9e107d9d372bb6826bd81d3542a419d6"
+        )
+        assert IOC(text="CVE-2014-6271", ioc_type=IOCType.CVE).normalized() == "cve-2014-6271"
+
+    def test_trailing_punctuation_stripped_before_canonicalization(self):
+        assert IOC(text="/etc/passwd.,", ioc_type=IOCType.FILEPATH).normalized() == "/etc/passwd"
+
+    def test_defanged_network_iocs_canonicalized(self):
+        assert (
+            IOC(text="192[.]168[.]29[.]128", ioc_type=IOCType.IP).normalized()
+            == "192.168.29.128"
+        )
+        assert (
+            IOC(text="bad[.]site.com", ioc_type=IOCType.DOMAIN).normalized() == "bad.site.com"
+        )
+
+    def test_registry_keys_keep_case(self):
+        key = "HKEY_LOCAL_MACHINE\\Software\\Run\\Updater"
+        assert IOC(text=key, ioc_type=IOCType.REGISTRY).normalized() == key

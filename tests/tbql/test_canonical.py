@@ -1,0 +1,155 @@
+"""Tests for canonical TBQL query form and the corpus dedup key."""
+
+from __future__ import annotations
+
+from repro.auditing.entities import EntityType
+from repro.tbql.ast import (
+    AttributeComparison,
+    EntityDeclaration,
+    EventPattern,
+    FilterExpression,
+    FilterOperator,
+    OperationExpression,
+    Query,
+    ReturnItem,
+    TemporalRelation,
+)
+from repro.tbql.canonical import canonical_query_key, canonicalize_query
+from repro.tbql.formatter import format_query
+from repro.tbql.parser import parse_query
+
+
+def _entity(entity_type: EntityType, identifier: str, value: str) -> EntityDeclaration:
+    return EntityDeclaration(
+        entity_type=entity_type,
+        identifier=identifier,
+        filter=FilterExpression.leaf(
+            AttributeComparison(attribute="", operator=FilterOperator.LIKE, value=value)
+        ),
+    )
+
+
+def _query(subject_id: str = "p1", object_id: str = "f1", event_id: str = "evt1") -> Query:
+    query = Query(distinct=True)
+    query.patterns.append(
+        EventPattern(
+            subject=_entity(EntityType.PROCESS, subject_id, "%/bin/tar%"),
+            operation=OperationExpression(operations=("read",)),
+            obj=_entity(EntityType.FILE, object_id, "%/etc/passwd%"),
+            event_id=event_id,
+        )
+    )
+    query.return_items.extend(
+        [ReturnItem(identifier=subject_id), ReturnItem(identifier=object_id)]
+    )
+    return query
+
+
+class TestCanonicalizeQuery:
+    def test_identifiers_renamed_in_first_use_order(self):
+        canonical = canonicalize_query(_query(subject_id="p9", object_id="f7", event_id="evtX"))
+        pattern = canonical.patterns[0]
+        assert pattern.subject.identifier == "p1"
+        assert pattern.obj.identifier == "f1"
+        assert pattern.event_id == "evt1"
+        assert [item.identifier for item in canonical.return_items] == ["p1", "f1"]
+
+    def test_equivalent_queries_up_to_naming_share_key(self):
+        assert canonical_query_key(_query()) == canonical_query_key(
+            _query(subject_id="p42", object_id="f13", event_id="step_final")
+        )
+
+    def test_different_filters_get_different_keys(self):
+        other = _query()
+        other.patterns[0] = EventPattern(
+            subject=_entity(EntityType.PROCESS, "p1", "%/bin/cp%"),
+            operation=OperationExpression(operations=("read",)),
+            obj=_entity(EntityType.FILE, "f1", "%/etc/passwd%"),
+            event_id="evt1",
+        )
+        assert canonical_query_key(_query()) != canonical_query_key(other)
+
+    def test_like_normalized_to_eq(self):
+        canonical = canonicalize_query(_query())
+        comparison = canonical.patterns[0].subject.filter.comparison
+        assert comparison.operator is FilterOperator.EQ
+        assert comparison.value == "%/bin/tar%"
+
+    def test_case_invariant_like_normalized_to_eq(self):
+        query = _query()
+        query.patterns[0] = EventPattern(
+            subject=_entity(EntityType.PROCESS, "p1", "%/bin/tar%"),
+            operation=OperationExpression(operations=("connect",)),
+            obj=_entity(EntityType.NETWORK, "i1", "198.51.100.23"),
+            event_id="evt1",
+        )
+        canonical = canonicalize_query(query)
+        assert canonical.patterns[0].obj.filter.comparison.operator is FilterOperator.EQ
+
+    def test_alphabetic_non_wildcard_like_preserved(self):
+        """LIKE without wildcards matches case-insensitively; = does not —
+        canonicalization must not change what the registered hunt matches."""
+        query = _query()
+        query.patterns[0] = EventPattern(
+            subject=_entity(EntityType.PROCESS, "p1", "/bin/Tar"),
+            operation=OperationExpression(operations=("read",)),
+            obj=_entity(EntityType.FILE, "f1", "%/etc/passwd%"),
+            event_id="evt1",
+        )
+        canonical = canonicalize_query(query)
+        assert canonical.patterns[0].subject.filter.comparison.operator is FilterOperator.LIKE
+
+    def test_after_relations_normalized_and_sorted(self):
+        query = _query()
+        query.patterns.append(
+            EventPattern(
+                subject=_entity(EntityType.PROCESS, "p1", "%/bin/tar%"),
+                operation=OperationExpression(operations=("write",)),
+                obj=_entity(EntityType.FILE, "f2", "%/tmp/out%"),
+                event_id="evt2",
+            )
+        )
+        query.temporal_relations.append(
+            TemporalRelation(left="evt2", relation="after", right="evt1")
+        )
+        canonical = canonicalize_query(query)
+        assert canonical.temporal_relations == [
+            TemporalRelation(left="evt1", relation="before", right="evt2")
+        ]
+
+    def test_combinator_children_sorted(self):
+        first = AttributeComparison(attribute="name", operator=FilterOperator.EQ, value="b")
+        second = AttributeComparison(attribute="name", operator=FilterOperator.EQ, value="a")
+        unsorted_filter = FilterExpression.combine(
+            "or", [FilterExpression.leaf(first), FilterExpression.leaf(second)]
+        )
+        query = _query()
+        query.patterns[0] = EventPattern(
+            subject=EntityDeclaration(
+                entity_type=EntityType.PROCESS, identifier="p1", filter=unsorted_filter
+            ),
+            operation=OperationExpression(operations=("read",)),
+            obj=_entity(EntityType.FILE, "f1", "%/etc/passwd%"),
+            event_id="evt1",
+        )
+        canonical = canonicalize_query(query)
+        values = [
+            child.comparison.value
+            for child in canonical.patterns[0].subject.filter.children
+        ]
+        assert values == ["a", "b"]
+
+    def test_canonicalization_is_idempotent(self):
+        query = _query(subject_id="px", object_id="fy", event_id="e")
+        canonical = canonicalize_query(query)
+        assert canonicalize_query(canonical) == canonical
+        assert canonical_query_key(canonical) == canonical_query_key(query)
+
+    def test_key_embeds_constraint_shapes(self):
+        key = canonical_query_key(_query())
+        assert "-- shapes:" in key
+        assert "evt1,False,False,False" in key
+
+    def test_canonical_form_round_trips_through_parser(self):
+        canonical = canonicalize_query(_query(subject_id="p3", object_id="f9"))
+        assert parse_query(format_query(canonical)) == canonical

@@ -1,0 +1,87 @@
+"""Synthesis edge cases: empty graphs, fully screened graphs, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ThreatRaptor
+from repro.data.osctireports import (
+    PHISHING_INFRASTRUCTURE_REPORT,
+    auditable_reports,
+    corpus_variants,
+)
+from repro.errors import SynthesisError
+from repro.nlp.behavior_graph import BehaviorEdge, BehaviorNode, ThreatBehaviorGraph
+from repro.nlp.ioc import IOC, IOCType
+from repro.tbql.canonical import canonical_query_key, canonicalize_query
+from repro.tbql.formatter import format_query
+from repro.tbql.parser import parse_query
+from repro.tbql.synthesis import QuerySynthesizer
+
+
+def _node(text: str, ioc_type: IOCType) -> BehaviorNode:
+    return BehaviorNode(ioc=IOC(text=text, ioc_type=ioc_type))
+
+
+class TestSynthesisFailureModes:
+    def test_empty_behavior_graph_raises(self):
+        with pytest.raises(SynthesisError):
+            QuerySynthesizer().synthesize(ThreatBehaviorGraph())
+
+    def test_graph_with_nodes_but_no_edges_raises(self):
+        graph = ThreatBehaviorGraph(nodes=[_node("/bin/tar", IOCType.FILEPATH)])
+        with pytest.raises(SynthesisError):
+            QuerySynthesizer().synthesize(graph)
+
+    def test_all_screened_out_graph_raises(self):
+        """URL/hash-only graphs screen down to nothing auditable."""
+        url = _node("http://evil.example.com/p.php", IOCType.URL)
+        digest = _node("9e107d9d372bb6826bd81d3542a419d6", IOCType.HASH)
+        graph = ThreatBehaviorGraph(
+            nodes=[url, digest],
+            edges=[BehaviorEdge(subject=url, verb="write", obj=digest, sequence=1)],
+        )
+        with pytest.raises(SynthesisError, match="screening"):
+            QuerySynthesizer().synthesize(graph)
+
+    def test_unauditable_report_screens_to_nothing(self):
+        raptor = ThreatRaptor()
+        graph = raptor.extract_behavior_graph(PHISHING_INFRASTRUCTURE_REPORT.text).graph
+        with pytest.raises(SynthesisError):
+            raptor.synthesize_query(graph)
+
+    def test_mixed_graph_keeps_only_auditable_edges(self):
+        process = _node("/bin/tar", IOCType.FILEPATH)
+        target = _node("/etc/passwd", IOCType.FILEPATH)
+        url = _node("http://evil.example.com/p.php", IOCType.URL)
+        graph = ThreatBehaviorGraph(
+            nodes=[process, target, url],
+            edges=[
+                BehaviorEdge(subject=process, verb="read", obj=target, sequence=1),
+                BehaviorEdge(subject=process, verb="connect", obj=url, sequence=2),
+            ],
+        )
+        report = QuerySynthesizer().synthesize_with_report(graph)
+        assert report.kept_edges == 1
+        assert report.dropped_edges == 1
+        assert [node.ioc.ioc_type for node in report.screened_nodes] == [IOCType.URL]
+
+
+class TestCorpusQueryRoundTrip:
+    @pytest.mark.parametrize("report", auditable_reports(), ids=lambda r: r.name)
+    def test_synthesized_canonical_query_round_trips_identically(self, report):
+        """format_query → parser reproduces the canonical AST exactly."""
+        raptor = ThreatRaptor()
+        query = raptor.synthesize_query(raptor.extract_behavior_graph(report.text).graph)
+        canonical = canonicalize_query(query)
+        assert parse_query(format_query(canonical)) == canonical
+
+    def test_corpus_deduped_queries_round_trip_to_same_key(self):
+        raptor = ThreatRaptor()
+        for variant in corpus_variants(6, seed=17):
+            query = raptor.synthesize_query(
+                raptor.extract_behavior_graph(variant.text).graph
+            )
+            canonical = canonicalize_query(query)
+            reparsed = parse_query(format_query(canonical))
+            assert canonical_query_key(reparsed) == canonical_query_key(query)
