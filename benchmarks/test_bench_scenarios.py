@@ -1,0 +1,83 @@
+"""Benchmark: campaign generation and cross-engine differential hunting.
+
+Records into ``BENCH_results.json``:
+
+* ``scenario_campaign_generation`` — seeded campaign-generation throughput
+  (campaigns/s and events/s);
+* ``scenario_differential_hunts`` — per-engine-configuration hunt throughput
+  over the same campaign set, plus the differential-consistency verdict.
+
+Sizes are tunable through ``SCENARIO_BENCH_CAMPAIGNS`` and
+``SCENARIO_BENCH_NOISE`` so the CI smoke job can run a reduced load.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.scenarios import (
+    ENGINE_CONFIGURATIONS,
+    DifferentialHarness,
+    generate_campaigns,
+)
+
+CAMPAIGNS = int(os.environ.get("SCENARIO_BENCH_CAMPAIGNS", "8"))
+NOISE_SCALE = float(os.environ.get("SCENARIO_BENCH_NOISE", "2.0"))
+
+
+def test_bench_campaign_generation(bench_results):
+    started = time.perf_counter()
+    campaigns = generate_campaigns(CAMPAIGNS, base_seed=900, noise_scale=NOISE_SCALE)
+    elapsed = time.perf_counter() - started
+    events = sum(len(campaign.trace.events) for campaign in campaigns)
+    malicious = sum(len(campaign.ground_truth.event_ids) for campaign in campaigns)
+    entry = bench_results.record(
+        "scenario_campaign_generation",
+        campaigns=len(campaigns),
+        noise_scale=NOISE_SCALE,
+        events=events,
+        malicious_events=malicious,
+        seconds=round(elapsed, 4),
+        campaigns_per_second=round(len(campaigns) / elapsed, 2),
+        events_per_second=round(events / elapsed, 1),
+    )
+    print(f"\n[bench] campaign generation: {entry}")
+    assert events > malicious > 0
+
+
+def test_bench_differential_hunts(bench_results):
+    campaigns = generate_campaigns(CAMPAIGNS, base_seed=900, noise_scale=NOISE_SCALE)
+    harness = DifferentialHarness()
+    hunts = sum(len(campaign.hunts) for campaign in campaigns)
+
+    # One timed matrix pass produces both the throughput numbers and the
+    # per-configuration answers the consistency verdict is computed from.
+    per_configuration: dict[str, float] = {}
+    answers: dict[str, list[dict[str, set[int]]]] = {}
+    for configuration in ENGINE_CONFIGURATIONS:
+        started = time.perf_counter()
+        answers[configuration.name] = [
+            harness.matched_event_ids(configuration, campaign) for campaign in campaigns
+        ]
+        per_configuration[configuration.name] = time.perf_counter() - started
+
+    baseline = ENGINE_CONFIGURATIONS[0].name
+    consistent = all(
+        matched == answers[baseline] for matched in answers.values()
+    )
+    entry = bench_results.record(
+        "scenario_differential_hunts",
+        campaigns=len(campaigns),
+        hunts=hunts,
+        configurations=len(ENGINE_CONFIGURATIONS),
+        consistent=consistent,
+        **{
+            f"hunts_per_second[{name}]": round(hunts / seconds, 2)
+            for name, seconds in per_configuration.items()
+        },
+    )
+    print(f"\n[bench] differential hunts: {entry}")
+    assert consistent, {
+        name: matched for name, matched in answers.items() if matched != answers[baseline]
+    }

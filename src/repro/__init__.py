@@ -13,7 +13,11 @@ Intelligence"* (ThreatRaptor) end to end in pure Python:
 * :mod:`repro.tbql` — the Threat Behavior Query Language (parser, synthesis,
   compilers, scheduler, execution engine);
 * :mod:`repro.core` — the :class:`~repro.core.pipeline.ThreatRaptor` facade
-  tying everything together.
+  tying everything together;
+* :mod:`repro.streaming` — micro-batched ingestion and standing-query hunts;
+* :mod:`repro.intel` — corpus-scale OSCTI extraction and hunt planning;
+* :mod:`repro.scenarios` — seeded kill-chain campaign generation and the
+  cross-engine differential verification harness.
 
 Quickstart::
 

@@ -4,7 +4,8 @@ The CLI exposes the same end-to-end flow the paper demonstrates through its
 web UI, as four subcommands:
 
 * ``threatraptor simulate`` — generate a simulated audit log (benign workload
-  plus the demo attacks) and write it in Sysdig format;
+  plus the demo attacks, or a seeded multi-stage campaign with ``--campaign``)
+  and write it in Sysdig format;
 * ``threatraptor extract`` — run threat behavior extraction on an OSCTI report
   and print the threat behavior graph;
 * ``threatraptor synthesize`` — additionally synthesize and print the TBQL
@@ -53,6 +54,23 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(ATTACK_SCENARIOS),
         default=None,
         help="attack scenario to inject (repeatable; default: both demo attacks)",
+    )
+    simulate.add_argument(
+        "--campaign",
+        action="store_true",
+        help=(
+            "generate a seeded multi-stage kill-chain campaign (repro.scenarios) "
+            "instead of the fixed demo attacks"
+        ),
+    )
+    simulate.add_argument(
+        "--ground-truth",
+        default=None,
+        metavar="JSON",
+        help=(
+            "with --campaign: also write the campaign ground truth (malicious "
+            "event ids plus expected TBQL hunts) to this JSON file"
+        ),
     )
 
     extract = subparsers.add_parser("extract", help="extract a threat behavior graph from a report")
@@ -135,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.campaign:
+        return _simulate_campaign(args)
+    if args.ground_truth is not None:
+        print("error: --ground-truth requires --campaign", file=sys.stderr)
+        return 2
     simulator = HostSimulator(seed=args.seed, benign_scale=args.scale).add_default_benign()
     attack_names = args.attack or ["password-cracking", "data-leakage"]
     for name in attack_names:
@@ -145,6 +168,47 @@ def _command_simulate(args: argparse.Namespace) -> int:
     summary = result.trace.summary()
     print(f"wrote {count} audit records to {args.output}")
     print(f"entities={summary['entities']} events={summary['events']} malicious={summary['malicious_events']}")
+    return 0
+
+
+def _simulate_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import generate_labeled_trace
+
+    if args.attack:
+        print("error: --attack cannot be combined with --campaign", file=sys.stderr)
+        return 2
+    campaign = generate_labeled_trace(seed=args.seed, noise_scale=args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        count = write_trace(campaign.trace, handle)
+    summary = campaign.summary()
+    print(f"wrote {count} audit records to {args.output}")
+    print(f"campaign {campaign.name}: stages={','.join(campaign.spec.variants)}")
+    print(
+        f"events={summary['events']} malicious={summary['malicious_events']} "
+        f"hosts={summary['hosts']} hunts={','.join(hunt.name for hunt in campaign.hunts)}"
+    )
+    if args.ground_truth is not None:
+        payload = {
+            "name": campaign.name,
+            "seed": campaign.seed,
+            "stages": list(campaign.spec.variants),
+            "hosts": campaign.spec.hosts,
+            "event_ids": sorted(campaign.ground_truth.event_ids),
+            "hunts": [
+                {
+                    "name": hunt.name,
+                    "tbql": hunt.query_text,
+                    "expected_event_ids": sorted(hunt.expected_event_ids),
+                }
+                for hunt in campaign.hunts
+            ],
+        }
+        with open(args.ground_truth, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote ground truth to {args.ground_truth}")
     return 0
 
 

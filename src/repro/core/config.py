@@ -26,6 +26,11 @@ class ThreatRaptorConfig:
         execution_backend: ``"auto"``, ``"relational"`` or ``"graph"``.
         optimize_execution: Use pruning-score scheduling with constraint
             propagation.
+        relational_executor: ``"vectorized"`` (the columnar engine) or
+            ``"reference"`` (the row-dict oracle executor) — the differential
+            harness runs both and compares answers.
+        graph_matcher: ``"planner"`` (cost-guided path search) or
+            ``"reference"`` (the always-forward DFS oracle).
     """
 
     apply_reduction: bool = True
@@ -36,6 +41,8 @@ class ThreatRaptorConfig:
     synthesis_path_max_length: int = 4
     execution_backend: str = "auto"
     optimize_execution: bool = True
+    relational_executor: str = "vectorized"
+    graph_matcher: str = "planner"
 
     def validate(self) -> "ThreatRaptorConfig":
         """Validate the configuration, returning ``self`` for chaining.
@@ -47,6 +54,16 @@ class ThreatRaptorConfig:
             raise ConfigurationError(
                 f"execution_backend must be 'auto', 'relational' or 'graph', "
                 f"got {self.execution_backend!r}"
+            )
+        if self.relational_executor not in ("vectorized", "reference"):
+            raise ConfigurationError(
+                f"relational_executor must be 'vectorized' or 'reference', "
+                f"got {self.relational_executor!r}"
+            )
+        if self.graph_matcher not in ("planner", "reference"):
+            raise ConfigurationError(
+                f"graph_matcher must be 'planner' or 'reference', "
+                f"got {self.graph_matcher!r}"
             )
         if self.synthesis_path_max_length < 1:
             raise ConfigurationError("synthesis_path_max_length must be at least 1")

@@ -77,6 +77,7 @@ class ThreatRaptor:
         self.store = AuditStore(
             apply_reduction=self.config.apply_reduction,
             merge_window_ns=self.config.reduction_merge_window_ns,
+            relational_executor=self.config.relational_executor,
         )
         self._extractor = ThreatBehaviorExtractor(
             resolve_nominal_coreference=self.config.resolve_nominal_coreference
@@ -88,7 +89,11 @@ class ThreatRaptor:
                 wildcard_filters=self.config.synthesis_wildcard_filters,
             )
         )
-        self._engine = TBQLExecutionEngine(self.store, backend=self.config.execution_backend)
+        self._engine = TBQLExecutionEngine(
+            self.store,
+            backend=self.config.execution_backend,
+            graph_matcher=self.config.graph_matcher,
+        )
         self._load_report: LoadReport | None = None
 
     # -- data collection / storage --------------------------------------------------

@@ -40,10 +40,15 @@ class PrecisionRecall:
 
     @property
     def f1(self) -> float:
-        precision, recall = self.precision, self.recall
-        if precision + recall == 0.0:
+        # Computed straight from the counts: 2·TP / (2·TP + FP + FN) equals
+        # the harmonic mean of precision and recall but guards the
+        # both-precision-and-recall-zero corner (e.g. empty prediction vs.
+        # empty ground truth) with an exact integer test instead of a float
+        # sum comparison.
+        denominator = 2 * self.true_positives + self.false_positives + self.false_negatives
+        if denominator == 0:
             return 0.0
-        return 2 * precision * recall / (precision + recall)
+        return 2 * self.true_positives / denominator
 
     def as_dict(self) -> dict[str, float]:
         return {

@@ -1,0 +1,44 @@
+"""Adversarial campaign simulation and cross-engine differential verification.
+
+``repro.scenarios`` generates many seeded, labeled, multi-host attack
+campaigns (:mod:`repro.scenarios.campaign`) from parameterized kill-chain
+stages (:mod:`repro.scenarios.stages`), and verifies that every engine
+configuration — vectorized/reference relational, relational/graph backend,
+ad-hoc/prepared plans, batch/streaming replay — returns identical hunting
+answers on all of them (:mod:`repro.scenarios.differential`).
+"""
+
+from repro.scenarios.campaign import (
+    CampaignGenerator,
+    GeneratedCampaign,
+    generate_campaigns,
+    generate_labeled_trace,
+)
+from repro.scenarios.differential import (
+    BASELINE_CONFIGURATION,
+    ENGINE_CONFIGURATIONS,
+    CampaignDifferential,
+    DifferentialHarness,
+    DifferentialReport,
+    EngineConfiguration,
+    HuntOutcome,
+    verify_campaigns,
+)
+from repro.scenarios.stages import CampaignHunt, CampaignSpec
+
+__all__ = [
+    "BASELINE_CONFIGURATION",
+    "ENGINE_CONFIGURATIONS",
+    "CampaignDifferential",
+    "CampaignGenerator",
+    "CampaignHunt",
+    "CampaignSpec",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "EngineConfiguration",
+    "GeneratedCampaign",
+    "HuntOutcome",
+    "generate_campaigns",
+    "generate_labeled_trace",
+    "verify_campaigns",
+]

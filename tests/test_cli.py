@@ -85,3 +85,92 @@ class TestHuntAndQuery:
         query_file.write_text("this is not tbql", encoding="utf-8")
         assert main(["query", str(query_file), str(audit_log)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateCampaign:
+    def test_campaign_writes_log_and_ground_truth(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "campaign.log"
+        truth = tmp_path / "truth.json"
+        assert main(
+            ["simulate", str(log), "--campaign", "--seed", "21", "--ground-truth", str(truth)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "campaign campaign-21" in output
+        assert log.stat().st_size > 0
+        payload = json.loads(truth.read_text(encoding="utf-8"))
+        assert payload["name"] == "campaign-21"
+        assert payload["event_ids"]
+        assert {hunt["name"] for hunt in payload["hunts"]} == {"staging", "exfiltration"}
+        for hunt in payload["hunts"]:
+            assert "return distinct" in hunt["tbql"]
+            assert set(hunt["expected_event_ids"]) <= set(payload["event_ids"])
+
+    def test_campaign_log_is_huntable(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "campaign.log"
+        truth = tmp_path / "truth.json"
+        assert main(
+            ["simulate", str(log), "--campaign", "--seed", "33", "--ground-truth", str(truth)]
+        ) == 0
+        payload = json.loads(truth.read_text(encoding="utf-8"))
+        query_file = tmp_path / "hunt.tbql"
+        query_file.write_text(payload["hunts"][1]["tbql"], encoding="utf-8")
+        capsys.readouterr()
+        assert main(["query", str(query_file), str(log)]) == 0
+        expected = len(payload["hunts"][1]["expected_event_ids"])
+        assert f"{expected} matched events" in capsys.readouterr().out
+
+    def test_ground_truth_without_campaign_is_error(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path / "x.log"), "--ground-truth", "gt.json"]) == 2
+        assert "--ground-truth requires --campaign" in capsys.readouterr().err
+
+    def test_campaign_rejects_attack_selection(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(tmp_path / "x.log"),
+                    "--campaign",
+                    "--attack",
+                    "figure2-data-leakage",
+                ]
+            )
+            == 2
+        )
+        assert "--attack cannot be combined" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    def test_unknown_subcommand_exits_nonzero_with_stderr(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_missing_trace_file_is_error(self, report_file, capsys):
+        assert main(["hunt", str(report_file), "/nonexistent/audit.log"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_query_file_is_error(self, audit_log, capsys):
+        assert main(["query", "/nonexistent/query.tbql", str(audit_log)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_tbql_from_stdin_is_error(self, audit_log, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("proc p read read read"))
+        assert main(["query", "-", str(audit_log)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_missing_report_is_error(self, audit_log, capsys):
+        assert main(["watch", "/nonexistent/report.txt", str(audit_log)]) == 1
+        assert "error:" in capsys.readouterr().err

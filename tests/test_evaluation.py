@@ -44,6 +44,50 @@ class TestPrecisionRecall:
         assert score.false_positives == 1
         assert score.false_negatives == 1
 
+    def test_f1_matches_harmonic_mean_when_defined(self):
+        for tp, fp, fn in [(1, 0, 0), (3, 1, 3), (2, 5, 0), (1, 0, 9), (7, 3, 2)]:
+            score = PrecisionRecall(tp, fp, fn)
+            harmonic = (
+                2 * score.precision * score.recall / (score.precision + score.recall)
+            )
+            assert score.f1 == pytest.approx(harmonic)
+
+
+class TestEmptySetCorners:
+    """Empty-prediction / empty-ground-truth corners never divide by zero."""
+
+    def test_both_empty(self):
+        score = score_sets([], [])
+        assert (score.precision, score.recall, score.f1) == (0.0, 0.0, 0.0)
+        assert score.as_dict() == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+
+    def test_empty_ground_truth_with_predictions(self):
+        score = score_sets(["a", "b"], [])
+        assert score.false_positives == 2
+        assert (score.precision, score.recall, score.f1) == (0.0, 0.0, 0.0)
+
+    def test_empty_predictions_with_ground_truth(self):
+        score = score_sets([], ["a", "b", "c"])
+        assert score.false_negatives == 3
+        assert (score.precision, score.recall, score.f1) == (0.0, 0.0, 0.0)
+
+    def test_disjoint_sets_have_zero_f1(self):
+        # Precision and recall are both zero with non-zero denominators; the
+        # harmonic-mean formula would divide 0 by 0 without the guard.
+        score = score_sets(["a"], ["b"])
+        assert (score.precision, score.recall, score.f1) == (0.0, 0.0, 0.0)
+
+    def test_score_hunting_empty_corners(self):
+        assert score_hunting([], []).as_dict() == {
+            "precision": 0.0,
+            "recall": 0.0,
+            "f1": 0.0,
+        }
+        assert score_hunting([1, 2], []).f1 == 0.0
+        assert score_hunting([], [1, 2]).f1 == 0.0
+        perfect = score_hunting([1, 2], [2, 1])
+        assert perfect.as_dict() == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
 
 class TestExtractionScoring:
     def test_figure2_scores_perfect(self):
