@@ -1,0 +1,141 @@
+"""EXP-FAULT — recovery overhead of the crash-safe hunting service.
+
+Crash safety is only deployable if its overhead is tolerable, so this module
+measures the three costs the fault-tolerance subsystem adds:
+
+* **checkpoint write cost per batch** — the atomic write-fsync-rename of the
+  standing state after every micro-batch;
+* **journal overhead** — durable (fsynced) alert appends vs. plain in-memory
+  delivery, amortized over a full streamed hunt;
+* **resume latency** — how long ``HuntingService.resume`` takes to rebuild
+  the monitor from a checkpoint + journal, which bounds the detection gap a
+  restart introduces.
+
+Each measurement is appended to ``BENCH_results.json`` so future PRs can
+track the recovery-overhead trajectory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_simulation
+from repro.core.pipeline import ThreatRaptor
+from repro.data import FIGURE2_REPORT
+from repro.streaming import (
+    CheckpointStore,
+    HuntingService,
+    JournalSink,
+    ReplaySource,
+)
+
+_BATCH_SIZE = 256
+
+
+@pytest.fixture(scope="module")
+def fault_simulation():
+    """~5k events: enough batches for per-batch costs to dominate."""
+    return build_simulation(scale=1.0)
+
+
+def _run_hunt(simulation, checkpoint_store=None, journal=None):
+    service = HuntingService(
+        raptor=ThreatRaptor(),
+        batch_size=_BATCH_SIZE,
+        checkpoint_store=checkpoint_store,
+        journal=journal,
+    )
+    service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+    service.run(ReplaySource(simulation))
+    return service
+
+
+def test_bench_checkpoint_write_cost(benchmark, fault_simulation, tmp_path, bench_results):
+    """Per-batch cost of the atomic checkpoint write."""
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        store = CheckpointStore(tmp_path / f"run-{counter['n']}")
+        return _run_hunt(fault_simulation, checkpoint_store=store)
+
+    service = benchmark.pedantic(run, rounds=3, iterations=1)
+    checkpoint_stats = service.checkpoint_store.statistics()
+    benchmark.extra_info["checkpoint_writes"] = checkpoint_stats["writes"]
+    benchmark.extra_info["seconds_per_write"] = checkpoint_stats["seconds_per_write"]
+    bench_results.record(
+        "fault_tolerance/checkpoint_write_cost",
+        checkpoint_writes=checkpoint_stats["writes"],
+        seconds_per_write=checkpoint_stats["seconds_per_write"],
+        batches=service.statistics()["ingest"]["batches"],
+        run_seconds=benchmark.stats.stats.mean,
+    )
+
+
+def test_bench_journal_overhead(benchmark, fault_simulation, tmp_path, bench_results):
+    """Full streamed hunt with durable journaling, vs. the plain-run cost."""
+    import time as _time
+
+    started = _time.perf_counter()
+    plain = _run_hunt(fault_simulation)
+    plain_seconds = _time.perf_counter() - started
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        journal = JournalSink(tmp_path / f"j{counter['n']}" / "alerts.jsonl")
+        service = _run_hunt(fault_simulation, journal=journal)
+        journal.close()
+        return service
+
+    service = benchmark.pedantic(run, rounds=3, iterations=1)
+    journaled_seconds = benchmark.stats.stats.mean
+    assert service.journal is not None and len(service.journal) > 0
+    benchmark.extra_info["plain_seconds"] = plain_seconds
+    benchmark.extra_info["journaled_alerts"] = len(service.journal)
+    bench_results.record(
+        "fault_tolerance/journal_overhead",
+        plain_seconds=plain_seconds,
+        journaled_seconds=journaled_seconds,
+        journaled_alerts=len(service.journal),
+        overhead_ratio=journaled_seconds / plain_seconds if plain_seconds else 0.0,
+    )
+
+
+def test_bench_resume_latency(benchmark, fault_simulation, tmp_path, bench_results):
+    """Time to rebuild a hunting service from checkpoint + journal."""
+    directory = tmp_path / "resume"
+    store = CheckpointStore(directory)
+    journal = JournalSink(directory / "alerts.jsonl")
+    service = HuntingService(
+        raptor=ThreatRaptor(),
+        batch_size=_BATCH_SIZE,
+        checkpoint_store=store,
+        journal=journal,
+    )
+    service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+    service.run(ReplaySource(fault_simulation))
+    journal.close()
+
+    def resume():
+        recovery_journal = JournalSink(directory / "alerts.jsonl")
+        resumed = HuntingService.resume(
+            CheckpointStore(directory),
+            raptor=ThreatRaptor(),
+            journal=recovery_journal,
+        )
+        recovery_journal.close()
+        return resumed
+
+    resumed = benchmark(resume)
+    assert resumed.resumed
+    assert resumed.hunt("figure2") is not None
+    benchmark.extra_info["signatures_restored"] = len(
+        resumed.hunt("figure2").matched_event_ids()
+    )
+    bench_results.record(
+        "fault_tolerance/resume_latency",
+        resume_seconds=benchmark.stats.stats.mean,
+        hunts_restored=len(resumed.hunts),
+        signatures_restored=len(resumed.hunt("figure2").matched_event_ids()),
+    )

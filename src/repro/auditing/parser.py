@@ -27,6 +27,9 @@ class ParseStatistics:
     records_seen: int = 0
     records_parsed: int = 0
     records_skipped: int = 0
+    #: Unterminated final lines held back by a tailing source (a collector
+    #: caught mid-write): neither parsed nor skipped, just not complete yet.
+    records_torn: int = 0
     errors: list[str] = field(default_factory=list)
 
     @property

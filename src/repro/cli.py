@@ -124,6 +124,15 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--alerts", default=None, help="also append alerts as JSON lines to this file"
     )
+    watch.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for crash-safe state: standing state is checkpointed "
+            "after every micro-batch and alerts are journaled durably; an "
+            "existing checkpoint there is resumed (no alert re-emitted)"
+        ),
+    )
 
     corpus = subparsers.add_parser(
         "corpus",
@@ -278,7 +287,14 @@ def _command_watch(args: argparse.Namespace) -> int:
     with open(args.report, "r", encoding="utf-8") as handle:
         text = handle.read()
     raptor = ThreatRaptor()
-    service = raptor.watch(text, name="watch", batch_size=args.batch_size)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    service = raptor.watch(
+        text, name="watch", batch_size=args.batch_size, checkpoint_dir=checkpoint_dir
+    )
+    if service.resumed:
+        journal = service.journal
+        recovered = journal.recovered_entries if journal is not None else 0
+        print(f"Resumed from checkpoint in {checkpoint_dir} ({recovered} journaled alerts)")
     service.add_sink(CallbackSink(lambda alert: print(f"ALERT {alert.describe()}")))
 
     standing = service.hunts[0]
@@ -309,6 +325,8 @@ def _command_watch(args: argparse.Namespace) -> int:
         f"evaluations={hunt_stats['evaluations']} alerts={hunt_stats['alerts']} "
         f"matched events={hunt_stats['matched_events']}"
     )
+    if service.journal is not None:
+        service.journal.close()
     return 0
 
 

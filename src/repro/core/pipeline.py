@@ -150,6 +150,7 @@ class ThreatRaptor:
         name: str = "hunt",
         batch_size: int = 256,
         sinks: "tuple[AlertSink, ...]" = (),
+        checkpoint_dir: str | None = None,
     ) -> "HuntingService":
         """Create a continuous hunting service bound to this pipeline.
 
@@ -160,12 +161,35 @@ class ThreatRaptor:
         ``query`` (TBQL) is given, a standing hunt called ``name`` is
         registered immediately; either way more hunts can be registered on the
         service afterwards.
+
+        With ``checkpoint_dir`` the hunt is crash-safe: standing state is
+        checkpointed there (``checkpoint.json``) after every micro-batch,
+        alerts are journaled durably (``alerts.jsonl``), and when the
+        directory already holds a checkpoint the service *resumes* from it —
+        previously delivered alerts are never re-emitted.
         """
         from repro.streaming.service import HuntingService
 
-        service = HuntingService(raptor=self, batch_size=batch_size, sinks=sinks)
+        if checkpoint_dir is None:
+            service = HuntingService(raptor=self, batch_size=batch_size, sinks=sinks)
+        else:
+            from pathlib import Path
+
+            from repro.streaming.checkpoint import CheckpointStore
+            from repro.streaming.journal import JournalSink
+
+            store = CheckpointStore(checkpoint_dir)
+            journal = JournalSink(Path(checkpoint_dir) / "alerts.jsonl")
+            service = HuntingService.resume(
+                store,
+                raptor=self,
+                batch_size=batch_size,
+                sinks=sinks,
+                journal=journal,
+            )
         if report_text is not None or query is not None:
-            service.register_hunt(name, report=report_text, query=query)
+            if service.hunt(name) is None:
+                service.register_hunt(name, report=report_text, query=query)
         return service
 
     def hunt_corpus(

@@ -70,3 +70,15 @@ class ExecutionError(TBQLError):
 
 class ConfigurationError(ThreatRaptorError):
     """Raised when a configuration object contains invalid settings."""
+
+
+class RetryExhaustedError(ThreatRaptorError):
+    """Raised when a retry-guarded operation failed on every allowed attempt."""
+
+
+class CheckpointError(ThreatRaptorError):
+    """Raised when a streaming checkpoint cannot be written or restored."""
+
+
+class JournalError(ThreatRaptorError):
+    """Raised when the durable alert journal is corrupt beyond crash semantics."""

@@ -4,8 +4,10 @@
 campaigns (:mod:`repro.scenarios.campaign`) from parameterized kill-chain
 stages (:mod:`repro.scenarios.stages`), and verifies that every engine
 configuration — vectorized/reference relational, relational/graph backend,
-ad-hoc/prepared plans, batch/streaming replay — returns identical hunting
-answers on all of them (:mod:`repro.scenarios.differential`).
+ad-hoc/prepared plans, batch/streaming replay, and crash-resumed streaming —
+returns identical hunting answers on all of them
+(:mod:`repro.scenarios.differential`), with deterministic fault injection and
+crash-recovery equivalence checking in :mod:`repro.scenarios.faults`.
 """
 
 from repro.scenarios.campaign import (
@@ -24,6 +26,14 @@ from repro.scenarios.differential import (
     HuntOutcome,
     verify_campaigns,
 )
+from repro.scenarios.faults import (
+    CrashRecoveryHarness,
+    FaultPlan,
+    FaultyStream,
+    FlakySink,
+    RecoveryOutcome,
+    RecoveryReport,
+)
 from repro.scenarios.stages import CampaignHunt, CampaignSpec
 
 __all__ = [
@@ -33,11 +43,17 @@ __all__ = [
     "CampaignGenerator",
     "CampaignHunt",
     "CampaignSpec",
+    "CrashRecoveryHarness",
     "DifferentialHarness",
     "DifferentialReport",
     "EngineConfiguration",
+    "FaultPlan",
+    "FaultyStream",
+    "FlakySink",
     "GeneratedCampaign",
     "HuntOutcome",
+    "RecoveryOutcome",
+    "RecoveryReport",
     "generate_campaigns",
     "generate_labeled_trace",
     "verify_campaigns",

@@ -36,7 +36,10 @@ class EngineConfiguration:
     * ``backend`` — relational tables vs. graph path search;
     * ``prepared`` — ad-hoc ``execute`` vs. cached ``PreparedQuery`` plans;
     * ``streaming`` — one-shot batch load vs. micro-batched replay through
-      watermark-windowed standing hunts (always prepared).
+      watermark-windowed standing hunts (always prepared);
+    * ``crash_resume`` — the streaming run is additionally killed at a batch
+      boundary and resumed from checkpoint + alert journal
+      (:mod:`repro.scenarios.faults`); recovery must not change the answers.
     """
 
     name: str
@@ -45,6 +48,7 @@ class EngineConfiguration:
     prepared: bool = False
     streaming: bool = False
     graph_matcher: str = "planner"
+    crash_resume: bool = False
 
     def pipeline_config(self) -> ThreatRaptorConfig:
         """The :class:`ThreatRaptorConfig` this configuration stands for."""
@@ -67,6 +71,12 @@ ENGINE_CONFIGURATIONS: tuple[EngineConfiguration, ...] = (
     EngineConfiguration(name="graph-prepared-batch", backend="graph", prepared=True),
     EngineConfiguration(name="relational-prepared-streaming", prepared=True, streaming=True),
     EngineConfiguration(name="graph-prepared-streaming", backend="graph", prepared=True, streaming=True),
+    EngineConfiguration(
+        name="relational-prepared-streaming-crashresume",
+        prepared=True,
+        streaming=True,
+        crash_resume=True,
+    ),
 )
 
 #: The configuration every other one is compared against.
@@ -225,12 +235,33 @@ class DifferentialHarness:
     def _hunt_streaming(
         self, configuration: EngineConfiguration, campaign: GeneratedCampaign
     ) -> dict[str, set[int]]:
+        if configuration.crash_resume:
+            return self._hunt_streaming_crash_resume(configuration, campaign)
         raptor = self._pipeline(configuration)
         service = raptor.watch(batch_size=self._batch_size)
         for hunt in campaign.hunts:
             service.register_hunt(hunt.name, query=hunt.query_text)
         service.run(ReplaySource(campaign.trace))
         return {hunt.name: service.matched_event_ids(hunt.name) for hunt in campaign.hunts}
+
+    def _hunt_streaming_crash_resume(
+        self, configuration: EngineConfiguration, campaign: GeneratedCampaign
+    ) -> dict[str, set[int]]:
+        # The streaming run is killed mid-stream and resumed from its
+        # checkpoint + journal; the recovered answers join the differential
+        # comparison like any other engine path.
+        import tempfile
+
+        from repro.scenarios.faults import CrashRecoveryHarness
+
+        with tempfile.TemporaryDirectory(prefix="crashresume-") as workdir:
+            harness = CrashRecoveryHarness(
+                workdir,
+                batch_size=self._batch_size,
+                pipeline_factory=lambda: self._pipeline(configuration),
+            )
+            boundary = max(1, harness.batch_count(campaign) // 2)
+            return harness.crash_and_resume(campaign, boundary).matched
 
     # -- comparison ----------------------------------------------------------
 

@@ -1,0 +1,323 @@
+"""Deterministic fault injection for the continuous hunting service.
+
+Robustness claims are only as good as the faults they were tested against.
+This module provides seeded, reproducible fault injectors for every failure
+class the streaming subsystem hardens against, plus the crash-recovery
+harness that proves the headline guarantee: **killing the service at any
+micro-batch boundary and resuming it produces the exact same durable alert
+journal as a run that was never interrupted**.
+
+* :class:`FaultyStream` wraps a log stream and injects corrupt records and
+  transient read ``OSError`` bursts on a seeded schedule.  Corrupt lines are
+  *injected between* real records — never by mangling one — so the set of
+  parseable events (and therefore the expected alerts) is unchanged while the
+  parser's skip accounting and the source's retry machinery are exercised.
+* :class:`FlakySink` makes alert delivery fail transiently on a seeded
+  schedule; wrap it in :class:`~repro.streaming.alerts.RetryingSink` to test
+  the sink-side retry path.
+* :class:`CrashRecoveryHarness` runs a generated campaign to a chosen batch
+  boundary with checkpointing and journaling on, abandons the process state
+  (the crash), resumes from the checkpoint + journal, and compares the final
+  journal **bytes** and matched event ids against an uninterrupted run.
+
+Everything is parameterized by explicit seeds; two harness runs with the same
+inputs inject the same faults at the same points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.scenarios.campaign import GeneratedCampaign
+from repro.streaming.alerts import Alert, AlertSink
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.journal import JournalSink
+from repro.streaming.service import HuntingService
+from repro.streaming.source import ReplaySource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import ThreatRaptor
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of injected faults.
+
+    Attributes:
+        seed: Seeds the injection RNG; same plan + same call sequence =
+            same faults.
+        corrupt_line_rate: Probability of injecting one garbage log line
+            before a read.
+        read_error_rate: Probability of starting a burst of transient
+            ``OSError`` s on a read.
+        read_error_burst: Consecutive failing reads per burst.  Keep it below
+            the retry policy's ``max_attempts`` for survivable faults.
+        sink_error_rate: Probability of starting a burst of failing alert
+            deliveries.
+        sink_error_burst: Consecutive failing deliveries per burst.
+    """
+
+    seed: int = 0
+    corrupt_line_rate: float = 0.0
+    read_error_rate: float = 0.0
+    read_error_burst: int = 2
+    sink_error_rate: float = 0.0
+    sink_error_burst: int = 2
+
+
+class FaultyStream:
+    """A ``readline()`` wrapper injecting corrupt lines and transient errors.
+
+    Wraps any object with a ``readline()`` method (an open file, a
+    ``StringIO``) for use as ``LogTailSource(stream=...)``.  Injection stops
+    once the underlying stream reaches EOF so bounded reads stay bounded.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        self._pending_errors = 0
+        self._eof = False
+        #: Injected-fault accounting, for asserting nothing went unexplained.
+        self.corrupt_lines = 0
+        self.read_errors = 0
+
+    def readline(self) -> str:
+        if self._pending_errors > 0:
+            self._pending_errors -= 1
+            self.read_errors += 1
+            raise OSError("injected transient read fault (burst)")
+        if not self._eof:
+            if self._rng.random() < self._plan.read_error_rate:
+                self._pending_errors = max(0, self._plan.read_error_burst - 1)
+                self.read_errors += 1
+                raise OSError("injected transient read fault")
+            if self._rng.random() < self._plan.corrupt_line_rate:
+                self.corrupt_lines += 1
+                return f"<<injected-corruption {self._rng.randrange(1 << 30)}>>\n"
+        line = self._inner.readline()
+        if not line:
+            self._eof = True
+        return line
+
+
+class FlakySink(AlertSink):
+    """An alert sink that fails transiently on a seeded schedule.
+
+    Wrap it in :class:`~repro.streaming.alerts.RetryingSink` so delivery
+    survives; alerts that make it through are collected in :attr:`delivered`.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._rng = random.Random(plan.seed ^ 0x5F5E1)
+        self._pending_errors = 0
+        self.delivered: list[Alert] = []
+        self.failures = 0
+
+    def emit(self, alert: Alert) -> None:
+        if self._pending_errors > 0:
+            self._pending_errors -= 1
+            self.failures += 1
+            raise OSError("injected transient sink fault (burst)")
+        if self._rng.random() < self._plan.sink_error_rate:
+            self._pending_errors = max(0, self._plan.sink_error_burst - 1)
+            self.failures += 1
+            raise OSError("injected transient sink fault")
+        self.delivered.append(alert)
+
+
+@dataclass
+class RecoveryOutcome:
+    """One crash-and-resume run of a campaign."""
+
+    campaign: str
+    #: Micro-batch boundary the crash happened at (0 = right after hunt
+    #: registration, before any batch).
+    boundary: int
+    #: Final journal file contents after the resumed run completed.
+    journal_bytes: bytes
+    #: Matched audit event ids per hunt after the resumed run.
+    matched: dict[str, set[int]] = field(default_factory=dict)
+    #: Whether the second service actually restored a checkpoint.
+    resumed: bool = False
+    #: Alerts the journal suppressed during replay (already delivered
+    #: before the crash).
+    suppressed: int = 0
+    #: Entries the journal recovered from disk on resume.
+    recovered_entries: int = 0
+
+
+@dataclass
+class RecoveryReport:
+    """Crash-recovery equivalence results for one campaign."""
+
+    campaign: str
+    #: Journal bytes and matched ids of the uninterrupted reference run.
+    baseline_journal: bytes
+    baseline_matched: dict[str, set[int]]
+    outcomes: list[RecoveryOutcome] = field(default_factory=list)
+
+    def mismatches(self) -> list[str]:
+        problems: list[str] = []
+        for outcome in self.outcomes:
+            if outcome.journal_bytes != self.baseline_journal:
+                problems.append(
+                    f"{self.campaign}@batch{outcome.boundary}: resumed journal differs "
+                    f"from uninterrupted run ({len(outcome.journal_bytes)} vs "
+                    f"{len(self.baseline_journal)} bytes)"
+                )
+            if outcome.matched != self.baseline_matched:
+                problems.append(
+                    f"{self.campaign}@batch{outcome.boundary}: matched event ids differ "
+                    f"from uninterrupted run"
+                )
+        return problems
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches()
+
+
+class CrashRecoveryHarness:
+    """Proves crash/resume equivalence for generated campaigns.
+
+    Args:
+        workdir: Directory for checkpoint/journal files (one subdirectory per
+            crash point).
+        batch_size: Streaming micro-batch size.
+        pipeline_factory: Builds the :class:`ThreatRaptor` each service run
+            uses (a *fresh* one per run — the crash loses the in-memory audit
+            store, and recovery must not depend on it).  Defaults to a
+            default-configured pipeline.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        batch_size: int = 96,
+        pipeline_factory: "Callable[[], ThreatRaptor] | None" = None,
+    ) -> None:
+        if pipeline_factory is None:
+            def pipeline_factory():
+                from repro.core.pipeline import ThreatRaptor
+
+                return ThreatRaptor()
+        self._workdir = Path(workdir)
+        self._batch_size = batch_size
+        self._factory = pipeline_factory
+
+    # -- building blocks -----------------------------------------------------
+
+    def batch_count(self, campaign: GeneratedCampaign) -> int:
+        """Number of full micro-batches the campaign's replay produces."""
+        events = len(campaign.trace.events)
+        return (events + self._batch_size - 1) // self._batch_size
+
+    def boundaries(self, campaign: GeneratedCampaign) -> range:
+        """Every crash point: after registration (0) and after each batch."""
+        return range(0, self.batch_count(campaign) + 1)
+
+    def _service(
+        self, directory: Path, resume: bool
+    ) -> tuple[HuntingService, JournalSink]:
+        store = CheckpointStore(directory)
+        journal = JournalSink(directory / "alerts.jsonl")
+        if resume:
+            service = HuntingService.resume(
+                store,
+                raptor=self._factory(),
+                batch_size=self._batch_size,
+                journal=journal,
+            )
+        else:
+            service = HuntingService(
+                raptor=self._factory(),
+                batch_size=self._batch_size,
+                checkpoint_store=store,
+                journal=journal,
+            )
+        return service, journal
+
+    def _register(self, service: HuntingService, campaign: GeneratedCampaign) -> None:
+        for hunt in campaign.hunts:
+            if service.hunt(hunt.name) is None:
+                service.register_hunt(hunt.name, query=hunt.query_text)
+
+    @staticmethod
+    def _matched(service: HuntingService, campaign: GeneratedCampaign) -> dict[str, set[int]]:
+        return {hunt.name: service.matched_event_ids(hunt.name) for hunt in campaign.hunts}
+
+    # -- runs ----------------------------------------------------------------
+
+    def uninterrupted(self, campaign: GeneratedCampaign) -> tuple[bytes, dict[str, set[int]]]:
+        """Reference run: no crash.  Returns (journal bytes, matched ids)."""
+        directory = self._workdir / f"{campaign.name}-uninterrupted"
+        service, journal = self._service(directory, resume=False)
+        self._register(service, campaign)
+        service.run(ReplaySource(campaign.trace))
+        journal.close()
+        return journal.path.read_bytes(), self._matched(service, campaign)
+
+    def crash_and_resume(self, campaign: GeneratedCampaign, boundary: int) -> RecoveryOutcome:
+        """Run to ``boundary`` batches, crash, resume, and finish the stream.
+
+        The crash is modeled faithfully: the first service stops at the batch
+        boundary without flushing, its in-memory state (audit store, monitor,
+        ingestor) is discarded, and only what checkpoint + journal put on disk
+        survives.  The resumed service re-runs the stream from the beginning —
+        the audit store is in-memory, so recovery is replay + dedup.
+        """
+        directory = self._workdir / f"{campaign.name}-crash-at-{boundary}"
+        before, journal_before = self._service(directory, resume=False)
+        self._register(before, campaign)
+        if boundary > 0:
+            before.run(ReplaySource(campaign.trace), max_batches=boundary, flush=False)
+        # The crash: everything in memory is gone.  (Closing the journal
+        # handle is equivalent to losing it — every entry was fsynced.)
+        journal_before.close()
+        del before
+
+        after, journal_after = self._service(directory, resume=True)
+        self._register(after, campaign)  # no-op when the checkpoint had the hunts
+        after.run(ReplaySource(campaign.trace))
+        journal_after.close()
+        return RecoveryOutcome(
+            campaign=campaign.name,
+            boundary=boundary,
+            journal_bytes=journal_after.path.read_bytes(),
+            matched=self._matched(after, campaign),
+            resumed=after.resumed,
+            suppressed=journal_after.suppressed,
+            recovered_entries=journal_after.recovered_entries,
+        )
+
+    def verify(
+        self, campaign: GeneratedCampaign, boundaries: Iterable[int] | None = None
+    ) -> RecoveryReport:
+        """Crash at every boundary (default: all of them) and compare each
+        resumed run's journal and matches against the uninterrupted run."""
+        baseline_journal, baseline_matched = self.uninterrupted(campaign)
+        report = RecoveryReport(
+            campaign=campaign.name,
+            baseline_journal=baseline_journal,
+            baseline_matched=baseline_matched,
+        )
+        points = self.boundaries(campaign) if boundaries is None else boundaries
+        for boundary in points:
+            report.outcomes.append(self.crash_and_resume(campaign, boundary))
+        return report
+
+
+__all__ = [
+    "CrashRecoveryHarness",
+    "FaultPlan",
+    "FaultyStream",
+    "FlakySink",
+    "RecoveryOutcome",
+    "RecoveryReport",
+]

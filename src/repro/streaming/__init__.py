@@ -4,19 +4,38 @@ This package turns the batch ThreatRaptor pipeline into a continuously
 running service:
 
 * :mod:`repro.streaming.source` — where events come from (log tailing with
-  incremental parsing, workload replay);
+  incremental parsing, rotation/truncation detection and resumable offsets;
+  workload replay);
 * :mod:`repro.streaming.ingest` — micro-batched appends into both storage
   backends with incremental Causality Preserved Reduction;
 * :mod:`repro.streaming.monitor` — standing TBQL queries re-evaluated per
-  batch with watermark windowing and alert deduplication;
+  batch with watermark windowing, alert deduplication, and quarantine of
+  hunts that keep failing;
 * :mod:`repro.streaming.alerts` — structured alerts and delivery sinks;
+* :mod:`repro.streaming.retry` — deterministic retry policy shared by
+  sources and sinks;
+* :mod:`repro.streaming.checkpoint` — versioned, atomically-written
+  snapshots of the standing state;
+* :mod:`repro.streaming.journal` — durable append-only alert journal with
+  exactly-once delivery across restarts;
 * :mod:`repro.streaming.service` — the :class:`HuntingService` facade tying
-  it all together (``raptor.watch(...)`` returns one).
+  it all together (``raptor.watch(...)`` returns one;
+  ``HuntingService.resume(...)`` rebuilds one after a crash).
 """
 
-from repro.streaming.alerts import Alert, AlertSink, CallbackSink, JSONLSink, ListSink
+from repro.streaming.alerts import (
+    Alert,
+    AlertSink,
+    CallbackSink,
+    JSONLSink,
+    ListSink,
+    RetryingSink,
+)
+from repro.streaming.checkpoint import CHECKPOINT_VERSION, CheckpointStore
 from repro.streaming.ingest import IngestStatistics, IngestedBatch, StreamIngestor
+from repro.streaming.journal import JournalSink
 from repro.streaming.monitor import QueryMonitor, StandingQuery
+from repro.streaming.retry import RetryPolicy, RetryStats
 from repro.streaming.service import HuntingService
 from repro.streaming.source import (
     EventSource,
@@ -29,16 +48,22 @@ from repro.streaming.source import (
 __all__ = [
     "Alert",
     "AlertSink",
+    "CHECKPOINT_VERSION",
     "CallbackSink",
+    "CheckpointStore",
     "EventSource",
     "HuntingService",
     "IngestStatistics",
     "IngestedBatch",
     "JSONLSink",
+    "JournalSink",
     "ListSink",
     "LogTailSource",
     "QueryMonitor",
     "ReplaySource",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingSink",
     "StandingQuery",
     "StreamIngestor",
     "StreamRecord",

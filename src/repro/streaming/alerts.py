@@ -9,8 +9,11 @@ consumers, a JSONL stream for files/pipes, or an in-memory list for tests.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, TextIO
+
+from repro.streaming.retry import RetryPolicy, RetryStats
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,19 @@ class Alert:
             "entities": dict(self.entities),
             "reports": list(self.reports),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Alert":
+        """Rebuild an alert from its :meth:`to_dict` form (journal recovery)."""
+        return cls(
+            hunt=str(payload["hunt"]),
+            batch_index=int(payload["batch"]),
+            matched_event_ids=tuple(int(event_id) for event_id in payload["matched_event_ids"]),
+            start_time_ns=int(payload["start_time_ns"]),
+            end_time_ns=int(payload["end_time_ns"]),
+            entities=dict(payload.get("entities", {})),
+            reports=tuple(payload.get("reports", ())),
+        )
 
     def describe(self) -> str:
         """One-line human-readable rendering for CLIs and logs."""
@@ -110,4 +126,35 @@ class JSONLSink(AlertSink):
         self._stream.flush()
 
 
-__all__ = ["Alert", "AlertSink", "CallbackSink", "JSONLSink", "ListSink"]
+class RetryingSink(AlertSink):
+    """Guards a flaky sink with a :class:`RetryPolicy`.
+
+    Transient ``OSError``\\ s from the wrapped sink (a full pipe, a webhook
+    hiccup) are retried with deterministic backoff instead of killing the
+    hunting service; a persistently failing delivery surfaces as
+    :class:`~repro.errors.RetryExhaustedError` after the policy's attempts
+    are exhausted.  Retries are counted in :attr:`stats` so
+    ``HuntingService.statistics()`` accounts for every injected or real
+    fault.
+    """
+
+    def __init__(
+        self,
+        inner: AlertSink,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self.stats = RetryStats()
+
+    @property
+    def inner(self) -> AlertSink:
+        return self._inner
+
+    def emit(self, alert: Alert) -> None:
+        self._policy.call(self._inner.emit, alert, sleep=self._sleep, stats=self.stats)
+
+
+__all__ = ["Alert", "AlertSink", "CallbackSink", "JSONLSink", "ListSink", "RetryingSink"]

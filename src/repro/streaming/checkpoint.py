@@ -1,0 +1,146 @@
+"""Versioned, atomically-written checkpoints for the hunting service.
+
+A continuous hunt holds state that is expensive or impossible to rebuild from
+scratch after a restart: the standing-query registry (names, TBQL text,
+provenance, canonical keys), every hunt's alert-dedup signatures and matched
+event ids, ingest counters, and the tail offset of the log being followed.
+:class:`CheckpointStore` persists a JSON snapshot of all of it after each
+micro-batch.
+
+Writes are crash-safe by construction: the snapshot goes to a temp file in
+the same directory, is flushed and fsynced, and is then renamed over the live
+checkpoint (``os.replace`` is atomic on POSIX).  The previous checkpoint is
+kept as ``<name>.prev``, so a crash *during* the swap — or a corrupted latest
+file — falls back to the last good snapshot instead of losing the hunt.
+
+Restore semantics (see :meth:`repro.streaming.service.HuntingService.resume`):
+the audit store itself is in-memory, so recovery re-ingests the stream from
+the beginning; the restored dedup signatures and the alert journal
+(:mod:`repro.streaming.journal`) suppress duplicate emission, making the
+replayed run's alert set identical to an uninterrupted one.  The recorded
+source offset is for deployments with durable audit storage, which can seek
+instead of replaying.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+#: Bump when the snapshot layout changes incompatibly; load() refuses to
+#: restore a checkpoint written by a different version.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointStore:
+    """Atomic write-temp + fsync + rename persistence for one checkpoint.
+
+    Args:
+        directory: Directory holding the checkpoint files (created when
+            missing).  One store owns one checkpoint; the hunting service
+            typically keeps its alert journal in the same directory.
+        filename: Name of the live checkpoint file.
+    """
+
+    def __init__(self, directory: str | Path, filename: str = "checkpoint.json") -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._path = self._directory / filename
+        self._prev = self._directory / (filename + ".prev")
+        self._tmp = self._directory / (filename + ".tmp")
+        #: Write-cost accounting surfaced by ``HuntingService.statistics()``.
+        self.writes = 0
+        self.write_seconds = 0.0
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, state: dict[str, Any]) -> Path:
+        """Atomically persist ``state`` (version-stamped) as the checkpoint."""
+        started = time.perf_counter()
+        payload = dict(state)
+        payload["version"] = CHECKPOINT_VERSION
+        payload["written_at"] = time.time()
+        data = json.dumps(payload, sort_keys=True)
+        with open(self._tmp, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._path.exists():
+            os.replace(self._path, self._prev)
+        os.replace(self._tmp, self._path)
+        self._fsync_directory()
+        self.writes += 1
+        self.write_seconds += time.perf_counter() - started
+        return self._path
+
+    def load(self) -> dict[str, Any] | None:
+        """The most recent restorable snapshot, or ``None`` when none exists.
+
+        The live file is preferred; a corrupt or missing live file falls back
+        to ``.prev``.  If snapshots exist but none can be restored (all
+        corrupt, or written by an incompatible version), a
+        :class:`CheckpointError` is raised rather than silently starting
+        fresh — losing dedup state would duplicate every past alert.
+        """
+        candidates = [path for path in (self._path, self._prev) if path.exists()]
+        if not candidates:
+            return None
+        errors: list[str] = []
+        for path in candidates:
+            try:
+                state = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                errors.append(f"{path.name}: {exc}")
+                continue
+            version = state.get("version")
+            if version != CHECKPOINT_VERSION:
+                errors.append(
+                    f"{path.name}: checkpoint version {version!r} != {CHECKPOINT_VERSION}"
+                )
+                continue
+            return state
+        raise CheckpointError(
+            "no restorable checkpoint in " + str(self._directory) + ": " + "; ".join(errors)
+        )
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def exists(self) -> bool:
+        return self._path.exists() or self._prev.exists()
+
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "writes": self.writes,
+            "write_seconds": self.write_seconds,
+            "seconds_per_write": self.write_seconds / self.writes if self.writes else 0.0,
+        }
+
+    # -- internal ------------------------------------------------------------
+
+    def _fsync_directory(self) -> None:
+        # Make the rename itself durable (POSIX requires fsyncing the parent
+        # directory for that); best-effort on platforms without O_DIRECTORY.
+        try:
+            fd = os.open(self._directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointStore"]

@@ -1,0 +1,206 @@
+"""Durable append-only alert journal: exactly-once delivery across restarts.
+
+:class:`JournalSink` is the crash-safe alert destination of the hunting
+service.  Every alert is appended as one JSON line carrying a monotonically
+increasing sequence number, flushed and (by default) fsynced before the emit
+returns — so an alert the service reported is on disk even if the process
+dies on the next instruction.
+
+Exactly-once delivery across crash/restart works with the recovery model of
+:mod:`repro.streaming.checkpoint`: after a crash the service re-ingests the
+stream, standing queries re-find old matches, but the journal recognises each
+match's restart-stable signature (the sorted audit event ids it binds, see
+:meth:`~repro.streaming.monitor.QueryMonitor`) and suppresses re-emission.
+A journaled alert is therefore written **once** no matter how many times the
+batches that produced it are replayed.
+
+Recovery tolerates a torn final line (the process died mid-append): the
+incomplete tail is truncated away on open, and because the truncated alert
+never counted as delivered, its re-emission after replay is exactly the
+missing write.  Corruption *before* the final line is not a crash artifact
+and raises :class:`~repro.errors.JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import JournalError
+from repro.streaming.alerts import Alert, AlertSink
+from repro.streaming.retry import RetryPolicy, RetryStats
+
+Signature = tuple[int, ...]
+
+
+class JournalSink(AlertSink):
+    """Append-only JSONL alert journal with crash recovery.
+
+    Args:
+        path: Journal file; created (with parent directories) when missing,
+            recovered when present.
+        retry: Optional :class:`RetryPolicy` guarding each append against
+            transient I/O errors.
+        sync: fsync after every append (durable, the default).  Benchmarks
+            can disable it to measure the raw formatting/write cost.
+        sleep: Backoff sleep injection point for the retry policy (tests).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        retry: RetryPolicy | None = None,
+        sync: bool = True,
+        sleep=time.sleep,
+    ) -> None:
+        self._path = Path(path)
+        self._retry = retry
+        self._sync = sync
+        self._sleep = sleep
+        self.retry_stats = RetryStats()
+        #: (hunt name -> signatures already durably journaled); the dedup set
+        #: consulted on every emit.
+        self._journaled: dict[str, set[Signature]] = {}
+        self._entries: list[dict[str, Any]] = []
+        self._next_seq = 0
+        #: Alerts whose re-emission was suppressed because their signature was
+        #: already journaled (replayed batches after a resume).
+        self.suppressed = 0
+        #: Entries read back from an existing journal on open.
+        self.recovered_entries = 0
+        #: 1 when a torn final line had to be truncated during recovery.
+        self.truncated_tail = 0
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        if not self._path.exists():
+            return
+        raw = self._path.read_bytes()
+        good_end = 0
+        offset = 0
+        torn = False
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                torn = True  # mid-append crash: unterminated tail
+                break
+            line = raw[offset:newline]
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                entry = None
+            if (
+                not isinstance(entry, dict)
+                or "seq" not in entry
+                or not isinstance(entry.get("alert"), dict)
+            ):
+                # A malformed *final* line is a torn write; anything earlier
+                # means the file was damaged some other way.
+                if raw.find(b"\n", newline + 1) != -1:
+                    raise JournalError(
+                        f"journal {self._path} is corrupt before its final line "
+                        f"(byte offset {offset})"
+                    )
+                torn = True
+                break
+            self._absorb(entry)
+            good_end = newline + 1
+            offset = newline + 1
+        if torn or good_end < len(raw):
+            self.truncated_tail = 1
+            with open(self._path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _absorb(self, entry: dict[str, Any]) -> None:
+        alert = entry["alert"]
+        signature = tuple(int(event_id) for event_id in alert.get("matched_event_ids", ()))
+        self._journaled.setdefault(str(alert.get("hunt")), set()).add(signature)
+        self._entries.append(entry)
+        self._next_seq = max(self._next_seq, int(entry["seq"]) + 1)
+        self.recovered_entries += 1
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, alert: Alert) -> None:
+        signature: Signature = tuple(int(event_id) for event_id in alert.matched_event_ids)
+        seen = self._journaled.setdefault(alert.hunt, set())
+        if signature in seen:
+            self.suppressed += 1
+            return
+        entry = {"seq": self._next_seq, "alert": alert.to_dict()}
+        data = json.dumps(entry, sort_keys=True) + "\n"
+        if self._retry is not None:
+            self._retry.call(self._append, data, sleep=self._sleep, stats=self.retry_stats)
+        else:
+            self._append(data)
+        seen.add(signature)
+        self._entries.append(entry)
+        self._next_seq += 1
+
+    def _append(self, data: str) -> None:
+        self._handle.write(data)
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next journaled alert will carry."""
+        return self._next_seq
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def signatures(self) -> dict[str, set[Signature]]:
+        """Durably journaled signatures per hunt (recovery merges these into
+        the monitor's dedup state so non-journal sinks stay exactly-once too)."""
+        return {hunt: set(sigs) for hunt, sigs in self._journaled.items()}
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Every journaled entry (recovered + emitted), in sequence order."""
+        return list(self._entries)
+
+    def alerts(self) -> list[Alert]:
+        """The journaled alerts, rebuilt as :class:`Alert` objects."""
+        return [Alert.from_dict(entry["alert"]) for entry in self._entries]
+
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "recovered_entries": self.recovered_entries,
+            "suppressed_duplicates": self.suppressed,
+            "truncated_tail": self.truncated_tail,
+            "next_seq": self._next_seq,
+            "retry": self.retry_stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    def __enter__(self) -> "JournalSink":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+__all__ = ["JournalSink"]

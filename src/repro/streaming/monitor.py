@@ -78,6 +78,17 @@ class StandingQuery:
     evaluations: int = 0
     eval_seconds: float = 0.0
     alerts_raised: int = 0
+    #: Total evaluation failures over the hunt's lifetime, and how many of
+    #: them were consecutive (the quarantine trigger).  A hunt whose
+    #: evaluation raises is *degraded*, not fatal: the monitor records the
+    #: error and keeps the service alive.
+    errors: int = 0
+    consecutive_errors: int = 0
+    last_error: str | None = None
+    #: Set after ``quarantine_after`` consecutive failures; a quarantined
+    #: hunt is skipped by :meth:`QueryMonitor.evaluate` until
+    #: :meth:`QueryMonitor.reinstate` clears it.
+    quarantined: bool = False
     #: Graph planner EXPLAIN summaries from the most recent evaluation, keyed
     #: by pattern event id.  After the first (full) evaluation of a
     #: graph-backed hunt these should report the ``window-seeded`` strategy —
@@ -91,6 +102,77 @@ class StandingQuery:
         """Union of audit event ids matched by this hunt so far."""
         return set(self._matched_event_ids)
 
+    @property
+    def status(self) -> str:
+        """``"ok"``, ``"degraded"`` (errors seen) or ``"quarantined"``."""
+        if self.quarantined:
+            return "quarantined"
+        return "degraded" if self.errors else "ok"
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable restart state (everything but the store's data).
+
+        Signatures are restart-stable by construction — sorted audit event
+        ids (``evt.num`` values from the log), never interpreter-run-specific
+        values like ``id()`` or seeded hashes — so a snapshot written by one
+        process deduplicates matches re-found by the next.
+        """
+        return {
+            "name": self.name,
+            "query_text": self.query_text,
+            "provenance": list(self.provenance),
+            "canonical_key": self.canonical_key,
+            "evaluations": self.evaluations,
+            "alerts_raised": self.alerts_raised,
+            "errors": self.errors,
+            "last_error": self.last_error,
+            "quarantined": self.quarantined,
+            "seen_signatures": sorted(list(sig) for sig in self._seen_signatures),
+            "matched_event_ids": sorted(self._matched_event_ids),
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Adopt the counters and dedup state of ``snapshot``.
+
+        ``_initialized`` stays False: after a restart the audit store is
+        empty and must be re-ingested, so the first evaluation scans
+        everything rather than trusting a stale watermark.
+        """
+        self.evaluations = int(snapshot.get("evaluations", 0))
+        self.alerts_raised = int(snapshot.get("alerts_raised", 0))
+        self.errors = int(snapshot.get("errors", 0))
+        self.last_error = snapshot.get("last_error")
+        self.quarantined = bool(snapshot.get("quarantined", False))
+        self._seen_signatures = {
+            tuple(int(event_id) for event_id in signature)
+            for signature in snapshot.get("seen_signatures", ())
+        }
+        self._matched_event_ids = {
+            int(event_id) for event_id in snapshot.get("matched_event_ids", ())
+        }
+        self._initialized = False
+
+    def absorb_signatures(self, signatures: Iterable[Iterable[int]]) -> int:
+        """Mark signatures as already alerted without raising anything.
+
+        Used on resume to merge the alert journal's durable record into the
+        dedup state: an alert that reached the journal after the last
+        checkpoint must not be re-emitted when replayed batches re-find it.
+        Returns how many signatures were new to this hunt.
+        """
+        absorbed = 0
+        for raw in signatures:
+            signature = tuple(sorted(int(event_id) for event_id in raw))
+            if signature in self._seen_signatures:
+                continue
+            self._seen_signatures.add(signature)
+            self._matched_event_ids.update(signature)
+            self.alerts_raised += 1
+            absorbed += 1
+        return absorbed
+
 
 class QueryMonitor:
     """Evaluates standing queries against the store after each batch.
@@ -103,15 +185,23 @@ class QueryMonitor:
             hunt is prepared once and each batch executes the cached plans
             with only the watermark window swapped in, instead of re-deriving
             analysis/schedule/compilation per micro-batch.
+        quarantine_after: Consecutive evaluation failures after which a hunt
+            is quarantined (skipped) instead of crashing the service on every
+            batch.  A failing evaluation never propagates; it is counted on
+            the hunt and surfaced through ``statistics()``.
     """
 
     def __init__(
         self,
         execute: Callable[[Query], TBQLResult],
         prepare: "Callable[[Query], PreparedQuery] | None" = None,
+        quarantine_after: int = 3,
     ) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
         self._execute = execute
         self._prepare = prepare
+        self._quarantine_after = quarantine_after
         self._queries: dict[str, StandingQuery] = {}
         #: canonical key -> hunt name, for O(1) corpus dedup routing.  The
         #: first registration of a key wins, matching the scan it replaces.
@@ -210,6 +300,42 @@ class QueryMonitor:
     def query(self, name: str) -> StandingQuery:
         return self._queries[name]
 
+    def get(self, name: str) -> StandingQuery | None:
+        """The hunt called ``name``, or ``None`` when not registered."""
+        return self._queries.get(name)
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> list[dict[str, Any]]:
+        """Restart state of every registered hunt, in registration order."""
+        return [standing.snapshot() for standing in self._queries.values()]
+
+    def restore_state(self, snapshots: Iterable[dict[str, Any]]) -> list[StandingQuery]:
+        """Re-register hunts from checkpoint snapshots and restore their state.
+
+        Each snapshot's TBQL text is re-parsed and re-prepared (plans are
+        derived state, cheap to rebuild and tied to the new store), then the
+        hunt's counters and dedup signatures are adopted.
+        """
+        restored: list[StandingQuery] = []
+        for snapshot in snapshots:
+            standing = self.register(
+                snapshot["name"],
+                snapshot["query_text"],
+                provenance=snapshot.get("provenance", ()),
+                canonical_key=snapshot.get("canonical_key"),
+            )
+            standing.restore(snapshot)
+            restored.append(standing)
+        return restored
+
+    def reinstate(self, name: str) -> StandingQuery:
+        """Clear a hunt's quarantine so the next batch evaluates it again."""
+        standing = self._queries[name]
+        standing.quarantined = False
+        standing.consecutive_errors = 0
+        return standing
+
     # -- evaluation ----------------------------------------------------------
 
     def evaluate(
@@ -228,6 +354,8 @@ class QueryMonitor:
         """
         alerts: list[Alert] = []
         for standing in self._queries.values():
+            if standing.quarantined:
+                continue
             alerts.extend(self._evaluate_one(standing, batch_index, watermark_start_ns))
         return alerts
 
@@ -237,14 +365,25 @@ class QueryMonitor:
         # The first evaluation always scans everything: data ingested before
         # the hunt was registered would otherwise never be matched.
         started = time.perf_counter()
-        if standing.prepared is not None:
-            overrides = self._window_overrides(standing, watermark_start_ns)
-            result = standing.prepared.execute(window_overrides=overrides)
-        else:
-            windowed = self._windowed_query(standing, watermark_start_ns)
-            result = self._execute(windowed)
+        try:
+            if standing.prepared is not None:
+                overrides = self._window_overrides(standing, watermark_start_ns)
+                result = standing.prepared.execute(window_overrides=overrides)
+            else:
+                windowed = self._windowed_query(standing, watermark_start_ns)
+                result = self._execute(windowed)
+        except Exception as exc:  # noqa: BLE001 - one bad hunt must not kill the service
+            standing.eval_seconds += time.perf_counter() - started
+            standing.evaluations += 1
+            standing.errors += 1
+            standing.consecutive_errors += 1
+            standing.last_error = f"{type(exc).__name__}: {exc}"
+            if standing.consecutive_errors >= self._quarantine_after:
+                standing.quarantined = True
+            return []
         standing.eval_seconds += time.perf_counter() - started
         standing.evaluations += 1
+        standing.consecutive_errors = 0
         standing.last_graph_plans = dict(result.statistics.get("graph_plans") or {})
         standing._initialized = True
 
@@ -340,11 +479,20 @@ class QueryMonitor:
 
     @staticmethod
     def _signature(binding: dict[str, dict[str, Any]]) -> tuple[int, ...]:
-        """A match's identity: the sorted set of audit event ids it binds."""
+        """A match's identity: the sorted set of audit event ids it binds.
+
+        Signatures must be **restart-stable**: they are persisted by the
+        checkpoint store and the alert journal and consulted after a restart
+        to suppress duplicate alerts, so they may only be derived from the
+        event ids the ``@``-prefixed event bindings carry (``evt.num`` values
+        from the audit log) — never from ``id()``, object hashes, or any
+        other interpreter-run-specific value.  Sorting removes any dependence
+        on binding-dict iteration order.
+        """
         matched: set[int] = set()
         for key, value in binding.items():
             if key.startswith("@"):
-                matched.update(value.get("edge_ids", ()))
+                matched.update(int(event_id) for event_id in value.get("edge_ids", ()))
         return tuple(sorted(matched))
 
     @staticmethod

@@ -1,0 +1,156 @@
+"""Deterministic retry for transient I/O faults, shared by sources and sinks.
+
+A live deployment keeps tailing a log and appending to alert destinations for
+days; both paths see transient ``OSError``\\ s (NFS hiccups, a rotated handle,
+a briefly-full pipe) that must not kill the hunting service.
+:class:`RetryPolicy` wraps such calls in bounded exponential backoff whose
+jitter is **deterministic** (seeded, per-attempt), so fault-injection tests
+and crash-recovery differential runs replay byte-identically.
+
+The policy is shared: :class:`~repro.streaming.source.LogTailSource` guards
+its reads with one, :class:`~repro.streaming.alerts.RetryingSink` and
+:class:`~repro.streaming.journal.JournalSink` guard their writes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RetryExhaustedError
+
+
+@dataclass
+class RetryStats:
+    """Counters describing what a retry-guarded component went through.
+
+    ``statistics()`` surfaces these so every injected or real fault is
+    accounted for: ``attempts`` counts every call made, ``retries`` the calls
+    that failed transiently and were re-issued, ``giveups`` the operations
+    abandoned after exhausting the policy.
+    """
+
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"attempts": self.attempts, "retries": self.retries, "giveups": self.giveups}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Args:
+        max_attempts: Total tries per operation (first call included).
+        base_delay: Backoff before the second attempt, in seconds; doubles per
+            subsequent attempt.
+        max_delay: Ceiling on any single backoff sleep.
+        jitter: Fractional jitter width: each delay is scaled by a seeded
+            draw from ``[1 - jitter, 1 + jitter]``.
+        seed: Seed of the jitter schedule — the same policy produces the same
+            delays on every run (crash/replay determinism).
+        per_attempt_timeout: When set, each attempt runs on a worker thread
+            and is abandoned (counted as a transient failure) if it has not
+            returned within this many seconds, so a hung read cannot stall
+            the whole service.
+        retry_on: Exception types treated as transient.  ``TimeoutError`` is
+            an ``OSError`` subclass, so timed-out attempts retry by default.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    per_attempt_timeout: float | None = None
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.jitter < 0 or self.jitter > 1:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff to sleep after failed attempt ``attempt`` (1-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        rng = random.Random((self.seed << 20) ^ attempt)
+        return delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def delays(self) -> tuple[float, ...]:
+        """The full (deterministic) backoff schedule of one operation."""
+        return tuple(self.delay_for(attempt) for attempt in range(1, self.max_attempts))
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        sleep: Callable[[float], None] = time.sleep,
+        stats: RetryStats | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``fn`` under this policy, returning its result.
+
+        Args:
+            sleep: Injection point for backoff sleeping (tests pass a no-op).
+            stats: Optional counters updated in place.
+
+        Raises:
+            RetryExhaustedError: when every attempt failed transiently.  Any
+                exception outside ``retry_on`` propagates immediately.
+        """
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if stats is not None:
+                stats.attempts += 1
+            try:
+                return self._attempt(fn, args, kwargs)
+            except self.retry_on as exc:
+                last_error = exc
+                if attempt >= self.max_attempts:
+                    break
+                if stats is not None:
+                    stats.retries += 1
+                sleep(self.delay_for(attempt))
+        if stats is not None:
+            stats.giveups += 1
+        raise RetryExhaustedError(
+            f"operation failed after {self.max_attempts} attempts: {last_error}"
+        ) from last_error
+
+    def _attempt(self, fn: Callable[..., Any], args: tuple, kwargs: dict) -> Any:
+        if self.per_attempt_timeout is None:
+            return fn(*args, **kwargs)
+        box: dict[str, Any] = {}
+
+        def runner() -> None:
+            try:
+                box["result"] = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - re-raised on the caller thread
+                box["error"] = exc
+
+        worker = threading.Thread(target=runner, daemon=True)
+        worker.start()
+        worker.join(self.per_attempt_timeout)
+        if worker.is_alive():
+            # The attempt is abandoned (the daemon thread is left to finish or
+            # hang); TimeoutError is an OSError, so the policy retries it.
+            raise TimeoutError(
+                f"attempt exceeded per-attempt timeout of {self.per_attempt_timeout}s"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+
+#: Conservative default used by sources/sinks when callers just say "retry".
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+__all__ = ["DEFAULT_RETRY_POLICY", "RetryPolicy", "RetryStats"]

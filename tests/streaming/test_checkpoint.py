@@ -1,0 +1,71 @@
+"""Tests for the atomic checkpoint store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.streaming.checkpoint import CHECKPOINT_VERSION, CheckpointStore
+
+
+class TestCheckpointStore:
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"hunts": [{"name": "h"}], "batch_size": 96})
+        state = store.load()
+        assert state is not None
+        assert state["hunts"] == [{"name": "h"}]
+        assert state["version"] == CHECKPOINT_VERSION
+        assert "written_at" in state
+
+    def test_load_returns_none_when_nothing_saved(self, tmp_path):
+        assert CheckpointStore(tmp_path).load() is None
+        assert not CheckpointStore(tmp_path / "sub").exists()
+
+    def test_latest_write_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.save({"n": 3})
+        assert store.load()["n"] == 3
+
+    def test_corrupt_live_file_falls_back_to_previous(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.path.write_text("{ torn mid-write", encoding="utf-8")
+        assert CheckpointStore(tmp_path).load()["n"] == 1
+
+    def test_all_snapshots_corrupt_raises_instead_of_fresh_start(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.path.write_text("garbage", encoding="utf-8")
+        (tmp_path / "checkpoint.json.prev").write_text("also garbage", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path).load()
+
+    def test_version_mismatch_is_not_restorable(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        state = json.loads(store.path.read_text(encoding="utf-8"))
+        state["version"] = CHECKPOINT_VERSION + 1
+        store.path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path).load()
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        assert not (tmp_path / "checkpoint.json.tmp").exists()
+
+    def test_statistics_track_write_cost(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        store.save({"n": 2})
+        stats = store.statistics()
+        assert stats["writes"] == 2
+        assert stats["write_seconds"] > 0
+        assert stats["seconds_per_write"] > 0

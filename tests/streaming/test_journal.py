@@ -1,0 +1,123 @@
+"""Tests for the durable append-only alert journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalError, RetryExhaustedError
+from repro.streaming.alerts import Alert
+from repro.streaming.journal import JournalSink
+from repro.streaming.retry import RetryPolicy
+
+
+def make_alert(hunt: str = "h", batch: int = 0, ids: tuple[int, ...] = (1, 2)) -> Alert:
+    return Alert(
+        hunt=hunt,
+        batch_index=batch,
+        matched_event_ids=ids,
+        start_time_ns=100,
+        end_time_ns=200,
+        entities={"p1": "/usr/bin/scp"},
+        reports=("r1",),
+    )
+
+
+class TestJournalSink:
+    def test_appends_sequence_numbered_jsonl(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        with JournalSink(path) as journal:
+            journal.emit(make_alert(ids=(1, 2)))
+            journal.emit(make_alert(ids=(3, 4)))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        entries = [json.loads(line) for line in lines]
+        assert [entry["seq"] for entry in entries] == [0, 1]
+        assert entries[0]["alert"]["matched_event_ids"] == [1, 2]
+
+    def test_duplicate_signature_is_suppressed(self, tmp_path):
+        with JournalSink(tmp_path / "j.jsonl") as journal:
+            journal.emit(make_alert(ids=(1, 2)))
+            journal.emit(make_alert(batch=5, ids=(1, 2)))  # same signature, later batch
+            assert len(journal) == 1
+            assert journal.suppressed == 1
+
+    def test_same_signature_different_hunts_both_journaled(self, tmp_path):
+        with JournalSink(tmp_path / "j.jsonl") as journal:
+            journal.emit(make_alert(hunt="a", ids=(1, 2)))
+            journal.emit(make_alert(hunt="b", ids=(1, 2)))
+            assert len(journal) == 2
+
+    def test_recovery_restores_signatures_and_sequence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalSink(path) as journal:
+            journal.emit(make_alert(ids=(1, 2)))
+            journal.emit(make_alert(ids=(3, 4)))
+        reopened = JournalSink(path)
+        assert reopened.recovered_entries == 2
+        assert reopened.next_seq == 2
+        reopened.emit(make_alert(ids=(1, 2)))  # replay duplicate
+        assert reopened.suppressed == 1
+        reopened.emit(make_alert(ids=(5, 6)))  # genuinely new
+        reopened.close()
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["seq"] for entry in entries] == [0, 1, 2]
+        assert reopened.signatures()["h"] == {(1, 2), (3, 4), (5, 6)}
+
+    def test_torn_final_line_is_truncated_on_recovery(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalSink(path) as journal:
+            journal.emit(make_alert(ids=(1, 2)))
+        good = path.read_bytes()
+        path.write_bytes(good + b'{"seq": 1, "alert": {"hunt": "h"')  # mid-append crash
+        recovered = JournalSink(path)
+        assert recovered.truncated_tail == 1
+        assert recovered.recovered_entries == 1
+        recovered.close()
+        assert path.read_bytes() == good
+
+    def test_corruption_before_final_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalSink(path) as journal:
+            journal.emit(make_alert(ids=(1, 2)))
+        lines = path.read_bytes()
+        path.write_bytes(b"not json at all\n" + lines)
+        with pytest.raises(JournalError):
+            JournalSink(path)
+
+    def test_alerts_round_trip(self, tmp_path):
+        alert = make_alert(ids=(7, 8, 9))
+        with JournalSink(tmp_path / "j.jsonl") as journal:
+            journal.emit(alert)
+            assert journal.alerts() == [alert]
+
+    def test_retry_policy_guards_appends(self, tmp_path):
+        journal = JournalSink(
+            tmp_path / "j.jsonl",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        journal.close()  # closed handle: every append now raises ValueError...
+        # ...which is not retryable; use a fresh journal with a failing handle
+        failing = JournalSink(
+            tmp_path / "k.jsonl",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+
+        class Boom:
+            def write(self, _data):
+                raise OSError("disk hiccup")
+
+            def flush(self):
+                pass
+
+            @property
+            def closed(self):
+                return True
+
+        failing._handle = Boom()
+        with pytest.raises(RetryExhaustedError):
+            failing.emit(make_alert())
+        assert failing.retry_stats.giveups == 1

@@ -1,0 +1,262 @@
+"""Crash/resume tests for the hunting service: checkpoint, journal, quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.auditing.workload.attacks import Figure2DataLeakageChain
+from repro.auditing.workload.generator import HostSimulator
+from repro.core.pipeline import ThreatRaptor
+from repro.data import FIGURE2_REPORT
+from repro.streaming import (
+    CheckpointStore,
+    HuntingService,
+    JournalSink,
+    ListSink,
+    ReplaySource,
+)
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    return (
+        HostSimulator(seed=41, benign_scale=0.4)
+        .add_default_benign()
+        .add_attack(Figure2DataLeakageChain())
+        .run()
+    )
+
+
+@pytest.fixture(scope="module")
+def batch_matched(simulation):
+    raptor = ThreatRaptor()
+    raptor.load_trace(simulation.trace)
+    return raptor.hunt(FIGURE2_REPORT.text).result.all_matched_event_ids()
+
+
+def _crash_safe_service(tmp_path, resume=False, batch_size=64):
+    store = CheckpointStore(tmp_path)
+    journal = JournalSink(tmp_path / "alerts.jsonl")
+    if resume:
+        service = HuntingService.resume(
+            store, raptor=ThreatRaptor(), batch_size=batch_size, journal=journal
+        )
+    else:
+        service = HuntingService(
+            raptor=ThreatRaptor(),
+            batch_size=batch_size,
+            checkpoint_store=store,
+            journal=journal,
+        )
+    return service, journal
+
+
+class TestCheckpointedService:
+    def test_checkpoint_written_after_every_batch(self, simulation, tmp_path):
+        service, journal = _crash_safe_service(tmp_path)
+        service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        service.run(ReplaySource(simulation))
+        journal.close()
+        stats = service.statistics()
+        # One write per hunt registration plus one per evaluated batch.
+        assert stats["resilience"]["checkpoint"]["writes"] >= stats["ingest"]["batches"]
+        state = CheckpointStore(tmp_path).load()
+        assert state is not None
+        assert [hunt["name"] for hunt in state["hunts"]] == ["figure2"]
+        assert state["source"]["kind"] == "replay"
+
+    def test_crash_and_resume_equals_uninterrupted(
+        self, simulation, batch_matched, tmp_path
+    ):
+        # Uninterrupted reference run.
+        ref_dir = tmp_path / "ref"
+        reference, ref_journal = _crash_safe_service(ref_dir)
+        reference.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        reference.run(ReplaySource(simulation))
+        ref_journal.close()
+        reference_bytes = ref_journal.path.read_bytes()
+
+        # Crashed run: stop mid-stream without flushing, discard memory.
+        crash_dir = tmp_path / "crash"
+        before, journal_before = _crash_safe_service(crash_dir)
+        before.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        before.run(ReplaySource(simulation), max_batches=2, flush=False)
+        journal_before.close()
+        del before
+
+        # Resume from disk only and re-run the stream.
+        after, journal_after = _crash_safe_service(crash_dir, resume=True)
+        assert after.resumed
+        assert after.hunt("figure2") is not None  # restored, not re-registered
+        after.run(ReplaySource(simulation))
+        journal_after.close()
+
+        assert journal_after.path.read_bytes() == reference_bytes
+        assert after.matched_event_ids("figure2") == batch_matched
+
+    def test_resume_without_checkpoint_is_fresh_start(self, tmp_path):
+        service, journal = _crash_safe_service(tmp_path, resume=True)
+        journal.close()
+        assert not service.resumed
+        assert service.hunts == []
+
+    def test_restored_hunt_keeps_provenance_and_counters(self, simulation, tmp_path):
+        service, journal = _crash_safe_service(tmp_path)
+        service.register_hunt(
+            "figure2",
+            report=FIGURE2_REPORT.text,
+            provenance=("report-1", "report-2"),
+            canonical_key="ck-figure2",
+        )
+        service.run(ReplaySource(simulation))
+        journal.close()
+        original = service.hunt("figure2")
+
+        resumed, journal2 = _crash_safe_service(tmp_path, resume=True)
+        journal2.close()
+        restored = resumed.hunt("figure2")
+        assert restored is not None
+        assert restored.provenance == ("report-1", "report-2")
+        assert restored.canonical_key == "ck-figure2"
+        assert restored.alerts_raised == original.alerts_raised
+        assert restored.matched_event_ids() == original.matched_event_ids()
+        assert resumed.hunt_by_canonical_key("ck-figure2") is restored
+
+    def test_journal_alone_recovers_delivery_state(self, simulation, tmp_path):
+        """Even if only the journal survives (checkpoint lost), resumed runs
+        must not re-deliver journaled alerts."""
+        first_dir = tmp_path / "first"
+        service, journal = _crash_safe_service(first_dir)
+        service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        service.run(ReplaySource(simulation))
+        journal.close()
+        journaled = len(journal)
+        assert journaled > 0
+
+        # New service, fresh checkpoint dir, same journal file.
+        store = CheckpointStore(tmp_path / "second")
+        journal2 = JournalSink(journal.path)
+        resumed = HuntingService.resume(
+            store, raptor=ThreatRaptor(), batch_size=64, journal=journal2
+        )
+        resumed.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        # Merge journal state into the freshly-registered hunt (resume() only
+        # merges into restored hunts).
+        resumed.hunt("figure2").absorb_signatures(journal2.signatures()["figure2"])
+        resumed.run(ReplaySource(simulation))
+        journal2.close()
+        assert len(journal2) == journaled  # nothing re-journaled
+
+
+class TestSignatureStability:
+    def test_signatures_survive_json_round_trip(self, simulation, tmp_path):
+        """Dedup signatures must be restart-stable: serialising the snapshot
+        to JSON and restoring it must reproduce the exact signature set (no
+        ``id()``/hash-seed dependence)."""
+        service, journal = _crash_safe_service(tmp_path)
+        service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        service.run(ReplaySource(simulation))
+        journal.close()
+        standing = service.hunt("figure2")
+        snapshot = json.loads(json.dumps(standing.snapshot(), sort_keys=True))
+
+        resumed, journal2 = _crash_safe_service(tmp_path, resume=True)
+        journal2.close()
+        restored = resumed.hunt("figure2")
+        assert restored.snapshot() == snapshot
+        assert restored._seen_signatures == standing._seen_signatures
+        assert all(
+            isinstance(sig, tuple) and all(isinstance(i, int) for i in sig)
+            for sig in restored._seen_signatures
+        )
+
+    def test_signature_is_sorted_event_id_tuple(self, simulation):
+        sink = ListSink()
+        raptor = ThreatRaptor()
+        service = raptor.watch(
+            FIGURE2_REPORT.text, name="figure2", batch_size=64, sinks=(sink,)
+        )
+        service.run(ReplaySource(simulation))
+        for alert in sink.alerts:
+            assert list(alert.matched_event_ids) == sorted(alert.matched_event_ids)
+
+
+class TestQuarantine:
+    def test_failing_hunt_is_quarantined_not_fatal(self, simulation, batch_matched):
+        raptor = ThreatRaptor()
+        service = HuntingService(raptor=raptor, batch_size=64, quarantine_after=2)
+        service.register_hunt("figure2", report=FIGURE2_REPORT.text)
+        service.register_hunt("bad", query="proc p read file f as e return p")
+        bad = service.hunt("bad")
+
+        class ExplodingPlan:
+            def execute(self, **_kwargs):
+                raise RuntimeError("synthetic evaluation failure")
+
+        bad.prepared = ExplodingPlan()
+
+        service.run(ReplaySource(simulation))
+        stats = service.statistics()
+        assert stats["hunts"]["bad"]["status"] == "quarantined"
+        assert stats["hunts"]["bad"]["errors"] >= 2
+        assert "synthetic evaluation failure" in stats["hunts"]["bad"]["last_error"]
+        # The healthy hunt was unaffected.
+        assert stats["hunts"]["figure2"]["status"] == "ok"
+        assert service.matched_event_ids("figure2") == batch_matched
+        # Quarantined hunts stop being evaluated.
+        evaluations_when_quarantined = bad.evaluations
+        service.process_batch([])
+        assert bad.evaluations == evaluations_when_quarantined
+
+    def test_reinstate_clears_quarantine(self, simulation):
+        raptor = ThreatRaptor()
+        service = HuntingService(raptor=raptor, batch_size=64, quarantine_after=1)
+        service.register_hunt("bad", query="proc p read file f as e return p")
+        bad = service.hunt("bad")
+
+        class ExplodingPlan:
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, **_kwargs):
+                self.calls += 1
+                raise RuntimeError("boom")
+
+        plan = ExplodingPlan()
+        bad.prepared = plan
+        records = list(ReplaySource(simulation, max_events=128).records())
+        service.process_batch(records[:64])
+        assert bad.quarantined
+        calls_before = plan.calls
+
+        service.reinstate_hunt("bad")
+        assert not bad.quarantined
+        assert bad.status == "degraded"  # errors stay on the record
+        service.process_batch(records[64:])
+        assert plan.calls > calls_before  # evaluated again after reinstatement
+
+    def test_single_error_marks_degraded_but_keeps_running(self, simulation):
+        raptor = ThreatRaptor()
+        service = HuntingService(raptor=raptor, batch_size=64, quarantine_after=100)
+        service.register_hunt("flaky", query="proc p read file f as e return p")
+        flaky = service.hunt("flaky")
+        real_plan = flaky.prepared
+
+        class FailOncePlan:
+            def __init__(self):
+                self.failed = False
+
+            def execute(self, **kwargs):
+                if not self.failed:
+                    self.failed = True
+                    raise RuntimeError("one-off")
+                return real_plan.execute(**kwargs)
+
+        flaky.prepared = FailOncePlan()
+        service.run(ReplaySource(simulation))
+        assert flaky.errors == 1
+        assert flaky.consecutive_errors == 0
+        assert flaky.status == "degraded"
+        assert not flaky.quarantined

@@ -1,0 +1,103 @@
+"""Tests for the deterministic retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RetryExhaustedError
+from repro.streaming.retry import RetryPolicy, RetryStats
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int, exc: type[Exception] = OSError) -> None:
+        self.remaining = failures
+        self.calls = 0
+        self._exc = exc
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self._exc("transient")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_succeeds_first_try_without_sleeping(self):
+        slept: list[float] = []
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(Flaky(0), sleep=slept.append) == "ok"
+        assert slept == []
+
+    def test_retries_transient_oserror_until_success(self):
+        slept: list[float] = []
+        flaky = Flaky(2)
+        stats = RetryStats()
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+        assert policy.call(flaky, sleep=slept.append, stats=stats) == "ok"
+        assert flaky.calls == 3
+        assert len(slept) == 2
+        assert stats.retries == 2
+        assert stats.giveups == 0
+
+    def test_exhaustion_raises_retry_exhausted(self):
+        flaky = Flaky(10)
+        stats = RetryStats()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(flaky, sleep=lambda _: None, stats=stats)
+        assert flaky.calls == 3
+        assert stats.giveups == 1
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        flaky = Flaky(5, exc=ValueError)
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(ValueError):
+            policy.call(flaky, sleep=lambda _: None)
+        assert flaky.calls == 1
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay_for(attempt) for attempt in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_per_seed_and_attempt(self):
+        first = RetryPolicy(seed=7, jitter=0.5)
+        second = RetryPolicy(seed=7, jitter=0.5)
+        assert [first.delay_for(a) for a in range(1, 5)] == [
+            second.delay_for(a) for a in range(1, 5)
+        ]
+        different = RetryPolicy(seed=8, jitter=0.5)
+        assert [first.delay_for(a) for a in range(1, 5)] != [
+            different.delay_for(a) for a in range(1, 5)
+        ]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25, seed=3)
+        for attempt in range(1, 8):
+            nominal = min(10.0, 0.1 * (2 ** (attempt - 1)))
+            delay = policy.delay_for(attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_per_attempt_timeout_retries_hung_call(self):
+        import time as _time
+
+        calls = {"n": 0}
+
+        def hangs_once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                _time.sleep(0.5)
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001, per_attempt_timeout=0.05)
+        assert policy.call(hangs_once, sleep=lambda _: None) == "ok"
+        assert calls["n"] == 2
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)

@@ -93,12 +93,17 @@ class TestLogTailSource:
         with pytest.raises(ConfigurationError):
             LogTailSource()
 
-    def test_final_line_without_newline_still_parses(self, simulation):
+    def test_final_line_without_newline_is_held_back_as_torn(self, simulation):
+        """A newline-less final line is a collector caught mid-write: it must
+        not be parsed as a complete record, and must be accounted for."""
         buffer = io.StringIO()
         write_trace(simulation.trace, buffer)
         text = buffer.getvalue().rstrip("\n")
-        records = list(LogTailSource(stream=io.StringIO(text)).records())
-        assert len(records) == len(simulation.trace.events)
+        source = LogTailSource(stream=io.StringIO(text))
+        records = list(source.records())
+        assert len(records) == len(simulation.trace.events) - 1
+        assert source.statistics.records_torn == 1
+        assert source.statistics.records_skipped == 0
 
     def test_follow_mode_buffers_partial_lines(self, simulation):
         """A record caught mid-write must not be parsed until its newline."""
@@ -134,3 +139,161 @@ class TestIterBatches:
     def test_rejects_zero_batch_size(self):
         with pytest.raises(ValueError):
             list(iter_batches(iter(range(3)), 0))
+
+
+class TestLogTailResilience:
+    """Rotation/truncation survival, resumable offsets, and retry-guarded reads."""
+
+    @pytest.fixture()
+    def log_lines(self, simulation):
+        buffer = io.StringIO()
+        write_trace(simulation.trace, buffer)
+        return buffer.getvalue().splitlines(keepends=True)
+
+    def _bounded_sleep(self, hooks):
+        """A follow-mode sleep stub running one hook per call, failing loudly
+        instead of spinning forever if the source never makes progress."""
+        calls = {"n": 0}
+
+        def sleep(_seconds):
+            calls["n"] += 1
+            if calls["n"] > 50:
+                raise AssertionError("follow loop made no progress")
+            if hooks:
+                hooks.pop(0)()
+
+        return sleep
+
+    def test_follow_mode_survives_rotation(self, log_lines, tmp_path):
+        import os
+
+        path = tmp_path / "audit.log"
+        path.write_text("".join(log_lines[:2]), encoding="utf-8")
+
+        def rotate():
+            os.rename(path, tmp_path / "audit.log.1")
+            path.write_text("".join(log_lines[2:4]), encoding="utf-8")
+
+        source = LogTailSource(
+            path=str(path), follow=True, max_events=4,
+            sleep=self._bounded_sleep([rotate]),
+        )
+        records = list(source.records())
+        assert len(records) == 4
+        assert source.rotations == 1
+        assert [r.event.event_id for r in records] == [
+            r.event.event_id
+            for r in LogTailSource(stream=io.StringIO("".join(log_lines[:4]))).records()
+        ]
+
+    def test_follow_mode_survives_truncation(self, log_lines, tmp_path):
+        path = tmp_path / "audit.log"
+        path.write_text("".join(log_lines[:3]), encoding="utf-8")
+
+        def truncate():
+            # In-place truncation (same inode): the file shrinks below the
+            # tail position and restarts with different content.
+            path.write_text("".join(log_lines[3:5]), encoding="utf-8")
+
+        source = LogTailSource(
+            path=str(path), follow=True, max_events=5,
+            sleep=self._bounded_sleep([truncate]),
+        )
+        records = list(source.records())
+        assert len(records) == 5
+        assert source.truncations == 1
+
+    def test_start_offset_resumes_where_tail_stopped(self, log_lines, tmp_path):
+        path = tmp_path / "audit.log"
+        path.write_text("".join(log_lines[:3]), encoding="utf-8")
+        first = LogTailSource(path=str(path))
+        first_records = list(first.records())
+        assert len(first_records) == 3
+        state = first.checkpoint_state()
+        assert state["kind"] == "log-tail"
+        assert state["offset"] == path.stat().st_size
+        assert state["inode"] == path.stat().st_ino
+
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("".join(log_lines[3:5]))
+        resumed = LogTailSource(
+            path=str(path), start_offset=state["offset"], start_inode=state["inode"]
+        )
+        resumed_records = list(resumed.records())
+        assert len(resumed_records) == 2
+        assert {r.event.event_id for r in resumed_records}.isdisjoint(
+            {r.event.event_id for r in first_records}
+        )
+
+    def test_stale_offset_after_rotation_restarts_from_zero(self, log_lines, tmp_path):
+        path = tmp_path / "audit.log"
+        path.write_text("".join(log_lines[:5]), encoding="utf-8")
+        offset = path.stat().st_size
+        stale_inode = path.stat().st_ino + 1  # the log rotated while down
+        path.write_text("".join(log_lines[:2]), encoding="utf-8")
+        source = LogTailSource(path=str(path), start_offset=offset, start_inode=stale_inode)
+        assert len(list(source.records())) == 2
+
+    def test_torn_final_line_is_not_committed(self, log_lines, tmp_path):
+        path = tmp_path / "audit.log"
+        torn_at = len(log_lines[0]) + len(log_lines[1]) // 2
+        path.write_text("".join(log_lines[:2])[:torn_at], encoding="utf-8")
+        source = LogTailSource(path=str(path))
+        assert len(list(source.records())) == 1
+        assert source.statistics.records_torn == 1
+        assert source.offset == len(log_lines[0].encode("utf-8"))
+
+        # Completing the line and resuming from the committed offset yields
+        # exactly the record that was torn.
+        path.write_text("".join(log_lines[:2]), encoding="utf-8")
+        resumed = LogTailSource(
+            path=str(path), start_offset=source.offset, start_inode=source.inode
+        )
+        records = list(resumed.records())
+        assert len(records) == 1
+        assert resumed.statistics.records_torn == 0
+
+    def test_transient_read_errors_are_retried(self, log_lines):
+        from repro.streaming.retry import RetryPolicy
+
+        class FlakyHandle:
+            """Every other readline raises a transient OSError."""
+
+            def __init__(self, text):
+                self._inner = io.StringIO(text)
+                self.calls = 0
+
+            def readline(self):
+                self.calls += 1
+                if self.calls % 2 == 1:
+                    raise OSError("transient")
+                return self._inner.readline()
+
+        source = LogTailSource(
+            stream=FlakyHandle("".join(log_lines[:4])),  # type: ignore[arg-type]
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        records = list(source.records())
+        assert len(records) == 4
+        assert source.retry_stats.retries >= 4
+        assert source.retry_stats.giveups == 0
+
+    def test_unguarded_read_error_propagates(self, log_lines):
+        class BrokenHandle:
+            def readline(self):
+                raise OSError("disk gone")
+
+        source = LogTailSource(stream=BrokenHandle())  # type: ignore[arg-type]
+        with pytest.raises(OSError):
+            list(source.records())
+
+    def test_replay_source_checkpoint_and_resume(self, simulation):
+        source = ReplaySource(simulation)
+        records = list(source.records())
+        assert source.checkpoint_state() == {"kind": "replay", "position": len(records)}
+        resumed = ReplaySource(simulation, start_position=len(records) - 5)
+        tail = list(resumed.records())
+        assert [r.event.event_id for r in tail] == [
+            r.event.event_id for r in records[-5:]
+        ]

@@ -74,3 +74,51 @@ class TestWatch:
     def test_watch_missing_log_is_error(self, report_file, capsys):
         assert main(["watch", str(report_file), "/nonexistent/audit.log"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestWatchCheckpoint:
+    def test_first_run_creates_checkpoint_and_journal(
+        self, report_file, audit_log, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "state"
+        assert (
+            main(
+                [
+                    "watch",
+                    str(report_file),
+                    str(audit_log),
+                    "--batch-size",
+                    "40",
+                    "--checkpoint-dir",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Resumed" not in output
+        assert "ALERT [watch]" in output
+        assert (ckpt / "checkpoint.json").exists()
+        assert (ckpt / "alerts.jsonl").read_text(encoding="utf-8").count("\n") == 1
+
+    def test_second_run_resumes_and_never_reemits(
+        self, report_file, audit_log, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "state"
+        args = [
+            "watch",
+            str(report_file),
+            str(audit_log),
+            "--batch-size",
+            "40",
+            "--checkpoint-dir",
+            str(ckpt),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "Resumed from checkpoint" in output
+        assert "ALERT" not in output  # already journaled: suppressed on replay
+        # The journal still holds exactly the one original alert.
+        assert (ckpt / "alerts.jsonl").read_text(encoding="utf-8").count("\n") == 1
