@@ -17,7 +17,10 @@ web UI, as four subcommands:
 * ``threatraptor corpus`` — corpus-scale hunting: extract a whole directory of
   OSCTI reports (optionally in parallel), dedup equivalent synthesized queries
   into standing hunts, and stream an audit log through them, printing alerts
-  with per-report provenance.
+  with per-report provenance;
+* ``threatraptor lint`` — statically analyze TBQL query files (the same
+  satisfiability/dead-predicate/cost/portability rules that gate hunt
+  registration) without executing anything; exits non-zero on errors.
 """
 
 from __future__ import annotations
@@ -157,6 +160,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     corpus.add_argument(
         "--alerts", default=None, help="also append alerts as JSON lines to this file"
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="statically analyze TBQL query files without executing them"
+    )
+    lint.add_argument(
+        "files",
+        nargs="+",
+        help="TBQL query files to analyze (or '-' for stdin)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--backend",
+        choices=("auto", "relational", "graph"),
+        default="auto",
+        help="execution backend the queries are checked against (default: auto)",
+    )
+    lint.add_argument(
+        "--log",
+        default=None,
+        help=(
+            "optional Sysdig-format audit log; when given, its index "
+            "statistics feed the cost/cardinality rules (TR304)"
+        ),
     )
     return parser
 
@@ -361,6 +393,12 @@ def _command_corpus(args: argparse.Namespace) -> int:
         print(f"  {hunt.name}: reports={','.join(hunt.report_ids)}")
     for report_id, reason in result.skipped.items():
         print(f"  skipped {report_id}: {reason}")
+    for rejection in result.rejected:
+        rules = ",".join(sorted({d.rule for d in rejection.diagnostics}))
+        print(
+            f"  rejected [{rules}] reports={','.join(rejection.report_ids)}: "
+            f"{rejection.query_text.splitlines()[0]}"
+        )
     print()
 
     source = LogTailSource(path=args.log, follow=False, max_events=args.max_events)
@@ -384,6 +422,63 @@ def _command_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TBQLSemanticError, TBQLSyntaxError
+    from repro.tbql.analysis import StaticAnalyzer
+
+    store = None
+    if args.log is not None:
+        raptor = ThreatRaptor()
+        raptor.load_log_file(args.log)
+        store = raptor.store
+    analyzer = StaticAnalyzer(store=store, backend=args.backend)
+
+    exit_code = 0
+    payload = []
+    for path in args.files:
+        if path == "-":
+            source = sys.stdin.read()
+            display = "<stdin>"
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            display = path
+        try:
+            report = analyzer.analyze(source)
+        except (TBQLSyntaxError, TBQLSemanticError) as exc:
+            # A file that does not parse or type-check is rendered like any
+            # other error finding, so tooling consumes one uniform shape.
+            exit_code = 1
+            if args.format == "json":
+                payload.append(
+                    {
+                        "file": display,
+                        "errors": 1,
+                        "warnings": 0,
+                        "infos": 0,
+                        "failure": f"{type(exc).__name__}: {exc}",
+                        "diagnostics": [],
+                    }
+                )
+            else:
+                print(f"{display}: error: {exc}")
+            continue
+        if report.has_errors():
+            exit_code = 1
+        if args.format == "json":
+            payload.append({"file": display, **report.to_dict()})
+        else:
+            if len(report) == 0:
+                print(f"{display}: clean")
+            else:
+                print(report.render(source_name=display))
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    return exit_code
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "extract": _command_extract,
@@ -392,6 +487,7 @@ _COMMANDS = {
     "query": _command_query,
     "watch": _command_watch,
     "corpus": _command_corpus,
+    "lint": _command_lint,
 }
 
 

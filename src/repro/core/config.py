@@ -31,6 +31,10 @@ class ThreatRaptorConfig:
             harness runs both and compares answers.
         graph_matcher: ``"planner"`` (cost-guided path search) or
             ``"reference"`` (the always-forward DFS oracle).
+        analysis_mode: Static-analysis admission gate — ``"enforce"`` (error
+            diagnostics reject a query before it runs or registers, the
+            default), ``"warn"`` (analyze and report, never reject) or
+            ``"off"`` (skip analysis entirely).
     """
 
     apply_reduction: bool = True
@@ -43,6 +47,7 @@ class ThreatRaptorConfig:
     optimize_execution: bool = True
     relational_executor: str = "vectorized"
     graph_matcher: str = "planner"
+    analysis_mode: str = "enforce"
 
     def validate(self) -> "ThreatRaptorConfig":
         """Validate the configuration, returning ``self`` for chaining.
@@ -64,6 +69,11 @@ class ThreatRaptorConfig:
             raise ConfigurationError(
                 f"graph_matcher must be 'planner' or 'reference', "
                 f"got {self.graph_matcher!r}"
+            )
+        if self.analysis_mode not in ("enforce", "warn", "off"):
+            raise ConfigurationError(
+                f"analysis_mode must be 'enforce', 'warn' or 'off', "
+                f"got {self.analysis_mode!r}"
             )
         if self.synthesis_path_max_length < 1:
             raise ConfigurationError("synthesis_path_max_length must be at least 1")

@@ -29,6 +29,7 @@ from repro.tbql.synthesis import QuerySynthesizer, SynthesisPlan
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.intel.corpus import CorpusReport, ReportCorpus
     from repro.intel.hunt import CorpusHuntResult
+    from repro.tbql.analysis.diagnostics import AnalysisReport
     from repro.streaming.alerts import AlertSink
     from repro.streaming.service import HuntingService
 
@@ -93,6 +94,7 @@ class ThreatRaptor:
             self.store,
             backend=self.config.execution_backend,
             graph_matcher=self.config.graph_matcher,
+            analysis_mode=self.config.analysis_mode,
         )
         self._load_report: LoadReport | None = None
 
@@ -126,6 +128,16 @@ class ThreatRaptor:
     def execute_query(self, query: Query | str) -> TBQLResult:
         """Execute a TBQL query (AST or source text) over the stored audit data."""
         return self._engine.execute(query, optimize=self.config.optimize_execution)
+
+    def analyze_query(self, query: Query | str) -> "AnalysisReport":
+        """Statically analyze a TBQL query against this pipeline's store.
+
+        Runs the full lint-rule catalog (satisfiability, dead predicates,
+        cost against the store's index statistics, backend portability) and
+        returns the :class:`~repro.tbql.analysis.AnalysisReport` without
+        gating anything — callers decide what to do with the findings.
+        """
+        return self._engine.analyze(query)
 
     def prepare_query(
         self, query: Query | str, window_hints: tuple[str, ...] = ()

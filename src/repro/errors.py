@@ -57,7 +57,31 @@ class TBQLSemanticError(TBQLError):
     Examples include referencing an undeclared entity identifier, declaring the
     same event identifier twice, or using an attribute that does not exist for
     the entity's type.
+
+    Attributes:
+        line: 1-based line of the offending construct (0 when unknown, e.g.
+            for programmatically built ASTs that never went through the lexer).
+        column: 1-based column of the offending construct (0 when unknown).
     """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TBQLAnalysisError(TBQLError):
+    """Raised when static analysis finds error-severity diagnostics.
+
+    Carried by the analyzer gate in front of query preparation and hunt
+    registration.  ``diagnostics`` holds the offending
+    :class:`~repro.tbql.analysis.diagnostics.Diagnostic` records (errors only).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class SynthesisError(TBQLError):

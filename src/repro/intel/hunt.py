@@ -13,7 +13,12 @@ the continuous hunting service:
    provenance, which every raised alert then reports;
 4. reports whose extraction fails or whose behavior graph screens down to
    nothing auditable (URL/hash-only reports) are recorded as skipped instead
-   of aborting the corpus.
+   of aborting the corpus;
+5. under the enforcing static-analysis gate
+   (:attr:`~repro.core.config.ThreatRaptorConfig.analysis_mode` ``"enforce"``),
+   a synthesized query with error-severity lint diagnostics is **rejected
+   with provenance**: no hunt is registered, and the result records which
+   reports produced it and exactly which diagnostics fired.
 
 Repeated passes over the same service are incremental: a report equivalent to
 an already-registered hunt extends that hunt's provenance instead of
@@ -36,6 +41,7 @@ from repro.tbql.formatter import format_query
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.pipeline import ThreatRaptor
     from repro.streaming.service import HuntingService
+    from repro.tbql.analysis.diagnostics import Diagnostic
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,21 @@ class CorpusHunt:
     newly_registered: bool = True
 
 
+@dataclass(frozen=True)
+class RejectedHunt:
+    """A would-be hunt the static-analysis gate rejected, with provenance.
+
+    The query never registers on the service; the corpus result keeps the
+    canonical key, the query text, every originating report id and the
+    error diagnostics, so the rejection is auditable end to end.
+    """
+
+    canonical_key: str
+    query_text: str
+    report_ids: tuple[str, ...]
+    diagnostics: "tuple[Diagnostic, ...]"
+
+
 @dataclass
 class CorpusHuntResult:
     """Everything produced by one :meth:`ThreatRaptor.hunt_corpus` pass."""
@@ -60,6 +81,8 @@ class CorpusHuntResult:
     hunts: list[CorpusHunt] = field(default_factory=list)
     #: report id -> reason, for reports that produced no hunt.
     skipped: dict[str, str] = field(default_factory=dict)
+    #: Canonical queries the static-analysis gate refused to register.
+    rejected: list[RejectedHunt] = field(default_factory=list)
 
     @property
     def hunted_report_ids(self) -> list[str]:
@@ -80,6 +103,10 @@ class CorpusHuntResult:
             "hunts": len(self.hunts),
             "hunts_registered": registered,
             "hunts_reused": len(self.hunts) - registered,
+            "hunts_rejected": len(self.rejected),
+            "rejected_reports": sum(
+                len(rejection.report_ids) for rejection in self.rejected
+            ),
             "dedup_ratio": round(1.0 - len(self.hunts) / hunted, 4) if hunted else 0.0,
             "extraction_seconds": round(self.extraction.seconds, 6),
             "extraction_workers": self.extraction.workers,
@@ -161,6 +188,18 @@ class CorpusHuntPlanner:
                     )
                 )
                 continue
+            if self._raptor.config.analysis_mode == "enforce":
+                analysis = self._raptor.analyze_query(canonical)
+                if analysis.has_errors():
+                    result.rejected.append(
+                        RejectedHunt(
+                            canonical_key=key,
+                            query_text=format_query(canonical),
+                            report_ids=tuple(report_ids),
+                            diagnostics=tuple(analysis.errors),
+                        )
+                    )
+                    continue
             counter += 1
             name = f"{self._name_prefix}-{counter}"
             while name in taken_names:
@@ -182,4 +221,4 @@ class CorpusHuntPlanner:
         return result
 
 
-__all__ = ["CorpusHunt", "CorpusHuntPlanner", "CorpusHuntResult"]
+__all__ = ["CorpusHunt", "CorpusHuntPlanner", "CorpusHuntResult", "RejectedHunt"]

@@ -101,6 +101,13 @@ class SelectQuery:
     distinct: bool = False
     order_by: list[OrderBy] = field(default_factory=list)
     limit: int | None = None
+    #: Known-declared aliases; a pure cache over ``tables`` so the per-call
+    #: alias checks in the construction helpers stay O(1).  ``_require_alias``
+    #: falls back to scanning ``tables`` on a miss, so constructing a plan
+    #: with ``tables=[...]`` or appending to it directly stays correct.
+    _alias_cache: set[str] = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
 
     # -- construction helpers ------------------------------------------------
 
@@ -113,6 +120,7 @@ class SelectQuery:
         if any(ref.alias == alias for ref in self.tables):
             raise QueryError(f"duplicate table alias {alias!r}")
         self.tables.append(TableRef(table=table, alias=alias))
+        self._alias_cache.add(alias)
         return self
 
     def add_filter(self, alias: str, predicate: Expression) -> "SelectQuery":
@@ -163,8 +171,12 @@ class SelectQuery:
         return self.filters.get(alias, TrueExpression())
 
     def _require_alias(self, alias: str) -> None:
-        if not any(ref.alias == alias for ref in self.tables):
-            raise QueryError(f"alias {alias!r} is not declared in the FROM clause")
+        if alias in self._alias_cache:
+            return
+        if any(ref.alias == alias for ref in self.tables):
+            self._alias_cache.add(alias)
+            return
+        raise QueryError(f"alias {alias!r} is not declared in the FROM clause")
 
 
 class RowFieldView(Mapping[str, Any]):

@@ -45,6 +45,7 @@ from repro.tbql.parser import parse_query
 from repro.tbql.result import TBQLResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tbql.analysis.diagnostics import AnalysisReport
     from repro.tbql.prepared import PreparedQuery
 
 #: Upper bound used for open-ended watermark windows.
@@ -67,6 +68,11 @@ class StandingQuery:
     #: constructed without a ``prepare`` callable; such hunts re-derive the
     #: windowed query per batch.
     prepared: "PreparedQuery | None" = None
+    #: Static-analysis report from registration, when the monitor was built
+    #: with an ``analyze`` callable.  A report carrying error diagnostics
+    #: quarantines the hunt at registration time (instead of letting an
+    #: unsatisfiable or non-portable query fail on every batch).
+    analysis: "AnalysisReport | None" = None
     #: Ids of the OSCTI reports this hunt stands for (corpus provenance);
     #: stamped onto every raised alert.  Grows when later corpus passes dedup
     #: an equivalent report onto this hunt.
@@ -189,6 +195,12 @@ class QueryMonitor:
             is quarantined (skipped) instead of crashing the service on every
             batch.  A failing evaluation never propagates; it is counted on
             the hunt and surfaced through ``statistics()``.
+        analyze: Optional static-analysis callable (typically
+            :meth:`ThreatRaptor.analyze_query`).  When given, every query is
+            analyzed at registration; a query with error-severity diagnostics
+            is registered **quarantined** — it stays visible (name,
+            provenance, diagnostics) but is never evaluated, reusing the same
+            status machinery as runtime failures.
     """
 
     def __init__(
@@ -196,11 +208,13 @@ class QueryMonitor:
         execute: Callable[[Query], TBQLResult],
         prepare: "Callable[[Query], PreparedQuery] | None" = None,
         quarantine_after: int = 3,
+        analyze: "Callable[[Query], AnalysisReport] | None" = None,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be at least 1")
         self._execute = execute
         self._prepare = prepare
+        self._analyze = analyze
         self._quarantine_after = quarantine_after
         self._queries: dict[str, StandingQuery] = {}
         #: canonical key -> hunt name, for O(1) corpus dedup routing.  The
@@ -232,6 +246,32 @@ class QueryMonitor:
         if name in self._queries:
             raise ValueError(f"a standing query named {name!r} is already registered")
         ast = parse_query(query) if isinstance(query, str) else query
+        analysis = self._analyze(ast) if self._analyze is not None else None
+        if analysis is not None and analysis.has_errors():
+            # Lint-rejected: register quarantined, never prepare or evaluate.
+            # The hunt stays visible with its provenance and diagnostics so
+            # operators can see *why* it will never fire.
+            summary = "; ".join(
+                f"[{diagnostic.rule}] {diagnostic.message}"
+                for diagnostic in analysis.errors
+            )
+            standing = StandingQuery(
+                name=name,
+                query=ast,
+                query_text=format_query(ast),
+                sink_event_id=None,
+                prepared=None,
+                analysis=analysis,
+                provenance=tuple(provenance),
+                canonical_key=canonical_key,
+                errors=1,
+                last_error=f"static analysis: {summary}",
+                quarantined=True,
+            )
+            self._queries[name] = standing
+            if canonical_key is not None:
+                self._names_by_canonical.setdefault(canonical_key, name)
+            return standing
         sink_event_id = self._temporal_sink(ast)
         prepared = None
         if self._prepare is not None:
@@ -247,6 +287,7 @@ class QueryMonitor:
             query_text=format_query(ast),
             sink_event_id=sink_event_id,
             prepared=prepared,
+            analysis=analysis,
             provenance=tuple(provenance),
             canonical_key=canonical_key,
         )
@@ -447,35 +488,14 @@ class QueryMonitor:
         Windowing is only sound when *every* pattern is ordered before the
         sink: then any match containing a new event has a sink event at least
         as recent, so restricting the sink to ``[watermark, ∞)`` cannot drop a
-        new match.
+        new match.  The actual derivation lives in
+        :func:`repro.tbql.analysis.structure.temporal_sink`, shared with the
+        static analyzer's cost pass (TR301 warns exactly when this returns
+        ``None`` for an unwindowed multi-pattern query).
         """
-        pattern_ids = [pattern.event_id for pattern in query.patterns]
-        if len(pattern_ids) == 1:
-            return pattern_ids[0]
-        if not query.temporal_relations:
-            return None
-        successors: dict[str, set[str]] = {}
-        for relation in query.temporal_relations:
-            normalized = relation.normalized()
-            successors.setdefault(normalized.left, set()).add(normalized.right)
-        candidates = [
-            event_id for event_id in pattern_ids if not successors.get(event_id)
-        ]
-        if len(candidates) != 1:
-            return None
-        sink = candidates[0]
-        # Every other pattern must reach the sink through `before` edges.
-        reaches_sink = {sink}
-        changed = True
-        while changed:
-            changed = False
-            for left, rights in successors.items():
-                if left not in reaches_sink and rights & reaches_sink:
-                    reaches_sink.add(left)
-                    changed = True
-        if all(event_id in reaches_sink for event_id in pattern_ids):
-            return sink
-        return None
+        from repro.tbql.analysis.structure import temporal_sink
+
+        return temporal_sink(query)
 
     @staticmethod
     def _signature(binding: dict[str, dict[str, Any]]) -> tuple[int, ...]:

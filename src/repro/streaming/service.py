@@ -80,6 +80,14 @@ class HuntingService:
             raptor.execute_query,
             prepare=raptor.prepare_query,
             quarantine_after=quarantine_after,
+            # Under the enforcing analysis gate, lint-rejected queries must be
+            # quarantined at registration — preparing them would raise.  In
+            # "warn"/"off" modes the monitor registers everything unchecked.
+            analyze=(
+                raptor.analyze_query
+                if raptor.config.analysis_mode == "enforce"
+                else None
+            ),
         )
         self._sinks: list[AlertSink] = list(sinks)
         self._checkpoint_store = checkpoint_store

@@ -1,0 +1,176 @@
+"""Pass 3 — cost and cardinality lint over backend index statistics.
+
+The relational store keeps per-table row counts and index inventories; the
+graph store keeps per-label node counts and per-relationship edge counts.
+This pass uses those (when a store is attached to the analyzer) plus the
+query's own structure to flag shapes that execute, but badly: standing
+queries the streaming monitor cannot watermark-window, multi-hop path
+patterns with no anchor to seed the planner, pattern groups that join into a
+cross-product, and unfiltered patterns whose operation set alone matches a
+large fraction of the stored events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.tbql.ast import PathPattern
+from repro.tbql.analysis.diagnostics import Diagnostic, Severity
+from repro.tbql.analysis.structure import pattern_components, temporal_sink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tbql.analysis.analyzer import AnalysisContext
+
+
+class CostPass:
+    """Emits TR301–TR304."""
+
+    name = "cost"
+
+    def run(self, context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        diagnostics.extend(self._unwindowable_standing_query(context))
+        diagnostics.extend(self._unanchored_paths(context))
+        diagnostics.extend(self._cross_products(context))
+        diagnostics.extend(self._full_scans(context))
+        return diagnostics
+
+    # -- TR301: the streaming monitor would rescan everything per batch ------------
+
+    @staticmethod
+    def _unwindowable_standing_query(context: "AnalysisContext") -> list[Diagnostic]:
+        query = context.query
+        if len(query.patterns) < 2:
+            return []
+        if any(pattern.window is not None for pattern in query.patterns):
+            return []
+        if temporal_sink(query) is not None:
+            return []
+        return [
+            Diagnostic(
+                rule="TR301",
+                severity=Severity.WARNING,
+                message=(
+                    "no time window and no unique temporally-final pattern: a "
+                    "standing hunt re-evaluates every pattern over the full store "
+                    "on every micro-batch"
+                ),
+                span=query.patterns[0].span,
+                event_id=query.patterns[0].event_id,
+                hint=(
+                    "order the patterns with 'before' relations so one pattern is "
+                    "last, or add a 'during' window"
+                ),
+            )
+        ]
+
+    # -- TR302: multi-hop paths with nothing to seed the planner -------------------
+
+    def _unanchored_paths(self, context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        min_hops = context.policy.unanchored_path_hops
+        for pattern in context.query.path_patterns():
+            if pattern.max_length < min_hops:
+                continue
+            if pattern.subject.filter is not None or pattern.obj.filter is not None:
+                continue
+            if pattern.window is not None:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    rule="TR302",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"path pattern {pattern.event_id!r} spans up to "
+                        f"{pattern.max_length} hops with no filter on either "
+                        "endpoint and no window; the planner has nothing to seed "
+                        "the search from"
+                    ),
+                    span=pattern.span,
+                    event_id=pattern.event_id,
+                    hint="filter an endpoint, add a window, or shorten the path",
+                )
+            )
+        return diagnostics
+
+    # -- TR303: disconnected pattern groups ----------------------------------------
+
+    @staticmethod
+    def _cross_products(context: "AnalysisContext") -> list[Diagnostic]:
+        components = pattern_components(context.analyzed)
+        if len(components) < 2:
+            return []
+        rendered = " x ".join(
+            "{" + ", ".join(sorted(component)) + "}" for component in components
+        )
+        anchor = context.query.patterns[0]
+        return [
+            Diagnostic(
+                rule="TR303",
+                severity=Severity.WARNING,
+                message=(
+                    f"patterns form {len(components)} groups sharing no entities or "
+                    f"with-clause relations ({rendered}); their matches combine as "
+                    "a cross-product"
+                ),
+                span=anchor.span,
+                event_id=anchor.event_id,
+                hint="link the groups by reusing an entity or adding a relation",
+            )
+        ]
+
+    # -- TR304: unfiltered patterns matching a large slice of the store ------------
+
+    def _full_scans(self, context: "AnalysisContext") -> list[Diagnostic]:
+        statistics = context.statistics
+        if statistics is None:
+            return []
+        graph = statistics.get("graph", {})
+        by_relationship: Mapping[str, int] = graph.get("edges_by_relationship", {})
+        total_edges = int(graph.get("edges", 0))
+        threshold = context.policy.scan_row_threshold
+        if total_edges == 0:
+            return []
+        diagnostics: list[Diagnostic] = []
+        for pattern in context.query.patterns:
+            if pattern.subject.filter is not None or pattern.obj.filter is not None:
+                continue
+            if pattern.window is not None:
+                continue
+            operation = pattern.operation
+            named = sum(by_relationship.get(name, 0) for name in operation.operations)
+            estimate = total_edges - named if operation.negated else named
+            if isinstance(pattern, PathPattern):
+                # Every hop of a multi-hop path may traverse any relationship;
+                # the final-hop estimate is a lower bound.
+                estimate = max(estimate, named)
+            if estimate >= threshold:
+                share = estimate / total_edges
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR304",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"pattern {pattern.event_id!r} has no entity filter or "
+                            f"window and its operations match ~{estimate} of "
+                            f"{total_edges} stored events ({share:.0%})"
+                        ),
+                        span=pattern.span,
+                        event_id=pattern.event_id,
+                        hint="add an entity filter or a time window",
+                    )
+                )
+        return diagnostics
+
+
+def store_statistics(store: Any) -> dict[str, Any] | None:
+    """Fetch combined backend statistics, tolerating stores without the API."""
+    if store is None:
+        return None
+    statistics = getattr(store, "statistics", None)
+    if statistics is None:
+        return None
+    try:
+        return dict(statistics())
+    except Exception:  # pragma: no cover - defensive: stats must never gate
+        return None

@@ -1,0 +1,324 @@
+"""Pass 2 — dead and redundant predicate elimination hints.
+
+Nothing here makes a query wrong; these rules flag work the engine does for
+no additional selectivity: predicates written twice, range bounds subsumed by
+tighter ones, ``with``-clause relations restating each other (or restating the
+joins already implied by entity identifier reuse), temporal orderings implied
+transitively, and entities that are declared but never constrain or surface
+anything.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tbql.ast import FilterOperator, SourceSpan
+from repro.tbql.analysis.diagnostics import Diagnostic, Severity
+from repro.tbql.analysis.satisfiability import fold_domains, is_like
+from repro.tbql.analysis.structure import before_edges, reachable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tbql.analysis.analyzer import AnalysisContext
+
+
+class DeadCodePass:
+    """Emits TR201–TR206."""
+
+    name = "deadcode"
+
+    def run(self, context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        diagnostics.extend(self._duplicate_predicates(context))
+        diagnostics.extend(self._subsumed_bounds(context))
+        diagnostics.extend(self._relation_redundancy(context))
+        diagnostics.extend(self._transitive_temporal(context))
+        diagnostics.extend(self._unconstrained_entities(context))
+        diagnostics.extend(self._repeated_filters(context))
+        return diagnostics
+
+    # -- TR201: the same predicate written twice in one filter --------------------
+
+    @staticmethod
+    def _duplicate_predicates(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        seen_declarations: set[int] = set()
+        for pattern in context.query.patterns:
+            for declaration in (pattern.subject, pattern.obj):
+                if declaration.filter is None or id(declaration) in seen_declarations:
+                    continue
+                seen_declarations.add(id(declaration))
+                seen: set[tuple[str, str, object]] = set()
+                for comparison in declaration.filter.comparisons():
+                    attribute = comparison.attribute or context.default_attribute(
+                        declaration.entity_type
+                    )
+                    key = (attribute, comparison.operator.value, comparison.value)
+                    if key in seen:
+                        diagnostics.append(
+                            Diagnostic(
+                                rule="TR201",
+                                severity=Severity.WARNING,
+                                message=(
+                                    f"filter on {declaration.identifier!r} repeats "
+                                    f"{attribute} {comparison.operator.value} "
+                                    f"{comparison.value!r}"
+                                ),
+                                span=comparison.span,
+                                event_id=pattern.event_id,
+                                hint="remove the duplicate predicate",
+                            )
+                        )
+                    seen.add(key)
+        return diagnostics
+
+    # -- TR202: bounds subsumed by tighter ones, always-true self relations -------
+
+    @staticmethod
+    def _subsumed_bounds(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for (identifier, attribute), domain in fold_domains(context).items():
+            lowers = [
+                c
+                for c in domain.bounds()
+                if c.operator in (FilterOperator.GT, FilterOperator.GTE)
+            ]
+            uppers = [
+                c
+                for c in domain.bounds()
+                if c.operator in (FilterOperator.LT, FilterOperator.LTE)
+            ]
+            for group, keep_extreme in ((lowers, max), (uppers, min)):
+                if len(group) < 2:
+                    continue
+                try:
+                    strictest = keep_extreme(group, key=lambda c: c.value)
+                except TypeError:
+                    continue
+                for constraint in group:
+                    if constraint is strictest or constraint.value == strictest.value:
+                        continue
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="TR202",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"{identifier}.{attribute} "
+                                f"{constraint.operator.value} {constraint.value!r} is "
+                                f"subsumed by the tighter bound "
+                                f"{strictest.operator.value} {strictest.value!r}"
+                            ),
+                            span=constraint.span,
+                            hint="drop the looser bound",
+                        )
+                    )
+        reflexive = (FilterOperator.EQ, FilterOperator.LTE, FilterOperator.GTE)
+        for relation in context.query.attribute_relations:
+            if (
+                relation.left_event == relation.right_event
+                and relation.left_attribute == relation.right_attribute
+                and relation.operator in reflexive
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR202",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{relation.left_event}.{relation.left_attribute} "
+                            f"{relation.operator.value} itself is always true"
+                        ),
+                        span=relation.span,
+                        event_id=relation.left_event,
+                        hint="remove the tautological relation",
+                    )
+                )
+        return diagnostics
+
+    # -- TR203: relations that restate each other or an implied join --------------
+
+    @staticmethod
+    def _relation_redundancy(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        seen_temporal: set[tuple[str, str]] = set()
+        for relation in context.query.temporal_relations:
+            normalized = relation.normalized()
+            key = (normalized.left, normalized.right)
+            if key in seen_temporal:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR203",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"temporal relation {normalized.left} before "
+                            f"{normalized.right} is stated more than once"
+                        ),
+                        span=relation.span,
+                        event_id=normalized.left,
+                        hint="remove the duplicate relation",
+                    )
+                )
+            seen_temporal.add(key)
+
+        implied = set()
+        for first_event, first_role, second_event, second_role, identifier in (
+            context.analyzed.implied_joins
+        ):
+            implied.add(((first_event, first_role), (second_event, second_role), identifier))
+            implied.add(((second_event, second_role), (first_event, first_role), identifier))
+        seen_attribute: set[tuple[tuple[str, str], str, tuple[str, str]]] = set()
+        for relation in context.query.attribute_relations:
+            left = (relation.left_event, relation.left_attribute)
+            right = (relation.right_event, relation.right_attribute)
+            key = (min(left, right), relation.operator.value, max(left, right))
+            if key in seen_attribute:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR203",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"attribute relation {left[0]}.{left[1]} "
+                            f"{relation.operator.value} {right[0]}.{right[1]} is "
+                            "stated more than once"
+                        ),
+                        span=relation.span,
+                        event_id=relation.left_event,
+                        hint="remove the duplicate relation",
+                    )
+                )
+            seen_attribute.add(key)
+            if relation.operator is FilterOperator.EQ:
+                for candidate in implied:
+                    if candidate[0] == left and candidate[1] == right:
+                        diagnostics.append(
+                            Diagnostic(
+                                rule="TR203",
+                                severity=Severity.WARNING,
+                                message=(
+                                    f"attribute relation {left[0]}.{left[1]} = "
+                                    f"{right[0]}.{right[1]} is already implied by "
+                                    f"reusing entity {candidate[2]!r} across the "
+                                    "patterns"
+                                ),
+                                span=relation.span,
+                                event_id=relation.left_event,
+                                hint="identifier reuse already joins the events",
+                            )
+                        )
+                        break
+        return diagnostics
+
+    # -- TR204: temporal edges implied transitively --------------------------------
+
+    @staticmethod
+    def _transitive_temporal(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        edges = before_edges(context.query)
+        unique = list(dict.fromkeys((edge.left, edge.right) for edge in edges))
+        if len(unique) < 2:
+            return diagnostics
+        for edge in unique:
+            successors: dict[str, set[str]] = {}
+            for other in unique:
+                if other != edge:
+                    successors.setdefault(other[0], set()).add(other[1])
+            if reachable(successors, edge[0], edge[1]):
+                span = next(
+                    (
+                        relation.span
+                        for relation in context.query.temporal_relations
+                        if (relation.normalized().left, relation.normalized().right) == edge
+                    ),
+                    None,
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR204",
+                        severity=Severity.INFO,
+                        message=(
+                            f"temporal relation {edge[0]} before {edge[1]} is implied "
+                            "transitively by the other relations"
+                        ),
+                        span=span,
+                        event_id=edge[0],
+                        hint="the ordering holds without this relation",
+                    )
+                )
+        return diagnostics
+
+    # -- TR205: entities that constrain and surface nothing -------------------------
+
+    @staticmethod
+    def _unconstrained_entities(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        returned = {item.identifier for item in context.query.return_items}
+        filtered: set[str] = set()
+        spans: dict[str, SourceSpan | None] = {}
+        for pattern in context.query.patterns:
+            for declaration in (pattern.subject, pattern.obj):
+                if declaration.filter is not None:
+                    filtered.add(declaration.identifier)
+                spans.setdefault(declaration.identifier, declaration.span)
+        for entity in context.analyzed.entities.values():
+            if (
+                len(entity.patterns) == 1
+                and entity.identifier not in filtered
+                and entity.identifier not in returned
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR205",
+                        severity=Severity.INFO,
+                        message=(
+                            f"entity {entity.identifier!r} has no filter, is used by "
+                            "one pattern only and is never returned"
+                        ),
+                        span=spans.get(entity.identifier),
+                        event_id=entity.patterns[0],
+                        hint="add a filter, reuse it in another pattern, or return it",
+                    )
+                )
+        return diagnostics
+
+    # -- TR206: the same filter re-declared on every pattern -------------------------
+
+    @staticmethod
+    def _repeated_filters(context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        occurrences: dict[
+            str, list[tuple[str, tuple[tuple[str, str, object, bool], ...], SourceSpan | None]]
+        ] = {}
+        for pattern in context.query.patterns:
+            for declaration in (pattern.subject, pattern.obj):
+                if declaration.filter is None:
+                    continue
+                signature = tuple(
+                    (
+                        comparison.attribute,
+                        comparison.operator.value,
+                        comparison.value,
+                        is_like(comparison),
+                    )
+                    for comparison in declaration.filter.comparisons()
+                )
+                occurrences.setdefault(declaration.identifier, []).append(
+                    (pattern.event_id, signature, declaration.span)
+                )
+        for identifier, entries in occurrences.items():
+            if len(entries) < 2:
+                continue
+            signatures = {signature for _, signature, _ in entries}
+            if len(signatures) == 1:
+                event_ids = [event_id for event_id, _, _ in entries]
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR206",
+                        severity=Severity.INFO,
+                        message=(
+                            f"the filter on {identifier!r} is repeated in patterns "
+                            f"{', '.join(event_ids)}; declaring it once is enough"
+                        ),
+                        span=entries[1][2],
+                        event_id=event_ids[1],
+                        hint="later declarations of a reused entity may omit the filter",
+                    )
+                )
+        return diagnostics

@@ -1,0 +1,143 @@
+"""Pass 4 — cross-backend portability via the static compilers.
+
+Every pattern is compiled through the same compilers execution uses —
+:class:`~repro.tbql.compiler.sql_compiler.SQLCompiler` for the relational
+backend and :class:`~repro.tbql.compiler.cypher_compiler.CypherCompiler` for
+the graph backend — without executing anything.  Constructs that cannot lower
+are diagnosed *before* a hunt is admitted instead of failing (or silently
+changing meaning) mid-execution:
+
+* path patterns have no SQL lowering (TR401, informational — the paper's
+  design routes them to the graph backend);
+* the Cypher compiler's edge patterns carry no negation, so a ``not`` in the
+  operation is silently dropped on the graph backend.  That is an error for
+  any pattern that *will* route there (path patterns always; event patterns
+  under ``backend="graph"``) and a portability warning otherwise (TR402);
+* any compiler exception is surfaced as TR403 with the pattern's span.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tbql.ast import EventPattern, PathPattern
+from repro.tbql.analysis.diagnostics import Diagnostic, Severity
+from repro.tbql.formatter import format_pattern
+from repro.tbql.compiler.cypher_compiler import CypherCompiler
+from repro.tbql.compiler.sql_compiler import SQLCompiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tbql.analysis.analyzer import AnalysisContext
+
+
+class PortabilityPass:
+    """Emits TR401–TR403.
+
+    The compilers are injectable so tests can drive the TR403 path with a
+    deliberately failing compiler.
+
+    Successful compilations are memoized per (backend, formatted pattern):
+    corpus variants share most of their patterns, and a pattern that
+    compiled once compiles again.  Only successes are cached — a success
+    produces no diagnostic, so sharing it across queries can never serve a
+    diagnostic with another source's span, while TR403 failures always
+    re-compile and carry the failing pattern's own span.
+    """
+
+    name = "portability"
+
+    _OK_CACHE_LIMIT = 512
+
+    def __init__(
+        self,
+        sql_compiler: SQLCompiler | None = None,
+        cypher_compiler: CypherCompiler | None = None,
+    ) -> None:
+        self._sql = sql_compiler or SQLCompiler()
+        self._cypher = cypher_compiler or CypherCompiler()
+        self._compiles_ok: set[tuple[str, str]] = set()
+
+    def run(self, context: "AnalysisContext") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for pattern in context.query.patterns:
+            routes_to_graph = isinstance(pattern, PathPattern) or context.backend == "graph"
+            if isinstance(pattern, PathPattern):
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR401",
+                        severity=Severity.INFO,
+                        message=(
+                            f"path pattern {pattern.event_id!r} has no SQL lowering; "
+                            "the query is bound to the graph backend"
+                        ),
+                        span=pattern.span,
+                        event_id=pattern.event_id,
+                        hint="use a single-hop event pattern for SQL portability",
+                    )
+                )
+            if pattern.operation.negated:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="TR402",
+                        severity=Severity.ERROR if routes_to_graph else Severity.WARNING,
+                        message=(
+                            f"pattern {pattern.event_id!r} negates its operation, "
+                            "which the graph backend's edge patterns do not support "
+                            + (
+                                "and this pattern executes there"
+                                if routes_to_graph
+                                else "(the relational backend handles it)"
+                            )
+                        ),
+                        span=pattern.operation.span,
+                        event_id=pattern.event_id,
+                        hint="enumerate the allowed operations instead of negating",
+                    )
+                )
+            diagnostics.extend(self._compile_checks(pattern))
+        return diagnostics
+
+    def _compile_checks(self, pattern: EventPattern | PathPattern) -> list[Diagnostic]:
+        text = format_pattern(pattern)
+        diagnostics: list[Diagnostic] = []
+        if isinstance(pattern, EventPattern):
+            diagnostics.extend(
+                self._try_compile("SQL", text, pattern, lambda: self._sql.compile(pattern))
+            )
+            diagnostics.extend(
+                self._try_compile(
+                    "Cypher", text, pattern, lambda: self._cypher.compile_event(pattern)
+                )
+            )
+        else:
+            diagnostics.extend(
+                self._try_compile(
+                    "Cypher", text, pattern, lambda: self._cypher.compile_path(pattern)
+                )
+            )
+        return diagnostics
+
+    def _try_compile(self, backend: str, text: str, pattern, compile_call) -> list[Diagnostic]:
+        key = (backend, text)
+        if key in self._compiles_ok:
+            return []
+        try:
+            compile_call()
+        except Exception as exc:
+            return [
+                Diagnostic(
+                    rule="TR403",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"pattern {pattern.event_id!r} fails to compile for the "
+                        f"{backend} backend: {exc}"
+                    ),
+                    span=pattern.span,
+                    event_id=pattern.event_id,
+                    hint="the pattern would fail at execution time",
+                )
+            ]
+        if len(self._compiles_ok) >= self._OK_CACHE_LIMIT:
+            self._compiles_ok.clear()
+        self._compiles_ok.add(key)
+        return []

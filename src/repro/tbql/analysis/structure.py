@@ -1,0 +1,137 @@
+"""Query-structure helpers shared by analysis passes and the streaming monitor.
+
+These operate on the temporal ``before`` graph and the entity-sharing graph of
+a query.  The streaming monitor's watermark windowing relies on
+:func:`temporal_sink`; the cost pass reuses it to decide whether a standing
+query can be windowed at all, so both must agree — the implementation lives
+here and the monitor delegates.
+"""
+
+from __future__ import annotations
+
+from repro.tbql.ast import Query, TemporalRelation
+from repro.tbql.semantics import AnalyzedQuery
+
+
+def before_edges(query: Query) -> list[TemporalRelation]:
+    """The query's temporal relations, normalized to ``before`` only."""
+    return [relation.normalized() for relation in query.temporal_relations]
+
+
+def temporal_sink(query: Query) -> str | None:
+    """The unique temporally-final pattern every other pattern precedes.
+
+    Windowing is only sound when *every* pattern is ordered before the sink:
+    then any match containing a new event has a sink event at least as recent,
+    so restricting the sink to ``[watermark, ∞)`` cannot drop a new match.
+    Returns ``None`` when no such pattern exists.
+    """
+    pattern_ids = [pattern.event_id for pattern in query.patterns]
+    if len(pattern_ids) == 1:
+        return pattern_ids[0]
+    if not query.temporal_relations:
+        return None
+    successors: dict[str, set[str]] = {}
+    for relation in before_edges(query):
+        successors.setdefault(relation.left, set()).add(relation.right)
+    candidates = [event_id for event_id in pattern_ids if not successors.get(event_id)]
+    if len(candidates) != 1:
+        return None
+    sink = candidates[0]
+    # Every other pattern must reach the sink through `before` edges.
+    reaches_sink = {sink}
+    changed = True
+    while changed:
+        changed = False
+        for event_id, following in successors.items():
+            if event_id not in reaches_sink and following & reaches_sink:
+                reaches_sink.add(event_id)
+                changed = True
+    if set(pattern_ids) <= reaches_sink:
+        return sink
+    return None
+
+
+def temporal_cycle(query: Query) -> list[str] | None:
+    """One cycle in the normalized ``before`` graph, or ``None`` if acyclic.
+
+    Returns the event ids along the cycle, starting and ending at the same
+    event (``[a, b, a]`` for ``a before b, b before a``).
+    """
+    successors: dict[str, list[str]] = {}
+    for relation in before_edges(query):
+        successors.setdefault(relation.left, []).append(relation.right)
+    visiting: list[str] = []
+    visited: set[str] = set()
+
+    def visit(event_id: str) -> list[str] | None:
+        if event_id in visiting:
+            start = visiting.index(event_id)
+            return visiting[start:] + [event_id]
+        if event_id in visited:
+            return None
+        visiting.append(event_id)
+        for successor in successors.get(event_id, ()):
+            cycle = visit(successor)
+            if cycle is not None:
+                return cycle
+        visiting.pop()
+        visited.add(event_id)
+        return None
+
+    for event_id in list(successors):
+        cycle = visit(event_id)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def reachable(successors: dict[str, set[str]], start: str, goal: str) -> bool:
+    """Whether ``goal`` is reachable from ``start`` in the ``successors`` graph."""
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        current = frontier.pop()
+        if current == goal:
+            return True
+        for nxt in successors.get(current, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def pattern_components(analyzed: AnalyzedQuery) -> list[set[str]]:
+    """Connected components of patterns linked by shared entities or relations.
+
+    Two patterns are connected when they reuse an entity identifier, or are
+    related by a ``with``-clause temporal or attribute relation.  More than
+    one component means the join degenerates to a cross-product between the
+    groups.
+    """
+    query = analyzed.query
+    event_ids = [pattern.event_id for pattern in query.patterns]
+    parent: dict[str, str] = {event_id: event_id for event_id in event_ids}
+
+    def find(event_id: str) -> str:
+        while parent[event_id] != event_id:
+            parent[event_id] = parent[parent[event_id]]
+            event_id = parent[event_id]
+        return event_id
+
+    def union(first: str, second: str) -> None:
+        if first in parent and second in parent:
+            parent[find(first)] = find(second)
+
+    for entity in analyzed.entities.values():
+        for first, second in zip(entity.patterns, entity.patterns[1:]):
+            union(first, second)
+    for relation in query.temporal_relations:
+        union(relation.left, relation.right)
+    for attribute_relation in query.attribute_relations:
+        union(attribute_relation.left_event, attribute_relation.right_event)
+
+    components: dict[str, set[str]] = {}
+    for event_id in event_ids:
+        components.setdefault(find(event_id), set()).add(event_id)
+    return list(components.values())

@@ -28,6 +28,23 @@ from typing import Union
 from repro.auditing.entities import EntityType
 
 
+@dataclass(frozen=True)
+class SourceSpan:
+    """Position of a construct in TBQL source text (1-based line/column).
+
+    Attached to AST nodes by the parser and carried into semantic and static
+    analysis diagnostics so every error renders with a uniform location.  Spans
+    are excluded from equality/repr: two queries that differ only in layout
+    compare equal, which the formatter round-trip tests rely on.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
 class FilterOperator(enum.Enum):
     """Comparison operators allowed in attribute filters."""
 
@@ -69,6 +86,7 @@ class AttributeComparison:
     attribute: str
     operator: FilterOperator
     value: Union[str, int, float]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -110,6 +128,7 @@ class EntityDeclaration:
     entity_type: EntityType
     identifier: str
     filter: FilterExpression | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def constraint_count(self) -> int:
         """Number of attribute comparisons declared on this entity."""
@@ -122,6 +141,7 @@ class OperationExpression:
 
     operations: tuple[str, ...]
     negated: bool = False
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def constraint_count(self) -> int:
         return 1
@@ -144,6 +164,7 @@ class EventPattern:
     obj: EntityDeclaration
     event_id: str
     window: TimeWindow | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def constraint_count(self) -> int:
         """Total declared constraints, used for the pruning score."""
@@ -168,6 +189,7 @@ class PathPattern:
     min_length: int = 1
     max_length: int = 5
     window: TimeWindow | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def constraint_count(self) -> int:
         count = self.subject.constraint_count() + self.obj.constraint_count()
@@ -190,11 +212,14 @@ class TemporalRelation:
     left: str
     relation: str  # "before" or "after"
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def normalized(self) -> "TemporalRelation":
         """Return the relation rewritten to use ``before`` only."""
         if self.relation == "after":
-            return TemporalRelation(left=self.right, relation="before", right=self.left)
+            return TemporalRelation(
+                left=self.right, relation="before", right=self.left, span=self.span
+            )
         return self
 
 
@@ -207,6 +232,7 @@ class AttributeRelation:
     operator: FilterOperator
     right_event: str
     right_attribute: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -215,6 +241,7 @@ class ReturnItem:
 
     identifier: str
     attribute: str = ""
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass

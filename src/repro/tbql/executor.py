@@ -32,6 +32,8 @@ from repro.storage.graph.pattern import PathMatcher
 from repro.storage.graph.planner import CostGuidedPathMatcher
 from repro.storage.loader import AuditStore
 from repro.storage.relational.query import RowFieldView, SelectQuery
+from repro.tbql.analysis.analyzer import StaticAnalyzer
+from repro.tbql.analysis.diagnostics import AnalysisPolicy, AnalysisReport
 from repro.tbql.ast import EventPattern, Pattern, PathPattern, Query, FilterOperator, TimeWindow
 from repro.tbql.compiler.cypher_compiler import CypherCompiler
 from repro.tbql.compiler.sql_compiler import SQLCompiler
@@ -110,15 +112,28 @@ class TBQLExecutionEngine:
             default) or ``"reference"`` (the always-forward DFS
             :class:`~repro.storage.graph.pattern.PathMatcher`, kept as the
             correctness oracle for property tests and benchmarks).
+        analysis_mode: ``"enforce"`` (static-analysis errors reject the query
+            before execution/preparation — the default), ``"warn"`` (analysis
+            runs, findings are reported, nothing gates) or ``"off"`` (no
+            static analysis).
+        analysis_policy: Per-rule severity/threshold overrides for the static
+            analyzer.
     """
 
     def __init__(
-        self, store: AuditStore, backend: str = "auto", graph_matcher: str = "planner"
+        self,
+        store: AuditStore,
+        backend: str = "auto",
+        graph_matcher: str = "planner",
+        analysis_mode: str = "enforce",
+        analysis_policy: AnalysisPolicy | None = None,
     ) -> None:
         if backend not in ("auto", "relational", "graph"):
             raise ExecutionError(f"unknown backend {backend!r}")
         if graph_matcher not in ("planner", "reference"):
             raise ExecutionError(f"unknown graph matcher {graph_matcher!r}")
+        if analysis_mode not in ("enforce", "warn", "off"):
+            raise ExecutionError(f"unknown analysis mode {analysis_mode!r}")
         self._store = store
         self._backend = backend
         self._graph_matcher = graph_matcher
@@ -126,8 +141,39 @@ class TBQLExecutionEngine:
         self._cypher = CypherCompiler()
         self._scheduler = ExecutionScheduler()
         self._analyzer = SemanticAnalyzer()
+        self.analysis_mode = analysis_mode
+        self._static = StaticAnalyzer(store=store, backend=backend, policy=analysis_policy)
 
     # -- public API ------------------------------------------------------------
+
+    def analyze(
+        self, query: Query | str, analyzed: AnalyzedQuery | None = None
+    ) -> AnalysisReport:
+        """Statically analyze a query without executing or gating anything.
+
+        Semantic analysis is left to the static analyzer so that its memoized
+        reports short-circuit before any semantics re-run.
+        """
+        ast = parse_query(query) if isinstance(query, str) else query
+        return self._static.analyze(ast, analyzed)
+
+    def admission_check(
+        self, ast: Query, analyzed: AnalyzedQuery
+    ) -> AnalysisReport | None:
+        """The static-analysis gate in front of execution and preparation.
+
+        Returns the report (``None`` under ``analysis_mode="off"``).
+
+        Raises:
+            TBQLAnalysisError: in ``"enforce"`` mode, when any error-severity
+                diagnostic is present.
+        """
+        if self.analysis_mode == "off":
+            return None
+        report = self._static.analyze(ast, analyzed)
+        if self.analysis_mode == "enforce":
+            report.raise_for_errors()
+        return report
 
     def execute(self, query: Query | str, optimize: bool = True) -> TBQLResult:
         """Execute a TBQL query (AST or source text).
@@ -141,6 +187,7 @@ class TBQLExecutionEngine:
         started = time.perf_counter()
         ast = parse_query(query) if isinstance(query, str) else query
         analyzed = self._analyzer.analyze(ast)
+        self.admission_check(ast, analyzed)
         schedule = (
             self._scheduler.schedule(ast) if optimize else self._scheduler.schedule_unoptimized(ast)
         )

@@ -44,8 +44,12 @@ def _format_comparison(comparison: AttributeComparison) -> str:
     value = _format_value(comparison.value)
     if not comparison.attribute and comparison.operator in (FilterOperator.EQ, FilterOperator.LIKE):
         # Default-attribute shorthand: just the literal, as in p1["%/bin/tar%"].
+        # (The grammar has no attribute-less `like`; execution treats wildcard
+        # values as patterns either way, so the shorthand loses nothing.)
         return value
-    operator = "=" if comparison.operator is FilterOperator.LIKE else comparison.operator.value
+    # `like` is a keyword operator and must round-trip as itself: rendering it
+    # as `=` would turn a wildcard-free pattern into an exact match.
+    operator = comparison.operator.value
     attribute = comparison.attribute
     if not attribute:
         return f"{operator} {value}" if operator != "=" else value

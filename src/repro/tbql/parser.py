@@ -38,6 +38,7 @@ from repro.tbql.ast import (
     PathPattern,
     Query,
     ReturnItem,
+    SourceSpan,
     TemporalRelation,
     TimeWindow,
 )
@@ -45,6 +46,11 @@ from repro.tbql.lexer import Lexer, TBQLToken, TokenType
 
 _ENTITY_KEYWORDS = {"proc": EntityType.PROCESS, "file": EntityType.FILE, "ip": EntityType.NETWORK}
 _COMPARISON_SYMBOLS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _span(token: TBQLToken) -> SourceSpan:
+    """The source span of ``token``."""
+    return SourceSpan(line=token.line, column=token.column)
 
 
 class Parser:
@@ -81,7 +87,7 @@ class Parser:
 
     # -- patterns ---------------------------------------------------------------
 
-    def _parse_pattern(self):
+    def _parse_pattern(self) -> EventPattern | PathPattern:
         subject = self._parse_entity()
         if self._check(TokenType.ARROW):
             return self._parse_path_pattern(subject)
@@ -90,7 +96,12 @@ class Parser:
         event_id = self._parse_event_alias()
         window = self._parse_window()
         return EventPattern(
-            subject=subject, operation=operation, obj=obj, event_id=event_id, window=window
+            subject=subject,
+            operation=operation,
+            obj=obj,
+            event_id=event_id,
+            window=window,
+            span=subject.span,
         )
 
     def _parse_path_pattern(self, subject: EntityDeclaration) -> PathPattern:
@@ -120,6 +131,7 @@ class Parser:
             min_length=min_length,
             max_length=max_length,
             window=window,
+            span=subject.span,
         )
 
     def _parse_event_alias(self) -> str:
@@ -158,7 +170,10 @@ class Parser:
             filter_expression = self._parse_filter()
             self._expect(TokenType.RBRACKET)
         return EntityDeclaration(
-            entity_type=entity_type, identifier=identifier, filter=filter_expression
+            entity_type=entity_type,
+            identifier=identifier,
+            filter=filter_expression,
+            span=_span(token),
         )
 
     def _parse_filter(self) -> FilterExpression:
@@ -205,12 +220,15 @@ class Parser:
         else:
             raise self._error("expected a string or number literal in the attribute filter")
         return FilterExpression.leaf(
-            AttributeComparison(attribute=attribute, operator=operator, value=value)
+            AttributeComparison(
+                attribute=attribute, operator=operator, value=value, span=_span(token)
+            )
         )
 
     # -- operations ---------------------------------------------------------------
 
     def _parse_operation(self, stop_at_bracket: bool = False) -> OperationExpression:
+        start = self._peek()
         negated = False
         if self._check_keyword("not"):
             negated = True
@@ -225,7 +243,7 @@ class Parser:
             break
         if stop_at_bracket and not self._check(TokenType.RBRACKET):
             raise self._error("expected ']' to close the path operation")
-        return OperationExpression(operations=tuple(names), negated=negated)
+        return OperationExpression(operations=tuple(names), negated=negated, span=_span(start))
 
     def _parse_operation_name(self) -> str:
         token = self._peek()
@@ -238,7 +256,8 @@ class Parser:
 
     def _parse_with_clause(self, query: Query) -> None:
         while True:
-            first = self._expect(TokenType.IDENTIFIER).value
+            first_token = self._expect(TokenType.IDENTIFIER)
+            first = first_token.value
             if self._check(TokenType.DOT):
                 self._advance()
                 left_attribute = self._expect(TokenType.IDENTIFIER).value
@@ -255,6 +274,7 @@ class Parser:
                         operator=FilterOperator.from_symbol(operator_token.value),
                         right_event=right_event,
                         right_attribute=right_attribute,
+                        span=_span(first_token),
                     )
                 )
             else:
@@ -263,7 +283,12 @@ class Parser:
                     self._advance()
                     second = self._expect(TokenType.IDENTIFIER).value
                     query.temporal_relations.append(
-                        TemporalRelation(left=first, relation=relation_token.value, right=second)
+                        TemporalRelation(
+                            left=first,
+                            relation=relation_token.value,
+                            right=second,
+                            span=_span(first_token),
+                        )
                     )
                 else:
                     raise self._error("expected 'before', 'after' or '.attr' in the with clause")
@@ -277,12 +302,18 @@ class Parser:
             query.distinct = True
             self._advance()
         while True:
-            identifier = self._expect(TokenType.IDENTIFIER).value
+            identifier_token = self._expect(TokenType.IDENTIFIER)
             attribute = ""
             if self._check(TokenType.DOT):
                 self._advance()
                 attribute = self._expect(TokenType.IDENTIFIER).value
-            query.return_items.append(ReturnItem(identifier=identifier, attribute=attribute))
+            query.return_items.append(
+                ReturnItem(
+                    identifier=identifier_token.value,
+                    attribute=attribute,
+                    span=_span(identifier_token),
+                )
+            )
             if self._check(TokenType.COMMA):
                 self._advance()
                 continue

@@ -48,6 +48,7 @@ from repro.tbql.scheduler import ScheduledPattern
 from repro.tbql.semantics import AnalyzedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.tbql.analysis.diagnostics import AnalysisReport
     from repro.tbql.executor import TBQLExecutionEngine
 
 #: Cache key: (event id, has window, has subject ids, has object ids).
@@ -136,6 +137,9 @@ class PreparedQuery:
     #: would have produced; execution itself still uses the original patterns.
     window_hints: tuple[str, ...] = ()
     analyzed: AnalyzedQuery = field(init=False)
+    #: Static-analysis report from the engine's admission gate (``None`` when
+    #: the engine runs with ``analysis_mode="off"``).
+    analysis: "AnalysisReport | None" = field(init=False, default=None)
     schedule: list[ScheduledPattern] = field(init=False)
     _templates: dict[str, SelectQuery] = field(init=False, default_factory=dict)
     _plans: dict[PlanKey, _CachedPlan] = field(init=False, default_factory=dict)
@@ -145,6 +149,7 @@ class PreparedQuery:
 
     def __post_init__(self) -> None:
         self.analyzed = self.engine._analyzer.analyze(self.query)
+        self.analysis = self.engine.admission_check(self.query, self.analyzed)
         scheduler = self.engine._scheduler
         scheduling_query = self._scheduling_query()
         schedule = (

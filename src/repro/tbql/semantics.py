@@ -33,7 +33,15 @@ from repro.tbql.ast import (
     PathPattern,
     Query,
     ReturnItem,
+    SourceSpan,
 )
+
+
+def _fail(message: str, span: SourceSpan | None) -> TBQLSemanticError:
+    """Build a semantic error anchored at ``span`` (position 0 when absent)."""
+    if span is None:
+        return TBQLSemanticError(message)
+    return TBQLSemanticError(message, line=span.line, column=span.column)
 
 #: Event-table attributes addressable in explicit attribute relationships.
 EVENT_ATTRIBUTES = ("id", "srcid", "dstid", "optype", "starttime", "endtime", "amount")
@@ -94,26 +102,29 @@ class SemanticAnalyzer:
         for pattern in query.patterns:
             event_id = pattern.event_id
             if event_id in seen_event_ids:
-                raise TBQLSemanticError(f"duplicate event identifier {event_id!r}")
+                raise _fail(f"duplicate event identifier {event_id!r}", pattern.span)
             seen_event_ids.add(event_id)
             if pattern.subject.entity_type is not EntityType.PROCESS:
-                raise TBQLSemanticError(
+                raise _fail(
                     f"event {event_id!r}: the subject must be a 'proc' entity "
-                    f"(got {pattern.subject.entity_type.value!r})"
+                    f"(got {pattern.subject.entity_type.value!r})",
+                    pattern.subject.span,
                 )
             if isinstance(pattern, PathPattern):
                 # Validate hop bounds here, with a query-level message, instead
                 # of letting the graph backend raise a bare ValueError when the
                 # compiled pattern is constructed mid-execution.
                 if pattern.min_length < 1:
-                    raise TBQLSemanticError(
+                    raise _fail(
                         f"path pattern {event_id!r}: minimum length must be at least 1 "
-                        f"(got {pattern.min_length})"
+                        f"(got {pattern.min_length})",
+                        pattern.span,
                     )
                 if pattern.max_length < pattern.min_length:
-                    raise TBQLSemanticError(
+                    raise _fail(
                         f"path pattern {event_id!r}: maximum length {pattern.max_length} "
-                        f"is smaller than minimum length {pattern.min_length}"
+                        f"is smaller than minimum length {pattern.min_length}",
+                        pattern.span,
                     )
             for declaration in (pattern.subject, pattern.obj):
                 self._register_entity(declaration, event_id, analyzed)
@@ -135,9 +146,10 @@ class SemanticAnalyzer:
             )
             return
         if existing.entity_type is not declaration.entity_type:
-            raise TBQLSemanticError(
+            raise _fail(
                 f"entity {declaration.identifier!r} is declared as "
-                f"{existing.entity_type.value!r} and {declaration.entity_type.value!r}"
+                f"{existing.entity_type.value!r} and {declaration.entity_type.value!r}",
+                declaration.span,
             )
         existing.patterns.append(event_id)
 
@@ -161,9 +173,10 @@ class SemanticAnalyzer:
         attribute = comparison.attribute or DEFAULT_ATTRIBUTE[entity_type]
         valid = ENTITY_ATTRIBUTES[entity_type] + ("id", "type", "host")
         if attribute not in valid:
-            raise TBQLSemanticError(
+            raise _fail(
                 f"attribute {attribute!r} does not exist for "
-                f"{entity_type.value!r} entities (valid: {', '.join(valid)})"
+                f"{entity_type.value!r} entities (valid: {', '.join(valid)})",
+                comparison.span,
             )
 
     # -- operations -----------------------------------------------------------------
@@ -176,13 +189,15 @@ class SemanticAnalyzer:
                 try:
                     operation = Operation.from_string(name)
                 except ValueError:
-                    raise TBQLSemanticError(
-                        f"event {pattern.event_id!r}: unknown operation {name!r}"
+                    raise _fail(
+                        f"event {pattern.event_id!r}: unknown operation {name!r}",
+                        pattern.operation.span,
                     ) from None
                 if operation not in valid:
-                    raise TBQLSemanticError(
+                    raise _fail(
                         f"event {pattern.event_id!r}: operation {name!r} is not valid "
-                        f"for {event_type.value!r} events"
+                        f"for {event_type.value!r} events",
+                        pattern.operation.span,
                     )
 
     # -- with clause ------------------------------------------------------------------
@@ -192,24 +207,31 @@ class SemanticAnalyzer:
         for relation in query.temporal_relations:
             for event_id in (relation.left, relation.right):
                 if event_id not in declared:
-                    raise TBQLSemanticError(
-                        f"with clause references undeclared event {event_id!r}"
+                    raise _fail(
+                        f"with clause references undeclared event {event_id!r}",
+                        relation.span,
                     )
             if relation.left == relation.right:
-                raise TBQLSemanticError(
-                    f"temporal relation relates event {relation.left!r} to itself"
+                raise _fail(
+                    f"temporal relation relates event {relation.left!r} to itself",
+                    relation.span,
                 )
-        for relation in query.attribute_relations:
-            for event_id in (relation.left_event, relation.right_event):
+        for attribute_relation in query.attribute_relations:
+            for event_id in (attribute_relation.left_event, attribute_relation.right_event):
                 if event_id not in declared:
-                    raise TBQLSemanticError(
-                        f"with clause references undeclared event {event_id!r}"
+                    raise _fail(
+                        f"with clause references undeclared event {event_id!r}",
+                        attribute_relation.span,
                     )
-            for attribute in (relation.left_attribute, relation.right_attribute):
+            for attribute in (
+                attribute_relation.left_attribute,
+                attribute_relation.right_attribute,
+            ):
                 if attribute not in EVENT_ATTRIBUTES:
-                    raise TBQLSemanticError(
+                    raise _fail(
                         f"unknown event attribute {attribute!r} in attribute relationship "
-                        f"(valid: {', '.join(EVENT_ATTRIBUTES)})"
+                        f"(valid: {', '.join(EVENT_ATTRIBUTES)})",
+                        attribute_relation.span,
                     )
 
     # -- return clause -----------------------------------------------------------------
@@ -221,17 +243,21 @@ class SemanticAnalyzer:
         for item in query.return_items:
             entity = analyzed.entities.get(item.identifier)
             if entity is None:
-                raise TBQLSemanticError(
-                    f"return clause references undeclared entity {item.identifier!r}"
+                raise _fail(
+                    f"return clause references undeclared entity {item.identifier!r}",
+                    item.span,
                 )
             attribute = item.attribute or DEFAULT_ATTRIBUTE[entity.entity_type]
             valid = ENTITY_ATTRIBUTES[entity.entity_type] + ("id",)
             if attribute not in valid:
-                raise TBQLSemanticError(
+                raise _fail(
                     f"return item {item.identifier}.{attribute}: attribute does not exist "
-                    f"for {entity.entity_type.value!r} entities"
+                    f"for {entity.entity_type.value!r} entities",
+                    item.span,
                 )
-            resolved.append(ReturnItem(identifier=item.identifier, attribute=attribute))
+            resolved.append(
+                ReturnItem(identifier=item.identifier, attribute=attribute, span=item.span)
+            )
         query.return_items = resolved
 
     # -- implied joins ------------------------------------------------------------------

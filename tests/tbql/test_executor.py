@@ -7,7 +7,7 @@ import pytest
 from repro.auditing.workload.attacks import Figure2DataLeakageChain
 from repro.auditing.workload.base import ScenarioBuilder
 from repro.auditing.workload.benign import SoftwareUpdateWorkload
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TBQLAnalysisError
 from repro.storage.loader import AuditStore
 from repro.tbql.executor import TBQLExecutionEngine, execute_query
 
@@ -122,12 +122,17 @@ class TestMultiPatternExecution:
         assert result.rows[0][0] == "/bin/tar"
 
     def test_temporal_constraint_filters_out_of_order_chains(self, store):
-        # Reversing the order requirement (evt8 before evt1) must kill the match.
+        # Reversing the order requirement (evt8 before evt1) makes the
+        # ordering cyclic.  The static analyzer now proves that contradiction
+        # up front (TR104) and the default enforcing gate rejects the query;
+        # warn mode still executes it and must find nothing.
         reversed_query = FIG2_QUERY.replace(
             "with evt1 before evt2", "with evt8 before evt1, evt1 before evt2"
         )
-        result = execute_query(store, reversed_query)
-        assert len(result) == 0
+        with pytest.raises(TBQLAnalysisError, match="TR104"):
+            execute_query(store, reversed_query)
+        engine = TBQLExecutionEngine(store, analysis_mode="warn")
+        assert len(engine.execute(reversed_query)) == 0
 
     def test_entity_reuse_enforced(self, store):
         # f2 is written by tar and read by bzip2; requiring the same file id

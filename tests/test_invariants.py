@@ -1,0 +1,122 @@
+"""The repo-invariant AST lint: clean on the tree, sharp on violations."""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_invariants.py"
+
+
+@pytest.fixture(scope="module")
+def invariants():
+    spec = importlib.util.spec_from_file_location("check_invariants", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _check(invariants, checker_name: str, source: str):
+    checker = getattr(invariants, checker_name)
+    return checker(Path("synthetic.py"), ast.parse(source))
+
+
+class TestRepoIsClean:
+    def test_script_passes_on_the_repo(self):
+        completed = subprocess.run(
+            [sys.executable, str(SCRIPT)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "invariants OK" in completed.stdout
+
+
+class TestDeterminismCheck:
+    def test_flags_wall_clock_calls(self, invariants):
+        violations = _check(
+            invariants,
+            "check_determinism",
+            "import time\ndef f():\n    return time.time()\n",
+        )
+        assert len(violations) == 1
+        assert "wall-clock" in violations[0].message
+
+    def test_flags_datetime_now(self, invariants):
+        violations = _check(
+            invariants,
+            "check_determinism",
+            "from datetime import datetime\nx = datetime.now()\n",
+        )
+        assert len(violations) == 1
+
+    def test_flags_global_random(self, invariants):
+        violations = _check(
+            invariants,
+            "check_determinism",
+            "import random\ndef f():\n    return random.random()\n",
+        )
+        assert len(violations) == 1
+        assert "seeded random.Random" in violations[0].message
+
+    def test_allows_seeded_rng_instances(self, invariants):
+        violations = _check(
+            invariants,
+            "check_determinism",
+            "import random\ndef f(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n",
+        )
+        assert violations == []
+
+
+class TestFsyncBeforeReplaceCheck:
+    def test_flags_replace_without_fsync(self, invariants):
+        violations = _check(
+            invariants,
+            "check_fsync_before_replace",
+            "import os\ndef publish(tmp, final):\n    os.replace(tmp, final)\n",
+        )
+        assert len(violations) == 1
+        assert "os.fsync" in violations[0].message
+
+    def test_allows_fsync_then_replace(self, invariants):
+        violations = _check(
+            invariants,
+            "check_fsync_before_replace",
+            "import os\n"
+            "def publish(handle, tmp, final):\n"
+            "    os.fsync(handle.fileno())\n"
+            "    os.replace(tmp, final)\n",
+        )
+        assert violations == []
+
+
+class TestMutableDefaultCheck:
+    def test_flags_list_default(self, invariants):
+        violations = _check(
+            invariants, "check_mutable_defaults", "def f(items=[]):\n    pass\n"
+        )
+        assert len(violations) == 1
+        assert "mutable default" in violations[0].message
+
+    def test_flags_dict_keyword_default(self, invariants):
+        violations = _check(
+            invariants, "check_mutable_defaults", "def f(*, extra={}):\n    pass\n"
+        )
+        assert len(violations) == 1
+
+    def test_allows_none_and_immutable_defaults(self, invariants):
+        violations = _check(
+            invariants,
+            "check_mutable_defaults",
+            "def f(items=None, name='x', count=0, pair=()):\n    pass\n",
+        )
+        assert violations == []
