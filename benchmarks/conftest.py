@@ -8,7 +8,9 @@ so individual benchmarks measure query/extraction work, not data generation.
 from __future__ import annotations
 
 import json
+import subprocess
 import time
+import uuid
 from pathlib import Path
 from typing import Any
 
@@ -54,25 +56,49 @@ def build_store(simulation: SimulationResult, apply_reduction: bool = True) -> A
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 
 
+def _current_git_sha() -> str | None:
+    """The working tree's commit SHA, or ``None`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
 class BenchResultsRecorder:
     """Appends machine-readable benchmark timings to ``BENCH_results.json``.
 
     Each recorded entry is a flat JSON object with at least ``benchmark`` (a
-    stable name), ``recorded_at`` (ISO timestamp) and whatever numeric fields
-    the benchmark passes (seconds, event counts, speedup ratios).  Entries
-    from earlier runs are preserved: the file is a JSON array that only ever
-    grows, so it doubles as the perf trajectory across PRs.
+    stable name), ``recorded_at`` (ISO timestamp), ``run_id`` (one random id
+    shared by every record of a recorder session, so one run's records can be
+    told apart from re-runs), ``git_sha`` (the commit measured, ``None``
+    outside a git checkout) and whatever numeric fields the benchmark passes
+    (seconds, event counts, speedup ratios).  Entries from earlier runs are
+    preserved: the file is a JSON array that only ever grows, so it doubles
+    as the perf trajectory across PRs.
     """
 
     def __init__(self, path: Path) -> None:
         self._path = path
         self._entries: list[dict[str, Any]] = []
+        self.run_id = uuid.uuid4().hex[:12]
+        self.git_sha = _current_git_sha()
 
     def record(self, benchmark: str, **fields: Any) -> dict[str, Any]:
         """Queue one measurement for writing at session teardown."""
         entry: dict[str, Any] = {
             "benchmark": benchmark,
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "run_id": self.run_id,
+            "git_sha": self.git_sha,
         }
         entry.update(fields)
         self._entries.append(entry)

@@ -1,0 +1,187 @@
+"""EXP-SEGMENTS — durable segmented storage: scan cost, pruning, shard fanout.
+
+Three measurements over the planted-chain synthetic trace (the same generator
+as EXP-COLUMNAR so timings are comparable):
+
+* **Scan cost** — the same time-windowed join executed on the in-memory
+  relational store and on the segmented store (sealed to ~32 on-disk
+  segments).  The segmented store answers from mmap-backed column files and
+  prunes non-overlapping segments on footer min/max stats, so the windowed
+  query should not pay for the full trace.
+* **Prune selectivity** — the acceptance criterion (ISSUE 9): on a ≥200k-event
+  suite a 10%-of-timeline window must prune **≥50%** of sealed segments.
+* **Per-shard standing-query fanout** — a 4-shard pipeline with host-spread
+  data executes prepared hunts on every shard and merges; throughput is
+  recorded and the shared plan cache must show one compile serving all
+  shards (hits ≥ shards − 1).
+
+Set ``SEGMENT_BENCH_EVENTS`` (e.g. ``20000``) for the CI smoke version — the
+selectivity floor is then relaxed to "pruning happened at all" (few segments
+make the ratio noisy) and only result equivalence is gated.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.test_bench_columnar_engine import build_columnar_trace
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import ThreatRaptor
+from repro.storage.relational.database import RelationalDatabase
+from repro.storage.relational.expression import Between, Column, Comparison, Literal
+from repro.storage.relational.query import SelectQuery
+from repro.storage.segment import SegmentedRelationalDatabase
+from repro.tbql.prepared import ShardedPreparedQuery
+
+#: Full-scale event count (the acceptance criterion's ≥200k floor).
+FULL_SCALE_EVENTS = 200_000
+EVENTS = int(os.environ.get("SEGMENT_BENCH_EVENTS", str(FULL_SCALE_EVENTS)))
+FULL_SCALE = EVENTS >= FULL_SCALE_EVENTS
+
+#: Seal threshold chosen so the trace spans ~32 segments at any scale.
+SEGMENT_ROWS = max(1_024, EVENTS // 32)
+
+SHARDS = 4
+
+#: Standing hunts for the fanout measurement: the planted exfiltration chain
+#: plus two selective single-pattern hunts.
+FANOUT_QUERIES = (
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return distinct p, f',
+    'proc p["%curl%"] read file f["%upload%"] as e1 return distinct p, f',
+    (
+        'proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1 '
+        'proc p write file f2["%/tmp/upload%"] as e2 '
+        "with e1 before e2 return distinct p, f1, f2"
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_columnar_trace(EVENTS)
+
+
+def _windowed_query(trace) -> SelectQuery:
+    """A selective join over the middle 10% of the trace's timeline."""
+    low = trace.events[0].start_time
+    high = trace.events[-1].start_time
+    span = high - low
+    window_low = low + int(span * 0.45)
+    window_high = low + int(span * 0.55)
+    query = SelectQuery()
+    query.add_table("events", "e")
+    query.add_table("entities", "s")
+    query.add_join("e", "srcid", "s", "id")
+    query.add_filter("e", Comparison(Column("optype"), "=", Literal("read")))
+    query.add_filter("e", Between(Column("starttime"), window_low, window_high))
+    query.add_output("s", "exename", "subject")
+    query.add_output("e", "id", "event")
+    return query
+
+
+def test_segment_scan_vs_in_memory(trace, tmp_path_factory, bench_results):
+    """Windowed scans: segmented store (with pruning) vs the in-memory store."""
+    memory = RelationalDatabase()
+    memory.load_trace(trace)
+    segmented = SegmentedRelationalDatabase(
+        tmp_path_factory.mktemp("segments"), segment_rows=SEGMENT_ROWS
+    )
+    segmented.load_trace(trace)
+    segmented.seal()
+    query = _windowed_query(trace)
+
+    started = time.perf_counter()
+    expected = memory.execute(query)
+    memory_seconds = time.perf_counter() - started
+
+    segmented.execute(query)  # warm the per-segment readers (mmap + decode)
+    segmented.reset_scan_counters()
+    started = time.perf_counter()
+    actual = segmented.execute(query)
+    segmented_seconds = time.perf_counter() - started
+
+    assert sorted(actual.rows) == sorted(expected.rows)
+    stats = segmented.statistics()["segments"]
+    bench_results.record(
+        "segment_store/scan_vs_memory",
+        events=EVENTS,
+        full_scale=FULL_SCALE,
+        segments=stats["count"],
+        memory_seconds=round(memory_seconds, 6),
+        segmented_seconds=round(segmented_seconds, 6),
+        speedup=round(memory_seconds / max(segmented_seconds, 1e-9), 3),
+        rows=len(actual.rows),
+    )
+
+
+def test_segment_prune_selectivity(trace, tmp_path_factory, bench_results):
+    """Acceptance: a 10% time window prunes ≥50% of segments at full scale."""
+    segmented = SegmentedRelationalDatabase(
+        tmp_path_factory.mktemp("segments"), segment_rows=SEGMENT_ROWS
+    )
+    segmented.load_trace(trace)
+    segmented.seal()
+    assert segmented.sealed_segments >= 4
+
+    segmented.reset_scan_counters()
+    segmented.execute(_windowed_query(trace))
+    stats = segmented.statistics()["segments"]
+    total = stats["pruned"] + stats["scanned"]
+    selectivity = stats["pruned"] / total if total else 0.0
+
+    bench_results.record(
+        "segment_store/prune_selectivity",
+        events=EVENTS,
+        full_scale=FULL_SCALE,
+        segments=segmented.sealed_segments,
+        pruned=stats["pruned"],
+        scanned=stats["scanned"],
+        prune_selectivity=round(selectivity, 4),
+    )
+    if FULL_SCALE:
+        assert selectivity >= 0.5, (
+            f"pruned only {stats['pruned']}/{total} segments for a 10% window"
+        )
+    else:
+        assert stats["pruned"] > 0  # smoke: pruning must at least engage
+
+
+def test_per_shard_standing_query_fanout(trace, bench_results):
+    """Prepared hunts fan out across 4 shards from one compiled plan."""
+    raptor = ThreatRaptor(ThreatRaptorConfig(shards=SHARDS))
+    raptor.load_trace(trace)
+    prepared = [raptor.prepare_query(text) for text in FANOUT_QUERIES]
+    assert all(isinstance(plan, ShardedPreparedQuery) for plan in prepared)
+
+    # Warm once (compiles each plan exactly once, on the first engine).
+    for plan in prepared:
+        plan.execute()
+
+    repeats = 5
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for plan in prepared:
+            plan.execute()
+    elapsed = time.perf_counter() - started
+    executions = repeats * len(prepared)
+
+    # One compile serves every shard: after warmup each plan's cache shows at
+    # least shards − 1 hits (the acceptance criterion's floor).
+    for plan in prepared:
+        assert plan.cache_info()["hits"] >= SHARDS - 1
+
+    bench_results.record(
+        "segment_store/sharded_fanout",
+        events=EVENTS,
+        full_scale=FULL_SCALE,
+        shards=SHARDS,
+        hunts=len(prepared),
+        hunts_per_second=round(executions / max(elapsed, 1e-9), 2),
+        shard_executions_per_second=round(
+            executions * SHARDS / max(elapsed, 1e-9), 2
+        ),
+        plan_cache=raptor.plan_cache.info() if raptor.plan_cache else {},
+    )

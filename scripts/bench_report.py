@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Print the latest recorded result for every benchmark in BENCH_results.json.
+
+``BENCH_results.json`` is an append-only array — every benchmark run adds one
+entry per measurement, stamped with the commit (``git_sha``) and a per-session
+``run_id`` by :class:`benchmarks.conftest.BenchResultsRecorder`.  That makes
+the file a perf trajectory, but reading the *current* numbers out of 150+
+historical entries is tedious.  This script groups entries by benchmark name,
+keeps the most recent one each (file order — the recorder only appends), and
+prints a compact report:
+
+    $ python scripts/bench_report.py
+    columnar_engine_vs_row_dicts  2026-08-08T13:37:02+0000  a1b2c3d
+        speedup=11.4 rows=40960 ...
+
+Use ``--json`` for machine-readable output (a ``{benchmark: entry}`` map).
+
+Exit status: 0 on success, 1 when the results file is missing or unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
+
+#: Bookkeeping fields shown in the header line rather than the metrics body.
+_META_FIELDS = ("benchmark", "recorded_at", "git_sha", "run_id")
+
+
+def load_entries(path: Path) -> list[dict[str, Any]]:
+    """All recorded entries, oldest first (the recorder only ever appends)."""
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"bench_report: no results file at {path}")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_report: cannot read {path}: {exc}")
+    if not isinstance(loaded, list):
+        raise SystemExit(f"bench_report: {path} is not a JSON array")
+    return [entry for entry in loaded if isinstance(entry, dict) and "benchmark" in entry]
+
+
+def latest_per_benchmark(entries: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """The most recent entry for each benchmark name, in first-seen order."""
+    latest: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        latest[str(entry["benchmark"])] = entry
+    return latest
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render(latest: dict[str, dict[str, Any]]) -> str:
+    """Human-readable report: one header + metric lines per benchmark."""
+    lines: list[str] = []
+    for name in sorted(latest):
+        entry = latest[name]
+        sha = entry.get("git_sha") or "-"
+        header = f"{name}  {entry.get('recorded_at', '-')}  {str(sha)[:12]}"
+        if entry.get("run_id"):
+            header += f"  run={entry['run_id']}"
+        lines.append(header)
+        metrics = {k: v for k, v in entry.items() if k not in _META_FIELDS}
+        if metrics:
+            body = "  ".join(f"{k}={_format_value(v)}" for k, v in metrics.items())
+            lines.append(f"    {body}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Print the latest result per benchmark from BENCH_results.json."
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=DEFAULT_RESULTS_PATH,
+        help="results file to read (default: repo-root BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a {benchmark: latest-entry} JSON map instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    latest = latest_per_benchmark(load_entries(args.path))
+    try:
+        if args.json:
+            print(json.dumps(latest, indent=2, sort_keys=True))
+        else:
+            print(render(latest))
+    except BrokenPipeError:  # piped to head/less that closed early — not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

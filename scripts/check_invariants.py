@@ -9,9 +9,12 @@ know about:
   ``time.time_ns()``, no ``datetime.now()`` / ``utcnow()`` / ``today()``, and
   no module-level ``random.*`` calls (seeded ``random.Random`` instances are
   fine).
-* **Durability in ``streaming/``** — every ``os.replace`` in the streaming
-  persistence layer must be preceded by an ``os.fsync`` in the same function,
-  otherwise a crash can publish a checkpoint whose bytes never hit the disk.
+* **Durability (repo-wide)** — every ``os.replace`` must be preceded by an
+  ``os.fsync`` in the same function, otherwise a crash can publish a
+  checkpoint or segment manifest whose bytes never hit the disk.  The rule
+  started in ``streaming/`` (checkpoints) and now covers the whole tree
+  because ``storage/segment/`` publishes manifests and sealed segment
+  directories with the same write-temp → fsync → replace idiom.
 * **No mutable default arguments** (repo-wide) — a ``def f(x=[])`` style
   default is shared across calls and has produced real state-bleed bugs in
   exactly the kind of long-lived service this repo builds.
@@ -107,10 +110,11 @@ def check_determinism(path: Path, tree: ast.Module) -> list[Violation]:
 def check_fsync_before_replace(path: Path, tree: ast.Module) -> list[Violation]:
     """Every ``os.replace`` must follow an ``os.fsync`` in the same function.
 
-    The streaming persistence layer's atomic-publish idiom is
-    write-temp → fsync → ``os.replace``; a replace without a preceding fsync
-    can publish a file whose contents are still in the page cache when the
-    machine dies.
+    The atomic-publish idiom shared by the streaming persistence layer
+    (checkpoints, alert journals) and the segmented store (column files,
+    segment directories, the manifest) is write-temp → fsync →
+    ``os.replace``; a replace without a preceding fsync can publish a file
+    whose contents are still in the page cache when the machine dies.
     """
     violations: list[Violation] = []
     functions = [
@@ -168,8 +172,7 @@ def run() -> int:
         relative = path.relative_to(SRC_ROOT).as_posix()
         if relative.startswith("scenarios/"):
             violations.extend(check_determinism(path, tree))
-        if relative.startswith("streaming/"):
-            violations.extend(check_fsync_before_replace(path, tree))
+        violations.extend(check_fsync_before_replace(path, tree))
         violations.extend(check_mutable_defaults(path, tree))
     for violation in violations:
         print(violation.render())

@@ -136,6 +136,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "existing checkpoint there is resumed (no alert re-emitted)"
         ),
     )
+    watch.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "store audit data durably in this directory as time-partitioned "
+            "on-disk segments (storage='segments'); reopening the directory "
+            "restores the stored data"
+        ),
+    )
+    watch.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition audit storage by host across this many shards (default: 1)",
+    )
 
     corpus = subparsers.add_parser(
         "corpus",
@@ -160,6 +175,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     corpus.add_argument(
         "--alerts", default=None, help="also append alerts as JSON lines to this file"
+    )
+    corpus.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "store audit data durably in this directory as time-partitioned "
+            "on-disk segments (storage='segments')"
+        ),
+    )
+    corpus.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition audit storage by host across this many shards (default: 1)",
     )
 
     lint = subparsers.add_parser(
@@ -313,12 +342,28 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _storage_config(args: argparse.Namespace) -> ThreatRaptorConfig | None:
+    """Pipeline config for the ``--data-dir`` / ``--shards`` storage flags.
+
+    Returns ``None`` (pipeline defaults) when neither flag was given.
+    """
+    data_dir = getattr(args, "data_dir", None)
+    shards = getattr(args, "shards", 1)
+    if data_dir is None and shards == 1:
+        return None
+    return ThreatRaptorConfig(
+        storage="segments" if data_dir is not None else "memory",
+        data_dir=data_dir,
+        shards=shards,
+    )
+
+
 def _command_watch(args: argparse.Namespace) -> int:
     from repro.streaming import CallbackSink, JSONLSink, LogTailSource
 
     with open(args.report, "r", encoding="utf-8") as handle:
         text = handle.read()
-    raptor = ThreatRaptor()
+    raptor = ThreatRaptor(_storage_config(args))
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     service = raptor.watch(
         text, name="watch", batch_size=args.batch_size, checkpoint_dir=checkpoint_dir
@@ -376,7 +421,7 @@ def _command_corpus(args: argparse.Namespace) -> int:
     from repro.streaming import CallbackSink, JSONLSink, LogTailSource
 
     corpus = _load_corpus(args.reports)
-    raptor = ThreatRaptor()
+    raptor = ThreatRaptor(_storage_config(args))
     result = raptor.hunt_corpus(
         corpus, workers=args.workers, batch_size=args.batch_size
     )

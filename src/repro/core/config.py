@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
@@ -35,6 +35,16 @@ class ThreatRaptorConfig:
             diagnostics reject a query before it runs or registers, the
             default), ``"warn"`` (analyze and report, never reject) or
             ``"off"`` (skip analysis entirely).
+        storage: ``"memory"`` (in-memory relational store) or ``"segments"``
+            (durable on-disk segmented store; see
+            :mod:`repro.storage.segment`).
+        shards: Number of host-partitioned audit-store shards (1 = the
+            single-store layout; >1 builds a
+            :class:`~repro.storage.sharded.ShardedAuditStore`).
+        data_dir: Data directory for ``storage="segments"`` (each shard owns
+            a subdirectory when sharded).  ``None`` with segmented storage
+            uses a store-owned temporary directory.
+        segment_rows: Memtable seal threshold for the segmented store.
     """
 
     apply_reduction: bool = True
@@ -48,6 +58,10 @@ class ThreatRaptorConfig:
     relational_executor: str = "vectorized"
     graph_matcher: str = "planner"
     analysis_mode: str = "enforce"
+    storage: str = "memory"
+    shards: int = 1
+    data_dir: str | None = None
+    segment_rows: int = 4096
 
     def validate(self) -> "ThreatRaptorConfig":
         """Validate the configuration, returning ``self`` for chaining.
@@ -74,6 +88,20 @@ class ThreatRaptorConfig:
             raise ConfigurationError(
                 f"analysis_mode must be 'enforce', 'warn' or 'off', "
                 f"got {self.analysis_mode!r}"
+            )
+        if self.storage not in ("memory", "segments"):
+            raise ConfigurationError(
+                f"storage must be 'memory' or 'segments', got {self.storage!r}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be at least 1, got {self.shards}")
+        if self.data_dir is not None and self.storage != "segments":
+            raise ConfigurationError(
+                "data_dir is only meaningful with storage='segments'"
+            )
+        if self.segment_rows < 1:
+            raise ConfigurationError(
+                f"segment_rows must be at least 1, got {self.segment_rows}"
             )
         if self.synthesis_path_max_length < 1:
             raise ConfigurationError("synthesis_path_max_length must be at least 1")

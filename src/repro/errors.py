@@ -28,6 +28,16 @@ class QueryError(StorageError):
     """Raised when a backend data query is malformed or cannot be executed."""
 
 
+class SegmentError(StorageError):
+    """Raised when an on-disk segment is torn, truncated or otherwise corrupt.
+
+    The segmented store must never silently serve a partial segment: a column
+    file whose bytes do not round-trip (bad magic, short payload, checksum
+    mismatch) or a manifest that cannot be decoded raises this instead of
+    degrading into wrong query answers.
+    """
+
+
 class ExtractionError(ThreatRaptorError):
     """Raised when the NLP extraction pipeline cannot process an OSCTI report."""
 

@@ -40,6 +40,12 @@ class EngineConfiguration:
     * ``crash_resume`` — the streaming run is additionally killed at a batch
       boundary and resumed from checkpoint + alert journal
       (:mod:`repro.scenarios.faults`); recovery must not change the answers.
+    * ``storage`` — in-memory relational store vs. the durable on-disk
+      segmented store (:mod:`repro.storage.segment`), each run owning a
+      temporary data directory;
+    * ``shards`` — a single audit store vs. a host-partitioned
+      :class:`~repro.storage.sharded.ShardedAuditStore` whose per-shard
+      results merge through the shared plan cache.
     """
 
     name: str
@@ -49,6 +55,12 @@ class EngineConfiguration:
     streaming: bool = False
     graph_matcher: str = "planner"
     crash_resume: bool = False
+    storage: str = "memory"
+    shards: int = 1
+    #: Deliberately small seal threshold so campaign-sized traces produce
+    #: several sealed segments per run — exercising seal/prune/merge paths,
+    #: not just the memtable.
+    segment_rows: int = 256
 
     def pipeline_config(self) -> ThreatRaptorConfig:
         """The :class:`ThreatRaptorConfig` this configuration stands for."""
@@ -56,6 +68,9 @@ class EngineConfiguration:
             execution_backend=self.backend,
             relational_executor=self.relational_executor,
             graph_matcher=self.graph_matcher,
+            storage=self.storage,
+            shards=self.shards,
+            segment_rows=self.segment_rows,
         )
 
 
@@ -76,6 +91,23 @@ ENGINE_CONFIGURATIONS: tuple[EngineConfiguration, ...] = (
         prepared=True,
         streaming=True,
         crash_resume=True,
+    ),
+    EngineConfiguration(name="segments-adhoc-batch", storage="segments"),
+    EngineConfiguration(
+        name="segments-prepared-streaming",
+        prepared=True,
+        streaming=True,
+        storage="segments",
+    ),
+    EngineConfiguration(name="sharded4-prepared-batch", prepared=True, shards=4),
+    EngineConfiguration(name="sharded4-graph-prepared-batch", backend="graph", prepared=True, shards=4),
+    EngineConfiguration(
+        name="sharded4-segments-prepared-streaming-crashresume",
+        prepared=True,
+        streaming=True,
+        crash_resume=True,
+        storage="segments",
+        shards=4,
     ),
 )
 

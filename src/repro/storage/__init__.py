@@ -3,5 +3,16 @@
 from repro.storage.graph import GraphDatabase
 from repro.storage.loader import AppendReport, AuditStore, LoadReport
 from repro.storage.relational import RelationalDatabase
+from repro.storage.segment import SegmentedRelationalDatabase
+from repro.storage.sharded import ShardedAuditStore, shard_for_host
 
-__all__ = ["AppendReport", "AuditStore", "GraphDatabase", "LoadReport", "RelationalDatabase"]
+__all__ = [
+    "AppendReport",
+    "AuditStore",
+    "GraphDatabase",
+    "LoadReport",
+    "RelationalDatabase",
+    "SegmentedRelationalDatabase",
+    "ShardedAuditStore",
+    "shard_for_host",
+]

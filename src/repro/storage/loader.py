@@ -22,15 +22,19 @@ Two loading modes are supported:
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable
 
-from repro.auditing.entities import SystemEntity
-from repro.auditing.events import SystemEvent
+from repro.auditing.entities import SystemEntity, entity_from_row
+from repro.auditing.events import SystemEvent, event_from_row
 from repro.auditing.reduction import CausalityPreservedReducer, ReductionStats
 from repro.auditing.trace import AuditTrace
+from repro.errors import StorageError
 from repro.storage.graph.graphdb import GraphDatabase
 from repro.storage.relational.database import RelationalDatabase
+from repro.storage.segment.database import DEFAULT_SEGMENT_ROWS, SegmentedRelationalDatabase
 
 
 @dataclass
@@ -74,6 +78,15 @@ class AuditStore:
         relational_executor: ``"vectorized"`` (columnar engine) or
             ``"reference"`` (row-dict oracle) — see
             :class:`~repro.storage.relational.database.RelationalDatabase`.
+        storage: ``"memory"`` (the in-memory relational store, the default) or
+            ``"segments"`` (the durable
+            :class:`~repro.storage.segment.database.SegmentedRelationalDatabase`).
+        data_dir: Segment data directory.  Only meaningful with
+            ``storage="segments"``; when omitted the store owns a temporary
+            directory for its lifetime (durable across :meth:`reset`, not
+            across processes).  Reopening a directory that already holds
+            sealed segments rehydrates both backends from it.
+        segment_rows: Memtable seal threshold for the segmented store.
     """
 
     def __init__(
@@ -81,8 +94,26 @@ class AuditStore:
         apply_reduction: bool = True,
         merge_window_ns: int | None = 10_000_000_000,
         relational_executor: str = "vectorized",
+        storage: str = "memory",
+        data_dir: str | Path | None = None,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
     ) -> None:
-        self.relational = RelationalDatabase(executor=relational_executor)
+        if storage not in ("memory", "segments"):
+            raise StorageError(f"unknown storage backend {storage!r}")
+        self.storage = storage
+        self._owned_data_dir: tempfile.TemporaryDirectory[str] | None = None
+        self.relational: RelationalDatabase | SegmentedRelationalDatabase
+        if storage == "segments":
+            if data_dir is None:
+                self._owned_data_dir = tempfile.TemporaryDirectory(prefix="segments-")
+                data_dir = self._owned_data_dir.name
+            self.data_dir: Path | None = Path(data_dir)
+            self.relational = SegmentedRelationalDatabase(
+                self.data_dir, executor=relational_executor, segment_rows=segment_rows
+            )
+        else:
+            self.data_dir = None
+            self.relational = RelationalDatabase(executor=relational_executor)
         self.graph = GraphDatabase()
         self._apply_reduction = apply_reduction
         self._reducer = CausalityPreservedReducer(merge_window_ns=merge_window_ns)
@@ -90,6 +121,29 @@ class AuditStore:
         self._loaded_trace: AuditTrace | None = None
         self._owns_loaded_trace = False
         self._known_entity_ids: set[int] = set()
+        if storage == "segments":
+            self._rehydrate_from_segments()
+
+    def _rehydrate_from_segments(self) -> None:
+        """Rebuild in-memory state from rows a reopened data directory holds.
+
+        Persisted rows are post-reduction, so the rehydrated trace is the
+        reduced trace the previous process stored; the malicious-event ground
+        truth is not part of the audit schema and does not survive restarts.
+        """
+        assert isinstance(self.relational, SegmentedRelationalDatabase)
+        entity_rows = list(self.relational.table("entities").scan())
+        event_rows = list(self.relational.table("events").scan())
+        if not entity_rows and not event_rows:
+            return
+        entities = [entity_from_row(row) for row in entity_rows]
+        events = [event_from_row(row) for row in event_rows]
+        host = entities[0].host if entities else "localhost"
+        trace = AuditTrace(host=host, entities=entities, events=events)
+        self.graph.load_trace(trace)
+        self._loaded_trace = trace
+        self._owns_loaded_trace = True
+        self._known_entity_ids = {entity.entity_id for entity in entities}
 
     def reset(self) -> None:
         """Drop all stored data and incremental-reduction state."""
@@ -181,17 +235,22 @@ class AuditStore:
         return report
 
     def flush(self) -> AppendReport:
-        """Seal and store every pending event (end of stream / on demand)."""
+        """Seal and store every pending event (end of stream / on demand).
+
+        With segmented storage this also seals the memtable to disk, so a
+        flushed store is fully durable regardless of the seal threshold.
+        """
         report = AppendReport()
-        if self._incremental is None:
-            return report
-        sealed = self._incremental.flush()
-        self._store_increment(
-            [],
-            [item.event for item in sealed],
-            {item.event.event_id for item in sealed if item.malicious},
-            report,
-        )
+        if self._incremental is not None:
+            sealed = self._incremental.flush()
+            self._store_increment(
+                [],
+                [item.event for item in sealed],
+                {item.event.event_id for item in sealed if item.malicious},
+                report,
+            )
+        if isinstance(self.relational, SegmentedRelationalDatabase):
+            self.relational.seal()
         return report
 
     def _store_increment(

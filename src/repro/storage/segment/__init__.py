@@ -1,0 +1,32 @@
+"""Durable, time-partitioned segment storage for the audit tables.
+
+The package splits into the on-disk codec layer
+(:mod:`~repro.storage.segment.columnio`), the atomic manifest
+(:mod:`~repro.storage.segment.manifest`), sealed-segment read/write
+(:mod:`~repro.storage.segment.segment`) and the drop-in database
+(:mod:`~repro.storage.segment.database`).
+"""
+
+from repro.storage.segment.columnio import (
+    COLUMN_FORMAT_VERSION,
+    ColumnReader,
+    write_int_column,
+    write_string_column,
+)
+from repro.storage.segment.database import DEFAULT_SEGMENT_ROWS, SegmentedRelationalDatabase
+from repro.storage.segment.manifest import MANIFEST_NAME, MANIFEST_VERSION, SegmentManifest
+from repro.storage.segment.segment import SegmentReader, write_segment
+
+__all__ = [
+    "COLUMN_FORMAT_VERSION",
+    "ColumnReader",
+    "DEFAULT_SEGMENT_ROWS",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "SegmentManifest",
+    "SegmentReader",
+    "SegmentedRelationalDatabase",
+    "write_int_column",
+    "write_segment",
+    "write_string_column",
+]

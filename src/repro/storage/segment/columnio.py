@@ -1,0 +1,228 @@
+"""Typed on-disk column files for the segment store.
+
+Each sealed segment stores one file per column, in one of two codecs:
+
+* **int columns** (``TRCI``) — a null-presence bitmap followed by the values
+  struct-packed as little-endian signed 64-bit integers (timestamps, event
+  and entity ids, ports, byte amounts all fit);
+* **string columns** (``TRCS``) — a dictionary block of distinct UTF-8 values
+  followed by the same presence bitmap and one packed ``uint32`` code per
+  row.  Audit-log string columns (operation types, hosts, executable names)
+  are extremely low-cardinality, so dictionary encoding keeps segments small
+  and decoding allocation-light: every row of a value shares one Python
+  string object.
+
+Both codecs end with a CRC32 (:func:`zlib.crc32`) over everything before it.
+Readers are **mmap-backed**: opening a column maps the file and verifies only
+the fixed-size header; the payload is checksummed and decoded lazily on first
+:meth:`ColumnReader.values` call, so opening a store with many segments does
+not read them all.  Any structural problem — wrong magic, truncated payload,
+checksum mismatch — raises :class:`~repro.errors.SegmentError`; a torn file
+can never silently serve partial data.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import SegmentError
+
+#: Codec magics (4 bytes each).
+INT_MAGIC = b"TRCI"
+STRING_MAGIC = b"TRCS"
+
+#: Bump when the on-disk layout changes incompatibly.
+COLUMN_FORMAT_VERSION = 1
+
+#: Fixed header: magic(4) + version(<H) + row_count(<Q).
+_HEADER = struct.Struct("<4sHQ")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+
+
+def _presence_bitmap(values: Sequence[Any]) -> bytes:
+    bitmap = bytearray((len(values) + 7) // 8)
+    for position, value in enumerate(values):
+        if value is not None:
+            bitmap[position >> 3] |= 1 << (position & 7)
+    return bytes(bitmap)
+
+
+def _is_present(bitmap: bytes, position: int) -> bool:
+    return bool(bitmap[position >> 3] & (1 << (position & 7)))
+
+
+def write_int_column(path: Path, values: Sequence[int | None]) -> dict[str, Any]:
+    """Write ``values`` as an int column file; returns the column's stats.
+
+    The file is flushed and fsynced before returning so a subsequent
+    manifest publish cannot reference bytes still in the page cache.
+    """
+    payload = bytearray()
+    payload += _HEADER.pack(INT_MAGIC, COLUMN_FORMAT_VERSION, len(values))
+    payload += _presence_bitmap(values)
+    for value in values:
+        payload += _I64.pack(0 if value is None else int(value))
+    payload += _U32.pack(zlib.crc32(bytes(payload)))
+    with open(path, "wb") as handle:
+        handle.write(bytes(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    present = [value for value in values if value is not None]
+    return {
+        "codec": "int",
+        "rows": len(values),
+        "nulls": len(values) - len(present),
+        "min": min(present) if present else None,
+        "max": max(present) if present else None,
+    }
+
+
+def write_string_column(path: Path, values: Sequence[str | None]) -> dict[str, Any]:
+    """Write ``values`` as a dictionary-encoded string column file."""
+    dictionary: dict[str, int] = {}
+    codes: list[int] = []
+    for value in values:
+        if value is None:
+            codes.append(0)
+            continue
+        code = dictionary.get(value)
+        if code is None:
+            code = len(dictionary)
+            dictionary[value] = code
+        codes.append(code)
+    payload = bytearray()
+    payload += _HEADER.pack(STRING_MAGIC, COLUMN_FORMAT_VERSION, len(values))
+    payload += _U32.pack(len(dictionary))
+    for value in dictionary:
+        encoded = value.encode("utf-8")
+        payload += _U32.pack(len(encoded))
+        payload += encoded
+    payload += _presence_bitmap(values)
+    for code in codes:
+        payload += _U32.pack(code)
+    payload += _U32.pack(zlib.crc32(bytes(payload)))
+    with open(path, "wb") as handle:
+        handle.write(bytes(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    present = [value for value in values if value is not None]
+    return {
+        "codec": "string",
+        "rows": len(values),
+        "nulls": len(values) - len(present),
+        "distinct": len(dictionary),
+        "min": min(present) if present else None,
+        "max": max(present) if present else None,
+    }
+
+
+class ColumnReader:
+    """Lazy mmap-backed reader for one column file.
+
+    Construction maps the file and validates only the header (magic, codec
+    version, row count); :meth:`values` checksums and decodes the payload on
+    first call and memoizes the result.  All structural failures raise
+    :class:`SegmentError` naming the offending file.
+    """
+
+    def __init__(self, path: Path, expected_rows: int | None = None) -> None:
+        self._path = path
+        self._values: list[Any] | None = None
+        try:
+            with open(path, "rb") as handle:
+                self._map: mmap.mmap | bytes
+                try:
+                    self._map = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except (ValueError, OSError):
+                    # Zero-length files cannot be mapped; fall back to bytes so
+                    # the header check below reports truncation uniformly.
+                    self._map = handle.read()
+        except OSError as exc:
+            raise SegmentError(f"cannot open column file {path}: {exc}") from exc
+        if len(self._map) < _HEADER.size + _U32.size:
+            raise SegmentError(f"column file {path} is truncated (no header)")
+        magic, version, rows = _HEADER.unpack_from(self._map, 0)
+        if magic not in (INT_MAGIC, STRING_MAGIC):
+            raise SegmentError(f"column file {path} has unknown magic {magic!r}")
+        if version != COLUMN_FORMAT_VERSION:
+            raise SegmentError(
+                f"column file {path} has format version {version}, "
+                f"expected {COLUMN_FORMAT_VERSION}"
+            )
+        self._magic = magic
+        self.rows = rows
+        if expected_rows is not None and rows != expected_rows:
+            raise SegmentError(
+                f"column file {path} holds {rows} rows, manifest expects {expected_rows}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def values(self) -> list[Any]:
+        """Decode (checksumming first) and memoize the column's values."""
+        if self._values is None:
+            self._values = self._decode()
+        return self._values
+
+    # -- internal ------------------------------------------------------------
+
+    def _decode(self) -> list[Any]:
+        data = self._map
+        body_end = len(data) - _U32.size
+        (stored_crc,) = _U32.unpack_from(data, body_end)
+        if zlib.crc32(bytes(data[:body_end])) != stored_crc:
+            raise SegmentError(f"column file {self._path} failed its CRC32 check")
+        offset = _HEADER.size
+        rows = self.rows
+        try:
+            if self._magic == STRING_MAGIC:
+                (dict_size,) = _U32.unpack_from(data, offset)
+                offset += _U32.size
+                dictionary: list[str] = []
+                for _ in range(dict_size):
+                    (length,) = _U32.unpack_from(data, offset)
+                    offset += _U32.size
+                    dictionary.append(bytes(data[offset : offset + length]).decode("utf-8"))
+                    offset += length
+                bitmap = bytes(data[offset : offset + (rows + 7) // 8])
+                offset += (rows + 7) // 8
+                if body_end - offset != rows * _U32.size:
+                    raise SegmentError(
+                        f"column file {self._path} payload does not match its row count"
+                    )
+                values: list[Any] = []
+                for position in range(rows):
+                    (code,) = _U32.unpack_from(data, offset + position * _U32.size)
+                    values.append(dictionary[code] if _is_present(bitmap, position) else None)
+                return values
+            bitmap = bytes(data[offset : offset + (rows + 7) // 8])
+            offset += (rows + 7) // 8
+            if body_end - offset != rows * _I64.size:
+                raise SegmentError(
+                    f"column file {self._path} payload does not match its row count"
+                )
+            int_values: list[Any] = []
+            for position in range(rows):
+                (value,) = _I64.unpack_from(data, offset + position * _I64.size)
+                int_values.append(value if _is_present(bitmap, position) else None)
+            return int_values
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise SegmentError(f"column file {self._path} is corrupt: {exc}") from exc
+
+
+__all__ = [
+    "COLUMN_FORMAT_VERSION",
+    "ColumnReader",
+    "INT_MAGIC",
+    "STRING_MAGIC",
+    "write_int_column",
+    "write_string_column",
+]

@@ -1,0 +1,274 @@
+"""Host-partitioned audit storage: N child :class:`AuditStore` shards.
+
+The paper's deployment target — "millions of users" streaming audit data into
+one hunting service — does not fit a single store.  :class:`ShardedAuditStore`
+keeps the :class:`~repro.storage.loader.AuditStore` API (``load_trace`` /
+``append_batch`` / ``flush`` / ``loaded_trace`` / ``statistics``) while
+partitioning events across child stores by **host** (the tenant key of this
+reproduction's audit schema):
+
+* Routing is ``crc32(host) % shards`` — deterministic across processes, which
+  the built-in ``hash()`` is not (per-process randomization would scatter a
+  host's events differently on every restart).
+* Events never leave their host's shard, and Causality Preserved Reduction
+  only ever merges events of one ⟨subject, object⟩ pair — same host by
+  construction — so per-shard reduction produces exactly the events a global
+  reduction would.
+* Entities referenced by an event (its subject and object) are **replicated**
+  into the event's shard so per-shard query execution can join locally; child
+  stores deduplicate entities by id, which makes replication idempotent.
+
+Each shard gets its own relational + graph backends (and, with
+``storage="segments"``, its own ``shard-<i>/`` data subdirectory); the
+execution engine runs per shard and results merge upstream (see
+:class:`~repro.tbql.prepared.ShardedPreparedQuery`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.auditing.entities import SystemEntity
+from repro.auditing.events import SystemEvent
+from repro.auditing.trace import AuditTrace
+from repro.errors import StorageError
+from repro.storage.loader import AppendReport, AuditStore, LoadReport
+from repro.storage.segment.database import DEFAULT_SEGMENT_ROWS
+
+
+def shard_for_host(host: str, shards: int) -> int:
+    """Deterministic shard index for ``host`` (stable across processes)."""
+    return zlib.crc32(host.encode("utf-8")) % shards
+
+
+def _merge_numeric(target: dict[str, Any], source: dict[str, Any]) -> None:
+    for key, value in source.items():
+        existing = target.get(key)
+        if isinstance(value, dict):
+            if not isinstance(existing, dict):
+                existing = {}
+                target[key] = existing
+            _merge_numeric(existing, value)
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and isinstance(existing, (int, float))
+            and not isinstance(existing, bool)
+        ):
+            target[key] = existing + value
+        else:
+            target[key] = value
+
+
+class ShardedAuditStore:
+    """N host-partitioned child :class:`AuditStore` shards behind one API.
+
+    Args:
+        shards: Number of child stores (>= 1).
+        data_dir: With ``storage="segments"``, the parent directory under
+            which each shard owns a ``shard-<i>/`` subdirectory.
+        Remaining arguments are forwarded to every child store.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        apply_reduction: bool = True,
+        merge_window_ns: int | None = 10_000_000_000,
+        relational_executor: str = "vectorized",
+        storage: str = "memory",
+        data_dir: str | Path | None = None,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+    ) -> None:
+        if shards < 1:
+            raise StorageError(f"shard count must be positive, got {shards}")
+        self.shard_count = shards
+        self.storage = storage
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+
+        def shard_dir(index: int) -> Path | None:
+            if self.data_dir is None:
+                return None
+            return self.data_dir / f"shard-{index}"
+
+        self.shard_stores: tuple[AuditStore, ...] = tuple(
+            AuditStore(
+                apply_reduction=apply_reduction,
+                merge_window_ns=merge_window_ns,
+                relational_executor=relational_executor,
+                storage=storage,
+                data_dir=shard_dir(index),
+                segment_rows=segment_rows,
+            )
+            for index in range(shards)
+        )
+        #: Every entity ever seen, by id — the replication source that lets an
+        #: event carry its endpoints into a shard that has not met them yet.
+        self._entity_cache: dict[int, SystemEntity] = {}
+        for store in self.shard_stores:
+            trace = store.loaded_trace
+            if trace is not None:
+                for entity in trace.entities:
+                    self._entity_cache.setdefault(entity.entity_id, entity)
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_for(self, host: str | None) -> int:
+        return shard_for_host(host or "localhost", self.shard_count)
+
+    def _route(
+        self, entities: Iterable[SystemEntity], events: Iterable[SystemEvent]
+    ) -> list[tuple[list[SystemEntity], list[SystemEvent]]]:
+        """Split one batch into per-shard (entities, events) slices.
+
+        An entity lands in its own host's shard *and* in the shard of every
+        routed event that references it; children dedup by id.
+        """
+        routed: list[tuple[list[SystemEntity], list[SystemEvent]]] = [
+            ([], []) for _ in range(self.shard_count)
+        ]
+        sent: list[set[int]] = [set() for _ in range(self.shard_count)]
+
+        def send_entity(index: int, entity: SystemEntity) -> None:
+            if entity.entity_id not in sent[index]:
+                sent[index].add(entity.entity_id)
+                routed[index][0].append(entity)
+
+        for entity in entities:
+            self._entity_cache.setdefault(entity.entity_id, entity)
+            send_entity(self.shard_for(entity.host), entity)
+        for event in events:
+            index = self.shard_for(event.host)
+            routed[index][1].append(event)
+            for entity_id in (event.subject_id, event.object_id):
+                endpoint = self._entity_cache.get(entity_id)
+                if endpoint is not None:
+                    send_entity(index, endpoint)
+        return routed
+
+    # -- loading ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all stored data in every shard."""
+        for store in self.shard_stores:
+            store.reset()
+        self._entity_cache.clear()
+
+    def load_trace(self, trace: AuditTrace, append: bool = False) -> LoadReport:
+        """Partition one audit trace across the shards and load each slice."""
+        if not append:
+            self.reset()
+        routed = self._route(trace.entities, trace.events)
+        malicious = set(trace.malicious_event_ids)
+        merged = LoadReport(relational_rows={}, graph_counts={})
+        for store, (entities, events) in zip(self.shard_stores, routed):
+            slice_trace = AuditTrace(
+                host=trace.host,
+                entities=entities,
+                events=events,
+                malicious_event_ids={
+                    event.event_id for event in events if event.event_id in malicious
+                },
+            )
+            report = store.load_trace(slice_trace, append=append)
+            _merge_numeric(merged.relational_rows, report.relational_rows)
+            _merge_numeric(merged.graph_counts, report.graph_counts)
+            if report.reduction is not None:
+                if merged.reduction is None:
+                    merged.reduction = report.reduction
+                else:
+                    merged.reduction = type(report.reduction)(
+                        events_before=merged.reduction.events_before
+                        + report.reduction.events_before,
+                        events_after=merged.reduction.events_after
+                        + report.reduction.events_after,
+                    )
+        return merged
+
+    def append_batch(
+        self,
+        entities: Iterable[SystemEntity],
+        events: Iterable[SystemEvent],
+        malicious_event_ids: Iterable[int] = (),
+    ) -> AppendReport:
+        """Route one micro-batch to its shards; merge the per-shard reports."""
+        routed = self._route(entities, events)
+        malicious = set(malicious_event_ids)
+        merged = AppendReport()
+        for store, (shard_entities, shard_events) in zip(self.shard_stores, routed):
+            if not shard_entities and not shard_events:
+                continue
+            report = store.append_batch(
+                shard_entities, shard_events, malicious_event_ids=malicious
+            )
+            merged.appended_entities += report.appended_entities
+            merged.appended_events += report.appended_events
+            merged.stored_events.extend(report.stored_events)
+            merged.events_ingested += report.events_ingested
+        merged.pending_events = self.pending_events
+        return merged
+
+    def flush(self) -> AppendReport:
+        """Flush every shard's pending events; merge the reports."""
+        merged = AppendReport()
+        for store in self.shard_stores:
+            report = store.flush()
+            merged.appended_entities += report.appended_entities
+            merged.appended_events += report.appended_events
+            merged.stored_events.extend(report.stored_events)
+            merged.events_ingested += report.events_ingested
+        merged.pending_events = self.pending_events
+        return merged
+
+    # -- combined views --------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        return sum(store.pending_events for store in self.shard_stores)
+
+    @property
+    def loaded_trace(self) -> AuditTrace | None:
+        """A merged view of every shard's (reduced) stored trace.
+
+        Events are ordered by (start time, id) and entities by id so the view
+        is deterministic regardless of shard layout; replicated entities
+        appear once.
+        """
+        traces = [
+            store.loaded_trace for store in self.shard_stores if store.loaded_trace
+        ]
+        if not traces:
+            return None
+        entities: dict[int, SystemEntity] = {}
+        events: list[SystemEvent] = []
+        malicious: set[int] = set()
+        for trace in traces:
+            for entity in trace.entities:
+                entities.setdefault(entity.entity_id, entity)
+            events.extend(trace.events)
+            malicious |= trace.malicious_event_ids
+        return AuditTrace(
+            host=traces[0].host,
+            entities=[entities[key] for key in sorted(entities)],
+            events=sorted(events, key=lambda event: (event.start_time, event.event_id)),
+            malicious_event_ids=malicious,
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """Numerically merged backend statistics, plus per-shard detail."""
+        merged: dict[str, Any] = {}
+        per_shard: list[dict[str, Any]] = []
+        for store in self.shard_stores:
+            stats = store.statistics()
+            per_shard.append(stats)
+            _merge_numeric(merged, stats)
+        merged["shards"] = {
+            "count": self.shard_count,
+            "stores": per_shard,
+        }
+        return merged
+
+
+__all__ = ["ShardedAuditStore", "shard_for_host"]

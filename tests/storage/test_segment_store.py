@@ -1,0 +1,253 @@
+"""Durability tests for the on-disk segmented store.
+
+Covers the failure edges the in-memory store never sees: torn/truncated
+column files, corrupt manifests, sealed-segment immutability, surviving a
+restart, and crash-during-seal recovery (an orphan staging directory left by
+a crash between column-file publish and manifest publish must be cleaned up,
+never half-read).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.auditing.entities import FileEntity, ProcessEntity
+from repro.auditing.events import EntityType, Operation, SystemEvent
+from repro.auditing.trace import AuditTrace
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import ThreatRaptor
+from repro.errors import SegmentError
+from repro.scenarios import CrashRecoveryHarness, generate_campaigns
+from repro.storage.loader import AuditStore
+from repro.storage.relational.database import RelationalDatabase
+from repro.storage.relational.expression import Between, Column, Comparison, Like, Literal
+from repro.storage.relational.query import SelectQuery
+from repro.storage.segment import (
+    MANIFEST_NAME,
+    ColumnReader,
+    SegmentedRelationalDatabase,
+    write_int_column,
+    write_string_column,
+)
+
+
+def _trace(events: int = 40) -> AuditTrace:
+    """A small two-process trace with strictly increasing timestamps."""
+    entities = [
+        ProcessEntity(entity_id=1, exename="/bin/tar", pid=10),
+        ProcessEntity(entity_id=2, exename="/usr/bin/curl", pid=11),
+        FileEntity(entity_id=3, name="/etc/passwd"),
+        FileEntity(entity_id=4, name="/tmp/upload.tar"),
+    ]
+    rows = [
+        SystemEvent(
+            event_id=index + 1,
+            subject_id=1 if index % 2 == 0 else 2,
+            object_id=3 if index % 3 == 0 else 4,
+            operation=Operation.READ if index % 2 == 0 else Operation.WRITE,
+            object_type=EntityType.FILE,
+            start_time=1_000 + index * 100,
+            end_time=1_050 + index * 100,
+            amount=64,
+        )
+        for index in range(events)
+    ]
+    return AuditTrace(entities=entities, events=rows)
+
+
+def _join_query() -> SelectQuery:
+    query = SelectQuery()
+    query.add_table("events", "e")
+    query.add_table("entities", "s")
+    query.add_table("entities", "o")
+    query.add_join("e", "srcid", "s", "id")
+    query.add_join("e", "dstid", "o", "id")
+    query.add_filter("e", Comparison(Column("optype"), "=", Literal("read")))
+    query.add_filter("s", Like(Column("exename"), "%tar%"))
+    query.add_output("s", "exename", "subject")
+    query.add_output("o", "name", "object")
+    query.add_output("e", "id", "event")
+    return query
+
+
+class TestColumnCodecs:
+    def test_int_roundtrip_with_nulls(self, tmp_path):
+        path = tmp_path / "events.starttime.col"
+        values = [5, None, -3, 0, 2**40, None]
+        stats = write_int_column(path, values)
+        assert stats["rows"] == 6 and stats["nulls"] == 2
+        assert ColumnReader(path).values() == values
+
+    def test_string_roundtrip_dictionary_encoded(self, tmp_path):
+        path = tmp_path / "events.optype.col"
+        values = ["read", "write", "read", None, "read"]
+        stats = write_string_column(path, values)
+        assert stats["distinct"] == 2
+        assert ColumnReader(path).values() == values
+
+    def test_truncated_column_file_is_a_segment_error(self, tmp_path):
+        path = tmp_path / "torn.col"
+        write_int_column(path, list(range(100)))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write
+        with pytest.raises(SegmentError):
+            ColumnReader(path).values()
+
+    def test_flipped_bit_fails_the_checksum(self, tmp_path):
+        path = tmp_path / "corrupt.col"
+        write_int_column(path, list(range(100)))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SegmentError):
+            ColumnReader(path).values()
+
+    def test_wrong_magic_rejected_on_open(self, tmp_path):
+        path = tmp_path / "junk.col"
+        path.write_bytes(b"NOPE" + bytes(32))
+        with pytest.raises(SegmentError):
+            ColumnReader(path)
+
+
+class TestManifestCorruption:
+    def test_corrupt_manifest_is_a_segment_error(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace())
+        database.seal()
+        (tmp_path / MANIFEST_NAME).write_text("{ not json", encoding="utf-8")
+        with pytest.raises(SegmentError):
+            SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+
+    def test_manifest_version_mismatch_rejected(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace())
+        database.seal()
+        manifest_path = tmp_path / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["version"] = 999
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SegmentError):
+            SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+
+    def test_manifest_referencing_missing_segment_rejected(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace())
+        database.seal()
+        victim = tmp_path / database.segment_readers[0].name
+        for child in victim.iterdir():
+            child.unlink()
+        victim.rmdir()
+        with pytest.raises(SegmentError):
+            SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+
+    def test_torn_column_in_live_segment_surfaces_on_read(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace())
+        database.seal()
+        segment_dir = tmp_path / database.segment_readers[0].name
+        column = segment_dir / "events.starttime.col"
+        column.write_bytes(column.read_bytes()[:10])
+        reopened = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        with pytest.raises(SegmentError):
+            reopened.execute(_join_query())
+
+
+class TestSealedSegmentImmutability:
+    def test_appends_never_touch_sealed_files(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=16)
+        database.load_trace(_trace(events=40))
+        assert database.sealed_segments, "seal threshold should have been crossed"
+        snapshot = {
+            path: path.read_bytes()
+            for segment in database.segment_readers
+            for path in sorted((tmp_path / segment.name).iterdir())
+        }
+        database.append_events(
+            [
+                SystemEvent(900, 1, 4, Operation.WRITE, EntityType.FILE, 99_000, 99_100, 64),
+            ]
+        )
+        database.seal()
+        for path, blob in snapshot.items():
+            assert path.read_bytes() == blob, f"sealed file {path.name} was rewritten"
+
+    def test_results_match_in_memory_store(self, tmp_path):
+        trace = _trace(events=60)
+        memory = RelationalDatabase()
+        memory.load_trace(trace)
+        segmented = SegmentedRelationalDatabase(tmp_path, segment_rows=16)
+        segmented.load_trace(trace)
+        expected = memory.execute(_join_query())
+        actual = segmented.execute(_join_query())
+        assert sorted(actual.rows) == sorted(expected.rows)
+
+    def test_time_window_prunes_segments(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace(events=64))
+        database.seal()
+        assert database.sealed_segments >= 4
+        query = _join_query()
+        query.add_filter("e", Between(Column("starttime"), 1_000, 1_400))
+        database.reset_scan_counters()
+        database.execute(query)
+        stats = database.statistics()["segments"]
+        assert stats["pruned"] > 0
+        assert stats["pruned"] + stats["scanned"] == database.sealed_segments
+
+
+class TestRestartSurvival:
+    def test_audit_store_rehydrates_from_data_dir(self, tmp_path):
+        trace = _trace(events=50)
+        store = AuditStore(storage="segments", data_dir=tmp_path, apply_reduction=False)
+        store.load_trace(trace)
+        store.flush()
+        baseline = store.relational.execute(_join_query())
+
+        reopened = AuditStore(storage="segments", data_dir=tmp_path, apply_reduction=False)
+        assert reopened.loaded_trace is not None
+        assert len(reopened.loaded_trace.events) == len(trace.events)
+        assert reopened.graph.edge_count() == store.graph.edge_count()
+        result = reopened.relational.execute(_join_query())
+        assert sorted(result.rows) == sorted(baseline.rows)
+
+    def test_orphan_staging_dir_from_crashed_seal_is_cleaned(self, tmp_path):
+        database = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        database.load_trace(_trace())
+        database.seal()
+        # A crash between publishing column files and publishing the manifest
+        # leaves a fully-written directory the manifest never references...
+        orphan = tmp_path / "seg-00099"
+        orphan.mkdir()
+        (orphan / "events.starttime.col").write_bytes(b"partial")
+        staging = tmp_path / "seg-00100.tmp"
+        staging.mkdir()
+        (staging / "events.optype.col").write_bytes(b"partial")
+        # ...and reopening must drop both without surfacing their contents.
+        reopened = SegmentedRelationalDatabase(tmp_path, segment_rows=8)
+        assert not orphan.exists() and not staging.exists()
+        assert reopened.sealed_segments == database.sealed_segments
+        result = reopened.execute(_join_query())
+        assert sorted(result.rows) == sorted(database.execute(_join_query()).rows)
+
+
+class TestCrashDuringSegmentedHunt:
+    def test_kill_and_resume_matches_uninterrupted_run(self, tmp_path):
+        """CrashRecoveryHarness over a segmented pipeline: clean journal."""
+        campaign = generate_campaigns(1, base_seed=1200)[0]
+
+        def factory() -> ThreatRaptor:
+            return ThreatRaptor(
+                ThreatRaptorConfig(storage="segments", segment_rows=128)
+            )
+
+        harness = CrashRecoveryHarness(
+            tmp_path, batch_size=96, pipeline_factory=factory
+        )
+        baseline_bytes, baseline_matched = harness.uninterrupted(campaign)
+        assert baseline_bytes
+        outcome = harness.crash_and_resume(campaign, boundary=1)
+        assert outcome.resumed
+        assert outcome.journal_bytes == baseline_bytes
+        assert outcome.matched == baseline_matched

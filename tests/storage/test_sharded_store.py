@@ -1,0 +1,190 @@
+"""Tests for host-partitioned sharded audit storage.
+
+Routing must be deterministic across processes (crc32, not the randomized
+built-in ``hash``), entities must follow their events into every shard that
+needs them for local joins, and the sharded pipeline must answer hunts — ad
+hoc, prepared and streaming — identically to the single-store layout while
+compiling each standing query exactly once.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.auditing.entities import FileEntity, ProcessEntity
+from repro.auditing.events import EntityType, Operation, SystemEvent
+from repro.auditing.trace import AuditTrace
+from repro.core.config import ThreatRaptorConfig
+from repro.core.pipeline import ThreatRaptor
+from repro.errors import StorageError
+from repro.scenarios import generate_campaigns
+from repro.storage.sharded import ShardedAuditStore, shard_for_host
+from repro.streaming import HuntingService, ReplaySource
+from repro.tbql.prepared import ShardedPreparedQuery
+
+HOSTS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+SHARDS = 4
+
+
+def _multi_host_trace() -> AuditTrace:
+    """Six hosts' worth of entities and events, one process + file per host."""
+    entities = []
+    events = []
+    for index, host in enumerate(HOSTS):
+        process = ProcessEntity(
+            entity_id=index * 10 + 1, host=host, exename=f"/bin/worker-{host}", pid=100 + index
+        )
+        target = FileEntity(entity_id=index * 10 + 2, host=host, name=f"/var/{host}/data")
+        entities.extend([process, target])
+        for offset in range(5):
+            events.append(
+                SystemEvent(
+                    event_id=index * 100 + offset,
+                    subject_id=process.entity_id,
+                    object_id=target.entity_id,
+                    operation=Operation.READ if offset % 2 == 0 else Operation.WRITE,
+                    object_type=EntityType.FILE,
+                    start_time=10_000 + offset * 1_000,
+                    end_time=10_500 + offset * 1_000,
+                    amount=64,
+                    host=host,
+                )
+            )
+    return AuditTrace(entities=entities, events=events)
+
+
+class TestRouting:
+    def test_crc32_routing_is_deterministic(self):
+        for host in HOSTS:
+            expected = zlib.crc32(host.encode("utf-8")) % SHARDS
+            assert shard_for_host(host, SHARDS) == expected
+            assert shard_for_host(host, SHARDS) == shard_for_host(host, SHARDS)
+
+    def test_hosts_spread_across_shards(self):
+        indexes = {shard_for_host(host, SHARDS) for host in HOSTS}
+        assert len(indexes) > 1  # six hosts cannot all collapse to one shard
+
+    def test_events_never_leave_their_hosts_shard(self):
+        store = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        store.load_trace(_multi_host_trace())
+        for index, child in enumerate(store.shard_stores):
+            trace = child.loaded_trace
+            if trace is None:
+                continue
+            assert all(shard_for_host(event.host, SHARDS) == index for event in trace.events)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(StorageError):
+            ShardedAuditStore(shards=0)
+
+
+class TestEntityReplication:
+    def test_event_endpoints_follow_the_event(self):
+        """A cross-host event's entities are replicated into the event's shard."""
+        remote = ProcessEntity(entity_id=1, host="alpha", exename="/bin/ssh", pid=7)
+        local = FileEntity(entity_id=2, host="bravo", name="/var/log/auth")
+        event = SystemEvent(5, 1, 2, Operation.WRITE, EntityType.FILE, 100, 200, 64, host="bravo")
+        store = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        store.load_trace(AuditTrace(entities=[remote, local], events=[event]))
+
+        event_shard = store.shard_for("bravo")
+        shard_trace = store.shard_stores[event_shard].loaded_trace
+        assert shard_trace is not None
+        assert {entity.entity_id for entity in shard_trace.entities} >= {1, 2}
+
+    def test_replication_is_idempotent(self):
+        trace = _multi_host_trace()
+        store = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        store.load_trace(trace)
+        merged = store.loaded_trace
+        assert merged is not None
+        # Replicated copies collapse in the merged view: same ids, once each.
+        assert sorted(entity.entity_id for entity in merged.entities) == sorted(
+            entity.entity_id for entity in trace.entities
+        )
+
+    def test_merged_view_is_deterministic(self):
+        trace = _multi_host_trace()
+        first = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        first.load_trace(trace)
+        second = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        second.load_trace(trace)
+        assert first.loaded_trace is not None and second.loaded_trace is not None
+        assert [event.event_id for event in first.loaded_trace.events] == [
+            event.event_id for event in second.loaded_trace.events
+        ]
+
+    def test_statistics_carry_per_shard_detail(self):
+        store = ShardedAuditStore(shards=SHARDS, apply_reduction=False)
+        store.load_trace(_multi_host_trace())
+        stats = store.statistics()
+        assert stats["shards"]["count"] == SHARDS
+        assert len(stats["shards"]["stores"]) == SHARDS
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return generate_campaigns(1, base_seed=1200)[0]
+
+
+def _matched(raptor: ThreatRaptor, campaign) -> dict[str, set[int]]:
+    return {
+        hunt.name: raptor.execute_query(hunt.query_text).all_matched_event_ids()
+        for hunt in campaign.hunts
+    }
+
+
+class TestShardedQueryParity:
+    def test_adhoc_hunts_match_single_store(self, campaign):
+        baseline = ThreatRaptor()
+        baseline.load_trace(campaign.trace)
+        sharded = ThreatRaptor(ThreatRaptorConfig(shards=SHARDS))
+        sharded.load_trace(campaign.trace)
+        assert _matched(sharded, campaign) == _matched(baseline, campaign)
+
+    def test_streaming_alerts_match_single_store(self, campaign):
+        def run(raptor: ThreatRaptor):
+            service = HuntingService(raptor=raptor, batch_size=96)
+            for hunt in campaign.hunts:
+                service.register_hunt(hunt.name, query=hunt.query_text)
+            service.run(ReplaySource(campaign.trace))
+            matched = {
+                hunt.name: service.matched_event_ids(hunt.name) for hunt in campaign.hunts
+            }
+            alerts = sum(
+                hunt["alerts"] for hunt in service.statistics()["hunts"].values()
+            )
+            return matched, alerts
+
+        baseline = run(ThreatRaptor())
+        sharded = run(ThreatRaptor(ThreatRaptorConfig(shards=SHARDS)))
+        assert sharded == baseline
+
+
+class TestSharedPlanCache:
+    def test_one_compile_serves_every_shard(self, campaign):
+        raptor = ThreatRaptor(ThreatRaptorConfig(shards=SHARDS))
+        raptor.load_trace(campaign.trace)
+        prepared = raptor.prepare_query(campaign.hunts[0].query_text)
+        assert isinstance(prepared, ShardedPreparedQuery)
+        prepared.execute()
+        info = prepared.cache_info()
+        # N shards execute one compiled plan: at most one cold compile, the
+        # rest are cache hits.
+        assert info["hits"] >= SHARDS - 1
+
+    def test_reprepare_returns_the_cached_plan(self, campaign):
+        raptor = ThreatRaptor(ThreatRaptorConfig(shards=SHARDS))
+        raptor.load_trace(campaign.trace)
+        query_text = campaign.hunts[0].query_text
+        first = raptor.prepare_query(query_text)
+        second = raptor.prepare_query(query_text)
+        assert second is first
+        assert raptor.plan_cache is not None
+        assert raptor.plan_cache.info()["hits"] >= 1
+
+    def test_single_shard_pipeline_has_no_shared_cache(self):
+        raptor = ThreatRaptor()
+        assert raptor.plan_cache is None

@@ -27,6 +27,10 @@ def _check(invariants, checker_name: str, source: str):
     return checker(Path("synthetic.py"), ast.parse(source))
 
 
+def _check_tree(invariants, checker_name: str, path: Path, tree: ast.Module):
+    return getattr(invariants, checker_name)(path, tree)
+
+
 class TestRepoIsClean:
     def test_script_passes_on_the_repo(self):
         completed = subprocess.run(
@@ -97,6 +101,25 @@ class TestFsyncBeforeReplaceCheck:
             "    os.replace(tmp, final)\n",
         )
         assert violations == []
+
+    def test_rule_is_enforced_repo_wide_not_just_streaming(self, invariants):
+        """The durability rule must not be gated on the ``streaming/`` prefix.
+
+        The segmented store publishes manifests and sealed segment
+        directories with the same write-temp → fsync → replace idiom, so a
+        replace-without-fsync anywhere in the tree is a durability bug.
+        """
+        source = SCRIPT.read_text(encoding="utf-8")
+        assert 'if relative.startswith("streaming/")' not in source
+
+    def test_segment_store_modules_pass_the_durability_rule(self, invariants):
+        segment_dir = REPO_ROOT / "src" / "repro" / "storage" / "segment"
+        checked = 0
+        for path in sorted(segment_dir.glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            assert _check_tree(invariants, "check_fsync_before_replace", path, tree) == []
+            checked += 1
+        assert checked >= 4  # columnio, manifest, segment, database, __init__
 
 
 class TestMutableDefaultCheck:
