@@ -1,0 +1,170 @@
+"""EXP-SQL-BACKEND — sqlite3 SQL backend vs. the vectorized columnar engine.
+
+The ``backend="sql"`` execution path compiles TBQL through the same
+:class:`~repro.tbql.compiler.SQLCompiler` plans but executes them as
+parameterized SQL on an in-memory sqlite3 database instead of the columnar
+engine.  This experiment measures the three costs that matter for choosing a
+backend: bulk trace loading, ad-hoc TBQL hunt execution, and prepared
+standing-hunt evaluation throughput under :class:`~repro.streaming.monitor.QueryMonitor`.
+
+The sqlite backend is a correctness oracle, not a performance target — the
+assertions check result equivalence (identical matched event-id sets), and
+the recorded ratios document how much slower (or faster, for index-friendly
+selective hunts) sqlite is so future PRs can see the trajectory in
+``BENCH_results.json``.
+
+Set ``SQL_BENCH_EVENTS`` (e.g. ``20000``) to run a reduced smoke version —
+the CI benchmark job does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable
+
+import pytest
+
+from benchmarks.test_bench_columnar_engine import build_columnar_trace
+from repro.storage.loader import AuditStore
+from repro.streaming.monitor import QueryMonitor
+from repro.tbql.executor import TBQLExecutionEngine
+from repro.tbql.parser import parse_query
+
+FULL_SCALE_EVENTS = 100_000
+EVENTS = int(os.environ.get("SQL_BENCH_EVENTS", str(FULL_SCALE_EVENTS)))
+FULL_SCALE = EVENTS >= FULL_SCALE_EVENTS
+
+#: Same workload shape as EXP-COLUMNAR: a broad scan, an index-assisted
+#: selective hunt, and a two-pattern temporal hunt.
+WIDE_QUERY = 'proc p["%/usr/bin/app1%"] read file f as e1 return p, f'
+SELECTIVE_QUERY = (
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return distinct p, f'
+)
+TEMPORAL_QUERY = (
+    'proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1 '
+    'proc p write file f2["%/tmp/upload%"] as e2 '
+    "with e1 before e2 return distinct p, f1, f2"
+)
+CHAIN_QUERY = (
+    'proc p["/bin/tar"] read file f1 as e1 '
+    'proc p write file f2["/tmp/upload.tar"] as e2 '
+    'proc q["/usr/bin/curl"] read file f2 as e3 '
+    "with e1 before e2, e2 before e3 return distinct p, q, f2"
+)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def sql_trace():
+    return build_columnar_trace(EVENTS)
+
+
+def _timed_load(executor: str, trace) -> tuple[float, AuditStore]:
+    store = AuditStore(relational_executor=executor, apply_reduction=False)
+    started = time.perf_counter()
+    store.load_trace(trace)
+    return time.perf_counter() - started, store
+
+
+def test_sql_backend_load_and_adhoc_hunts(sql_trace, bench_results):
+    """sqlite load + ad-hoc TBQL hunts: identical results, recorded ratios."""
+    sql_load_seconds, sql_store = _timed_load("sql", sql_trace)
+    vectorized_load_seconds, vectorized_store = _timed_load("vectorized", sql_trace)
+
+    sql_engine = TBQLExecutionEngine(sql_store, backend="sql")
+    vectorized_engine = TBQLExecutionEngine(vectorized_store)
+    queries = {
+        "wide": parse_query(WIDE_QUERY),
+        "selective": parse_query(SELECTIVE_QUERY),
+        "temporal": parse_query(TEMPORAL_QUERY),
+    }
+
+    sql_total = 0.0
+    vectorized_total = 0.0
+    per_query: dict[str, dict[str, float]] = {}
+    for name, query in queries.items():
+        sql_seconds, sql_result = _best_of(lambda q=query: sql_engine.execute(q))
+        vectorized_seconds, vectorized_result = _best_of(
+            lambda q=query: vectorized_engine.execute(q)
+        )
+        assert (
+            sql_result.all_matched_event_ids()
+            == vectorized_result.all_matched_event_ids()
+        ), name
+        assert len(sql_result) >= 1, f"{name}: workload query matched nothing"
+        sql_total += sql_seconds
+        vectorized_total += vectorized_seconds
+        per_query[name] = {
+            "sql_seconds": sql_seconds,
+            "vectorized_seconds": vectorized_seconds,
+            "slowdown": sql_seconds / vectorized_seconds if vectorized_seconds else 0.0,
+        }
+
+    bench_results.record(
+        "sql_backend_load_and_adhoc",
+        events=EVENTS,
+        full_scale=FULL_SCALE,
+        sql_load_seconds=sql_load_seconds,
+        vectorized_load_seconds=vectorized_load_seconds,
+        sql_query_seconds=sql_total,
+        vectorized_query_seconds=vectorized_total,
+        slowdown=sql_total / vectorized_total if vectorized_total else 0.0,
+        per_query=per_query,
+    )
+    print(
+        f"\n[EXP-SQL-BACKEND] events={EVENTS} "
+        f"load: sql={sql_load_seconds:.3f}s vectorized={vectorized_load_seconds:.3f}s "
+        f"ad-hoc: sql={sql_total:.3f}s vectorized={vectorized_total:.3f}s"
+    )
+
+
+def test_sql_prepared_standing_hunt_throughput(bench_results):
+    """Prepared standing hunts on sqlite agree with vectorized and are timed."""
+    num_events = min(EVENTS, 40_000)
+    evaluations = 50
+    trace = build_columnar_trace(num_events, num_processes=100, num_files=300)
+    watermark = trace.events[-500].start_time
+
+    def run(executor: str, backend: str) -> tuple[float, int, tuple]:
+        store = AuditStore(relational_executor=executor, apply_reduction=False)
+        engine = TBQLExecutionEngine(store, backend=backend)
+        monitor = QueryMonitor(engine.execute, prepare=engine.prepare)
+        standing = monitor.register("exfil", CHAIN_QUERY)
+        store.append_batch(trace.entities, trace.events)
+        alerts = monitor.evaluate(0, None)  # initializing full evaluation
+        signatures = tuple(sorted(alert.matched_event_ids for alert in alerts))
+        after_init = standing.eval_seconds
+        for index in range(evaluations):
+            monitor.evaluate(index + 1, watermark)
+        per_batch = (standing.eval_seconds - after_init) / evaluations
+        return per_batch, standing.alerts_raised, signatures
+
+    sql_seconds, sql_alerts, sql_signatures = run("sql", "sql")
+    vectorized_seconds, vectorized_alerts, vectorized_signatures = run(
+        "vectorized", "auto"
+    )
+    assert sql_signatures == vectorized_signatures
+    assert sql_alerts == vectorized_alerts >= 1, "standing hunt raised no alerts"
+
+    bench_results.record(
+        "sql_prepared_standing_hunt",
+        events=num_events,
+        evaluations=evaluations,
+        sql_batch_seconds=sql_seconds,
+        vectorized_batch_seconds=vectorized_seconds,
+        slowdown=sql_seconds / vectorized_seconds if vectorized_seconds else 0.0,
+    )
+    print(
+        f"\n[EXP-SQL-BACKEND] standing-hunt per-batch eval: "
+        f"sql={sql_seconds * 1e3:.3f}ms vectorized={vectorized_seconds * 1e3:.3f}ms"
+    )

@@ -92,7 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("log", help="path of the Sysdig-format audit log to search")
     hunt.add_argument(
         "--backend",
-        choices=("auto", "relational", "graph"),
+        choices=("auto", "relational", "sql", "graph"),
         default="auto",
         help="query execution backend (default: auto)",
     )
@@ -151,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="partition audit storage by host across this many shards (default: 1)",
     )
+    watch.add_argument(
+        "--backend",
+        choices=("auto", "relational", "sql", "graph"),
+        default="auto",
+        help="query execution backend for the standing hunt (default: auto)",
+    )
 
     corpus = subparsers.add_parser(
         "corpus",
@@ -207,7 +213,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--backend",
-        choices=("auto", "relational", "graph"),
+        choices=("auto", "relational", "sql", "graph"),
         default="auto",
         help="execution backend the queries are checked against (default: auto)",
     )
@@ -343,18 +349,20 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _storage_config(args: argparse.Namespace) -> ThreatRaptorConfig | None:
-    """Pipeline config for the ``--data-dir`` / ``--shards`` storage flags.
+    """Pipeline config for the ``--data-dir`` / ``--shards`` / ``--backend`` flags.
 
-    Returns ``None`` (pipeline defaults) when neither flag was given.
+    Returns ``None`` (pipeline defaults) when no flag was given.
     """
     data_dir = getattr(args, "data_dir", None)
     shards = getattr(args, "shards", 1)
-    if data_dir is None and shards == 1:
+    backend = getattr(args, "backend", "auto")
+    if data_dir is None and shards == 1 and backend == "auto":
         return None
     return ThreatRaptorConfig(
         storage="segments" if data_dir is not None else "memory",
         data_dir=data_dir,
         shards=shards,
+        execution_backend=backend,
     )
 
 

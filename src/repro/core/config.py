@@ -23,7 +23,10 @@ class ThreatRaptorConfig:
             instead of single event patterns.
         synthesis_path_max_length: Maximum path length for synthesized path
             patterns.
-        execution_backend: ``"auto"``, ``"relational"`` or ``"graph"``.
+        execution_backend: ``"auto"``, ``"relational"``, ``"sql"`` (run
+            compiled data queries on the sqlite3-backed
+            :class:`~repro.storage.sql.database.SqliteRelationalDatabase`) or
+            ``"graph"``.
         optimize_execution: Use pruning-score scheduling with constraint
             propagation.
         relational_executor: ``"vectorized"`` (the columnar engine) or
@@ -69,10 +72,15 @@ class ThreatRaptorConfig:
         Raises:
             ConfigurationError: when a setting is out of range.
         """
-        if self.execution_backend not in ("auto", "relational", "graph"):
+        if self.execution_backend not in ("auto", "relational", "sql", "graph"):
             raise ConfigurationError(
-                f"execution_backend must be 'auto', 'relational' or 'graph', "
-                f"got {self.execution_backend!r}"
+                f"execution_backend must be 'auto', 'relational', 'sql' or "
+                f"'graph', got {self.execution_backend!r}"
+            )
+        if self.execution_backend == "sql" and self.storage == "segments":
+            raise ConfigurationError(
+                "execution_backend='sql' keeps rows inside sqlite and cannot "
+                "be combined with storage='segments'"
             )
         if self.relational_executor not in ("vectorized", "reference"):
             raise ConfigurationError(

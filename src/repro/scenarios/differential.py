@@ -33,7 +33,9 @@ class EngineConfiguration:
     The four axes mirror the repo's execution machinery:
 
     * ``relational_executor`` — vectorized columnar vs. row-dict reference;
-    * ``backend`` — relational tables vs. graph path search;
+    * ``backend`` — relational tables vs. graph path search vs. the sqlite3
+      SQL backend (compiled queries rendered to parameterized SQL and run by
+      an engine that shares no code with the Python executors);
     * ``prepared`` — ad-hoc ``execute`` vs. cached ``PreparedQuery`` plans;
     * ``streaming`` — one-shot batch load vs. micro-batched replay through
       watermark-windowed standing hunts (always prepared);
@@ -108,6 +110,18 @@ ENGINE_CONFIGURATIONS: tuple[EngineConfiguration, ...] = (
         crash_resume=True,
         storage="segments",
         shards=4,
+    ),
+    EngineConfiguration(name="sql-adhoc-batch", backend="sql"),
+    EngineConfiguration(name="sql-prepared-batch", backend="sql", prepared=True),
+    EngineConfiguration(
+        name="sql-prepared-streaming", backend="sql", prepared=True, streaming=True
+    ),
+    EngineConfiguration(
+        name="sql-prepared-streaming-crashresume",
+        backend="sql",
+        prepared=True,
+        streaming=True,
+        crash_resume=True,
     ),
 )
 

@@ -34,6 +34,7 @@ from repro.auditing.trace import AuditTrace
 from repro.errors import StorageError
 from repro.storage.graph.graphdb import GraphDatabase
 from repro.storage.relational.database import RelationalDatabase
+from repro.storage.sql.database import SqliteRelationalDatabase
 from repro.storage.segment.database import DEFAULT_SEGMENT_ROWS, SegmentedRelationalDatabase
 
 
@@ -75,9 +76,12 @@ class AuditStore:
         apply_reduction: Run Causality Preserved Reduction before loading.
         merge_window_ns: CPR merge window (see
             :class:`~repro.auditing.reduction.CausalityPreservedReducer`).
-        relational_executor: ``"vectorized"`` (columnar engine) or
+        relational_executor: ``"vectorized"`` (columnar engine),
             ``"reference"`` (row-dict oracle) — see
-            :class:`~repro.storage.relational.database.RelationalDatabase`.
+            :class:`~repro.storage.relational.database.RelationalDatabase` —
+            or ``"sql"`` (the sqlite3-backed
+            :class:`~repro.storage.sql.database.SqliteRelationalDatabase`;
+            memory storage only).
         storage: ``"memory"`` (the in-memory relational store, the default) or
             ``"segments"`` (the durable
             :class:`~repro.storage.segment.database.SegmentedRelationalDatabase`).
@@ -102,8 +106,15 @@ class AuditStore:
             raise StorageError(f"unknown storage backend {storage!r}")
         self.storage = storage
         self._owned_data_dir: tempfile.TemporaryDirectory[str] | None = None
-        self.relational: RelationalDatabase | SegmentedRelationalDatabase
+        self.relational: (
+            RelationalDatabase | SegmentedRelationalDatabase | SqliteRelationalDatabase
+        )
         if storage == "segments":
+            if relational_executor == "sql":
+                raise StorageError(
+                    "relational_executor='sql' keeps rows inside sqlite and "
+                    "cannot be combined with storage='segments'"
+                )
             if data_dir is None:
                 self._owned_data_dir = tempfile.TemporaryDirectory(prefix="segments-")
                 data_dir = self._owned_data_dir.name
@@ -111,6 +122,9 @@ class AuditStore:
             self.relational = SegmentedRelationalDatabase(
                 self.data_dir, executor=relational_executor, segment_rows=segment_rows
             )
+        elif relational_executor == "sql":
+            self.data_dir = None
+            self.relational = SqliteRelationalDatabase()
         else:
             self.data_dir = None
             self.relational = RelationalDatabase(executor=relational_executor)

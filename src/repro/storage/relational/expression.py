@@ -19,6 +19,76 @@ from repro.errors import QueryError
 
 Row = Mapping[str, Any]
 
+LIKE_ESCAPE_CHAR = "\\"
+
+
+def escape_like(value: str) -> str:
+    """Escape a literal string for use inside a ``LIKE`` pattern.
+
+    Backslash is the escape character: ``\\%``, ``\\_`` and ``\\\\`` denote a
+    literal percent, underscore and backslash.  The convention is honored
+    identically by :meth:`Like.evaluate` and the SQL renderers (which emit an
+    ``ESCAPE '\\'`` clause whenever the pattern contains an escape).
+    """
+    return (
+        value.replace(LIKE_ESCAPE_CHAR, LIKE_ESCAPE_CHAR * 2)
+        .replace("%", LIKE_ESCAPE_CHAR + "%")
+        .replace("_", LIKE_ESCAPE_CHAR + "_")
+    )
+
+
+def like_tokens(pattern: str) -> list[tuple[bool, str]]:
+    """Tokenize a ``LIKE`` pattern into ``(is_wildcard, char)`` pairs.
+
+    The parse is lenient: a backslash followed by ``%``, ``_`` or ``\\``
+    escapes that character; any other backslash is an ordinary literal (so
+    untouched Windows paths keep matching).  Wildcard tokens are ``%`` (any
+    run) and ``_`` (any one character).
+    """
+    tokens: list[tuple[bool, str]] = []
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if (
+            char == LIKE_ESCAPE_CHAR
+            and index + 1 < len(pattern)
+            and pattern[index + 1] in ("%", "_", LIKE_ESCAPE_CHAR)
+        ):
+            tokens.append((False, pattern[index + 1]))
+            index += 2
+            continue
+        tokens.append((char in ("%", "_"), char))
+        index += 1
+    return tokens
+
+
+def like_has_wildcards(pattern: str) -> bool:
+    """True when the pattern contains an unescaped ``%`` or ``_`` wildcard."""
+    return any(is_wildcard for is_wildcard, _ in like_tokens(pattern))
+
+
+def unescape_like(pattern: str) -> str:
+    """The literal text of a wildcard-free ``LIKE`` pattern (escapes removed)."""
+    return "".join(char for _, char in like_tokens(pattern))
+
+
+def canonical_like_pattern(pattern: str) -> str:
+    """Re-emit a pattern in strict canonical form from its parsed tokens.
+
+    Literal ``%``, ``_`` and ``\\`` characters come out backslash-escaped and
+    everything else bare, so the result is unambiguous regardless of how
+    lenient the input spelling was.  SQL renderers emit this form (with an
+    ``ESCAPE`` clause when it contains a backslash) so sqlite's strict escape
+    semantics agree with :meth:`Like.evaluate`.
+    """
+    out: list[str] = []
+    for is_wildcard, char in like_tokens(pattern):
+        if not is_wildcard and char in ("%", "_", LIKE_ESCAPE_CHAR):
+            out.append(LIKE_ESCAPE_CHAR + char)
+        else:
+            out.append(char)
+    return "".join(out)
+
 
 class Expression:
     """Base class for all filter expressions."""
@@ -136,17 +206,16 @@ class Like(Expression):
     negate: bool = False
 
     def _regex(self) -> re.Pattern[str]:
-        # Escape regex metacharacters first, then translate the SQL wildcards.
-        # ``re.escape`` leaves ``%`` and ``_`` untouched on modern Pythons but
-        # escaped them historically, so both spellings are handled.
-        escaped = re.escape(self.pattern)
-        regex = (
-            escaped.replace(r"\%", ".*")
-            .replace("%", ".*")
-            .replace(r"\_", ".")
-            .replace("_", ".")
-        )
-        return re.compile(f"^{regex}$", re.IGNORECASE)
+        # Build the regex from parsed tokens so backslash-escaped wildcards
+        # (``\%``, ``\_``, ``\\``) match literally while bare ``%``/``_``
+        # translate to their regex equivalents.
+        parts: list[str] = []
+        for is_wildcard, char in like_tokens(self.pattern):
+            if is_wildcard:
+                parts.append(".*" if char == "%" else ".")
+            else:
+                parts.append(re.escape(char))
+        return re.compile(f"^{''.join(parts)}$", re.IGNORECASE)
 
     def evaluate(self, row: Row) -> bool:
         value = self.operand.evaluate(row)
@@ -160,8 +229,12 @@ class Like(Expression):
 
     def to_sql(self) -> str:
         keyword = "NOT LIKE" if self.negate else "LIKE"
-        escaped = self.pattern.replace("'", "''")
-        return f"{self.operand.to_sql()} {keyword} '{escaped}'"
+        canonical = canonical_like_pattern(self.pattern)
+        escaped = canonical.replace("'", "''")
+        rendered = f"{self.operand.to_sql()} {keyword} '{escaped}'"
+        if LIKE_ESCAPE_CHAR in canonical:
+            rendered += f" ESCAPE '{LIKE_ESCAPE_CHAR}'"
+        return rendered
 
 
 @dataclass(frozen=True)
@@ -181,6 +254,10 @@ class InList(Expression):
         return self.operand.columns()
 
     def to_sql(self) -> str:
+        if not self.values:
+            # ``IN ()`` is a SQL syntax error; the empty membership test is
+            # vacuously false (true when negated).
+            return "1=1" if self.negate else "1=0"
         keyword = "NOT IN" if self.negate else "IN"
         rendered = ", ".join(Literal(value).to_sql() for value in self.values)
         return f"{self.operand.to_sql()} {keyword} ({rendered})"
@@ -328,10 +405,9 @@ def equality_lookups(expression: Expression) -> dict[str, Any]:
             isinstance(conjunct, Like)
             and not conjunct.negate
             and isinstance(conjunct.operand, Column)
-            and "%" not in conjunct.pattern
-            and "_" not in conjunct.pattern
+            and not like_has_wildcards(conjunct.pattern)
         ):
-            lookups[conjunct.operand.name] = conjunct.pattern
+            lookups[conjunct.operand.name] = unescape_like(conjunct.pattern)
         elif isinstance(conjunct, InList) and not conjunct.negate and len(conjunct.values) == 1:
             if isinstance(conjunct.operand, Column):
                 lookups[conjunct.operand.name] = conjunct.values[0]

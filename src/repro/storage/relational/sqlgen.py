@@ -9,6 +9,12 @@ compilation into SQL text.  The text serves two purposes in the reproduction:
 * the query-conciseness experiment (EXP-SYNTH), which compares the length of a
   synthesized TBQL query against the length of the equivalent SQL the engine
   would have to run.
+
+The rendering itself lives in :mod:`repro.storage.sql.render`, which walks
+the expression tree structurally — per-alias column qualification happens on
+:class:`~repro.storage.relational.expression.Column` nodes rather than via
+the text-level token rewrite this module used to apply.  The executable
+(parameterized) rendering for the sqlite backend shares the same walker.
 """
 
 from __future__ import annotations
@@ -23,99 +29,12 @@ def render_select(query: SelectQuery, pretty: bool = True) -> str:
         query: The logical query to render.
         pretty: Use one clause per line when True; single line otherwise.
     """
-    separator = "\n" if pretty else " "
-    indent = "  " if pretty else ""
+    # Imported here: repro.storage.sql.render imports the expression module
+    # from this package, so a module-level import would be circular during
+    # package initialization.
+    from repro.storage.sql.render import render_select_query
 
-    if query.projection:
-        select_list = ", ".join(output.to_sql() for output in query.projection)
-    else:
-        select_list = "*"
-    select_clause = "SELECT " + ("DISTINCT " if query.distinct else "") + select_list
-
-    from_items = [f"{ref.table} {ref.alias}" for ref in query.tables]
-    from_clause = "FROM " + ", ".join(from_items)
-
-    where_terms: list[str] = []
-    for alias in query.aliases():
-        predicate = query.filters.get(alias)
-        if predicate is not None:
-            rendered = predicate.to_sql()
-            if rendered != "TRUE":
-                where_terms.append(_qualify(rendered, alias))
-    where_terms.extend(join.to_sql() for join in query.joins)
-    where_terms.extend(predicate.to_sql() for predicate in query.cross_filters)
-
-    clauses = [select_clause, from_clause]
-    if where_terms:
-        glue = f"{separator}{indent}AND "
-        clauses.append("WHERE " + glue.join(where_terms))
-    if query.order_by:
-        clauses.append("ORDER BY " + ", ".join(term.to_sql() for term in query.order_by))
-    if query.limit is not None:
-        clauses.append(f"LIMIT {query.limit}")
-    return separator.join(clauses) + ";"
-
-
-def _qualify(rendered_predicate: str, alias: str) -> str:
-    """Prefix bare column names in a rendered single-table predicate.
-
-    The per-alias filter expressions reference unqualified column names (they
-    run against one table's rows); in the SQL text they must be qualified with
-    the alias.  A lightweight token rewrite is sufficient because the rendered
-    text only contains column names, operators, literals and parentheses.
-    """
-    known_columns = {
-        "id",
-        "type",
-        "host",
-        "name",
-        "exename",
-        "pid",
-        "cmdline",
-        "owner",
-        "srcip",
-        "srcport",
-        "dstip",
-        "dstport",
-        "protocol",
-        "srcid",
-        "dstid",
-        "optype",
-        "eventtype",
-        "starttime",
-        "endtime",
-        "amount",
-    }
-    out: list[str] = []
-    token = ""
-    in_string = False
-    for char in rendered_predicate:
-        if char == "'":
-            if token and not in_string:
-                out.append(_maybe_qualify(token, alias, known_columns))
-                token = ""
-            in_string = not in_string
-            out.append(char)
-            continue
-        if in_string:
-            out.append(char)
-            continue
-        if char.isalnum() or char == "_" or char == ".":
-            token += char
-        else:
-            if token:
-                out.append(_maybe_qualify(token, alias, known_columns))
-                token = ""
-            out.append(char)
-    if token:
-        out.append(_maybe_qualify(token, alias, known_columns))
-    return "".join(out)
-
-
-def _maybe_qualify(token: str, alias: str, known_columns: set[str]) -> str:
-    if token in known_columns:
-        return f"{alias}.{token}"
-    return token
+    return render_select_query(query, parameterized=False, pretty=pretty).text
 
 
 def count_query_lines(sql_text: str) -> int:

@@ -1,0 +1,17 @@
+"""sqlite3-backed SQL execution backend (``backend="sql"``)."""
+
+from repro.storage.sql.database import SqliteRelationalDatabase
+from repro.storage.sql.render import (
+    ExpressionRenderer,
+    RenderedSQL,
+    render_expression,
+    render_select_query,
+)
+
+__all__ = [
+    "ExpressionRenderer",
+    "RenderedSQL",
+    "SqliteRelationalDatabase",
+    "render_expression",
+    "render_select_query",
+]

@@ -1,0 +1,233 @@
+"""sqlite3-backed relational audit store (``backend="sql"``).
+
+The paper compiles each TBQL pattern "into a SQL data query which joins
+entity tables with event table"; this module finally *executes* that output.
+:class:`SqliteRelationalDatabase` mirrors the
+:class:`~repro.storage.relational.database.RelationalDatabase` surface — same
+schema, same bulk/append loading API, same ``execute(SelectQuery)`` entry
+point — but keeps the rows in an in-memory sqlite database and runs the
+parameterized SQL produced by :mod:`repro.storage.sql.render`.
+
+Running on a real SQL engine makes this backend an independent oracle for the
+differential harness: the Python executors share no code with sqlite's query
+processor, so agreement on matched event ids is strong evidence both are
+right.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable
+
+from repro.auditing.entities import SystemEntity
+from repro.auditing.events import SystemEvent
+from repro.auditing.trace import AuditTrace
+from repro.errors import QueryError
+from repro.storage.relational.database import (
+    DEFAULT_HASH_INDEXES,
+    DEFAULT_SORTED_INDEXES,
+    ENTITY_SCHEMA,
+    EVENT_SCHEMA,
+)
+from repro.storage.relational.query import OutputColumn, QueryResult, SelectQuery
+from repro.storage.relational.table import TableSchema
+from repro.storage.sql.render import RenderedSQL, render_select_query
+
+_AFFINITY = {int: "INTEGER", str: "TEXT"}
+
+
+def _create_table_sql(schema: TableSchema) -> str:
+    columns = []
+    for column in schema.columns:
+        affinity = _AFFINITY.get(column.dtype or object, "")
+        definition = f"{column.name} {affinity}".rstrip()
+        if not column.nullable:
+            definition += " NOT NULL"
+        columns.append(definition)
+    return f"CREATE TABLE {schema.name} ({', '.join(columns)})"
+
+
+class SqliteRelationalDatabase:
+    """In-memory sqlite3 store behind the ``RelationalDatabase`` surface.
+
+    The audit schema and index set mirror the in-memory engine's
+    (:data:`ENTITY_SCHEMA` / :data:`EVENT_SCHEMA` plus the default hash and
+    sorted index columns, all rendered as ordinary sqlite indexes).
+    """
+
+    executor_name = "sql"
+
+    def __init__(self) -> None:
+        self._connection = sqlite3.connect(":memory:")
+        self._schemas: dict[str, TableSchema] = {
+            ENTITY_SCHEMA.name: ENTITY_SCHEMA,
+            EVENT_SCHEMA.name: EVENT_SCHEMA,
+        }
+        self._create_schema()
+
+    def _create_schema(self) -> None:
+        cursor = self._connection.cursor()
+        for schema in self._schemas.values():
+            cursor.execute(_create_table_sql(schema))
+        for table_name, columns in self._index_columns().items():
+            for column in columns:
+                cursor.execute(
+                    f"CREATE INDEX idx_{table_name}_{column} "
+                    f"ON {table_name} ({column})"
+                )
+        self._connection.commit()
+
+    def _index_columns(self) -> dict[str, tuple[str, ...]]:
+        merged: dict[str, tuple[str, ...]] = {}
+        for table_name in self._schemas:
+            hashed = DEFAULT_HASH_INDEXES.get(table_name, ())
+            sorted_ = DEFAULT_SORTED_INDEXES.get(table_name, ())
+            merged[table_name] = hashed + tuple(
+                column for column in sorted_ if column not in hashed
+            )
+        return merged
+
+    def clear(self) -> None:
+        """Drop every row and rebuild the audit schema with fresh indexes."""
+        cursor = self._connection.cursor()
+        for table_name in self._schemas:
+            cursor.execute(f"DROP TABLE IF EXISTS {table_name}")
+        self._connection.commit()
+        self._create_schema()
+
+    # -- loading -----------------------------------------------------------
+
+    def _insert_rows(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
+        schema = self._schemas[table_name]
+        columns = schema.column_names()
+        placeholders = ", ".join("?" for _ in columns)
+        statement = (
+            f"INSERT INTO {table_name} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})"
+        )
+        tuples = [
+            tuple(validated[column] for column in columns)
+            for validated in (schema.validate_row(row) for row in rows)
+        ]
+        self._connection.executemany(statement, tuples)
+        self._connection.commit()
+        return len(tuples)
+
+    def load_entities(self, entities: Iterable[SystemEntity]) -> int:
+        """Bulk-insert entities; returns the number inserted."""
+        return self._insert_rows("entities", (entity.to_row() for entity in entities))
+
+    def load_events(self, events: Iterable[SystemEvent]) -> int:
+        """Bulk-insert events; returns the number inserted."""
+        return self._insert_rows("events", (event.to_row() for event in events))
+
+    def load_trace(self, trace: AuditTrace) -> dict[str, int]:
+        """Load a full audit trace; returns per-table row counts inserted."""
+        return {
+            "entities": self.load_entities(trace.entities),
+            "events": self.load_events(trace.events),
+        }
+
+    # -- incremental loading -----------------------------------------------
+
+    def has_entity(self, entity_id: int) -> bool:
+        """True when an entity row with ``entity_id`` is already stored."""
+        cursor = self._connection.execute(
+            "SELECT 1 FROM entities WHERE id = ? LIMIT 1", (entity_id,)
+        )
+        return cursor.fetchone() is not None
+
+    def append_entities(self, entities: Iterable[SystemEntity]) -> int:
+        """Insert entities not yet present (by id); returns the number added."""
+        fresh = [
+            entity for entity in entities if not self.has_entity(entity.entity_id)
+        ]
+        return self._insert_rows("entities", (entity.to_row() for entity in fresh))
+
+    def append_events(self, events: Iterable[SystemEvent]) -> int:
+        """Append events to the store; returns the number added."""
+        return self.load_events(events)
+
+    def append_batch(
+        self, entities: Iterable[SystemEntity], events: Iterable[SystemEvent]
+    ) -> dict[str, int]:
+        """Incrementally append one micro-batch of entities and events."""
+        return {
+            "entities": self.append_entities(entities),
+            "events": self.append_events(events),
+        }
+
+    # -- querying ----------------------------------------------------------
+
+    def table(self, name: str) -> Any:
+        """The sqlite backend has no in-process :class:`Table` objects."""
+        raise QueryError(
+            f"the sql backend stores table {name!r} inside sqlite; "
+            "row access goes through execute()"
+        )
+
+    def _prepared(self, query: SelectQuery) -> RenderedSQL:
+        if query.projection:
+            return render_select_query(query, parameterized=True)
+        # Empty projection means "all columns of all aliases"; expand it from
+        # the schema so output names stay the qualified ``alias.column`` form
+        # the Python executors produce.
+        expanded = SelectQuery(
+            tables=list(query.tables),
+            filters=dict(query.filters),
+            joins=list(query.joins),
+            cross_filters=list(query.cross_filters),
+            projection=[
+                OutputColumn(alias=ref.alias, column=column)
+                for ref in query.tables
+                for column in self._schema_for(ref.table).column_names()
+            ],
+            distinct=query.distinct,
+            order_by=list(query.order_by),
+            limit=query.limit,
+        )
+        return render_select_query(expanded, parameterized=True)
+
+    def _schema_for(self, table_name: str) -> TableSchema:
+        try:
+            return self._schemas[table_name]
+        except KeyError:
+            raise QueryError(f"unknown table {table_name!r}") from None
+
+    def execute(self, query: SelectQuery) -> QueryResult:
+        """Execute a select-project-join query inside sqlite."""
+        rendered = self._prepared(query)
+        cursor = self._connection.execute(rendered.text, rendered.parameters)
+        columns = tuple(description[0] for description in cursor.description)
+        rows = tuple(tuple(row) for row in cursor.fetchall())
+        return QueryResult(columns=columns, rows=rows)
+
+    def explain(self, query: SelectQuery) -> list[str]:
+        """The rendered SQL plus sqlite's ``EXPLAIN QUERY PLAN`` steps."""
+        rendered = self._prepared(query)
+        lines = render_select_query(query, parameterized=False, pretty=True).text.splitlines()
+        plan_rows = self._connection.execute(
+            f"EXPLAIN QUERY PLAN {rendered.text}", rendered.parameters
+        ).fetchall()
+        lines.extend(f"sqlite: {row[-1]}" for row in plan_rows)
+        return lines
+
+    # -- statistics ----------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Row counts and index info for every table (Table-compatible shape)."""
+        stats: dict[str, Any] = {}
+        index_columns = self._index_columns()
+        for table_name in self._schemas:
+            cursor = self._connection.execute(f"SELECT COUNT(*) FROM {table_name}")
+            rows = cursor.fetchone()[0]
+            stats[table_name] = {
+                "name": table_name,
+                "rows": rows,
+                "hash_indexes": sorted(index_columns[table_name]),
+                "sorted_indexes": sorted(index_columns[table_name]),
+            }
+        return stats
+
+    def __len__(self) -> int:
+        return sum(stats["rows"] for stats in self.statistics().values())

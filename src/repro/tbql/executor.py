@@ -104,9 +104,12 @@ class TBQLExecutionEngine:
         backend: ``"auto"`` (event patterns on the relational backend, path
             patterns on the graph backend — the paper's design), ``"relational"``
             (everything on the relational backend; path patterns still fall
-            back to the graph store), or ``"graph"`` (everything on the graph
-            backend).  The non-default modes exist for the backend-comparison
-            benchmarks.
+            back to the graph store), ``"sql"`` (like ``"relational"``, but the
+            store's relational engine is the sqlite3-backed
+            :class:`~repro.storage.sql.database.SqliteRelationalDatabase`), or
+            ``"graph"`` (everything on the graph backend).  The non-default
+            modes exist for the backend-comparison benchmarks and the
+            differential harness.
         graph_matcher: ``"planner"`` (the cost-guided
             :class:`~repro.storage.graph.planner.CostGuidedPathMatcher`, the
             default) or ``"reference"`` (the always-forward DFS
@@ -128,7 +131,7 @@ class TBQLExecutionEngine:
         analysis_mode: str = "enforce",
         analysis_policy: AnalysisPolicy | None = None,
     ) -> None:
-        if backend not in ("auto", "relational", "graph"):
+        if backend not in ("auto", "relational", "sql", "graph"):
             raise ExecutionError(f"unknown backend {backend!r}")
         if graph_matcher not in ("planner", "reference"):
             raise ExecutionError(f"unknown graph matcher {graph_matcher!r}")

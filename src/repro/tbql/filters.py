@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.auditing.entities import DEFAULT_ATTRIBUTE, EntityType
+from repro.storage.relational.database import ENTITY_SCHEMA, EVENT_SCHEMA
 from repro.storage.relational.expression import (
     Column,
     Comparison,
@@ -31,6 +32,28 @@ def _is_wildcard(value: Any) -> bool:
     return isinstance(value, str) and ("%" in value or "_" in value)
 
 
+#: Columns declared with an ``int`` dtype in the audit schema.  String
+#: literals compared against these are coerced to typed (integer) literals so
+#: the comparison is numeric everywhere: the in-memory engines would
+#: otherwise fall back to lexicographic string comparison while sqlite
+#: applies INTEGER column affinity — two different answers for ``pid > "9"``.
+_NUMERIC_COLUMNS = frozenset(
+    column.name
+    for schema in (ENTITY_SCHEMA, EVENT_SCHEMA)
+    for column in schema.columns
+    if column.dtype is int
+)
+
+
+def _typed_literal(attribute: str, value: Any) -> Any:
+    if attribute in _NUMERIC_COLUMNS and isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            return value
+    return value
+
+
 def comparison_to_expression(
     comparison: AttributeComparison, entity_type: EntityType
 ) -> Expression:
@@ -42,7 +65,9 @@ def comparison_to_expression(
         negate = comparison.operator is FilterOperator.NEQ
         return Like(operand=column, pattern=str(value), negate=negate)
     operator = comparison.operator.value
-    return Comparison(left=column, operator=operator, right=Literal(value))
+    return Comparison(
+        left=column, operator=operator, right=Literal(_typed_literal(attribute, value))
+    )
 
 
 def filter_to_expression(

@@ -35,7 +35,9 @@ _TYPE_KEYWORDS = {
 
 def _format_value(value: object) -> str:
     if isinstance(value, str):
-        escaped = value.replace('"', '\\"')
+        # Backslash first: the lexer unescapes ``\x`` to ``x``, so a bare
+        # backslash (e.g. a LIKE escape) must round-trip as ``\\``.
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
         return f'"{escaped}"'
     return str(value)
 

@@ -33,6 +33,7 @@ from repro.errors import SynthesisError
 from repro.nlp.behavior_graph import BehaviorEdge, BehaviorNode, ThreatBehaviorGraph
 from repro.nlp.ioc import IOCType
 from repro.nlp.lexicon import RELATION_VERB_OPERATIONS
+from repro.storage.relational.expression import escape_like
 from repro.tbql.ast import (
     AttributeComparison,
     EntityDeclaration,
@@ -293,6 +294,9 @@ class QuerySynthesizer:
         if node.ioc_type is IOCType.IP:
             # Strip any CIDR suffix: audit records store plain addresses.
             return text.split("/")[0]
+        # Literal ``%``/``_`` in the IOC (URL-encoded paths like
+        # ``/tmp/a%20b``) must match literally, not as LIKE wildcards.
+        escaped = escape_like(text)
         if self._plan.wildcard_filters:
-            return f"%{text}%"
-        return text
+            return f"%{escaped}%"
+        return escaped

@@ -43,6 +43,7 @@ class TestConfigurationMatrix:
         assert {config.backend for config in ENGINE_CONFIGURATIONS} == {
             "relational",
             "graph",
+            "sql",
         }
         assert {config.relational_executor for config in ENGINE_CONFIGURATIONS} == {
             "vectorized",
@@ -58,6 +59,11 @@ class TestConfigurationMatrix:
     def test_configuration_names_unique(self):
         names = [config.name for config in ENGINE_CONFIGURATIONS]
         assert len(names) == len(set(names))
+
+    def test_matrix_includes_sql_batch_and_streaming(self):
+        sql_configs = [c for c in ENGINE_CONFIGURATIONS if c.backend == "sql"]
+        assert {c.streaming for c in sql_configs} == {True, False}
+        assert len(ENGINE_CONFIGURATIONS) >= 18
 
 
 class TestDifferentialConsistency:

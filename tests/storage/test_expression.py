@@ -18,7 +18,10 @@ from repro.storage.relational.expression import (
     TrueExpression,
     conjoin,
     equality_lookups,
+    escape_like,
+    like_has_wildcards,
     range_lookups,
+    unescape_like,
 )
 
 ROW = {"name": "/etc/passwd", "size": 120, "optype": "read", "starttime": 500}
@@ -82,6 +85,44 @@ class TestLike:
         assert Like(Column("name"), "%x%").to_sql() == "name LIKE '%x%'"
 
 
+class TestLikeEscaping:
+    """Literal ``%``/``_`` in patterns (e.g. URL-encoded IOC paths)."""
+
+    def test_escape_like_round_trips(self):
+        assert escape_like("/tmp/a%20b") == r"/tmp/a\%20b"
+        assert escape_like("a_b") == r"a\_b"
+        assert escape_like("C:\\x") == "C:\\\\x"
+        assert unescape_like(escape_like("/tmp/a%_\\b")) == "/tmp/a%_\\b"
+
+    def test_escaped_percent_matches_literally(self):
+        pattern = "%" + escape_like("a%20b") + "%"
+        assert Like(Column("name"), pattern).evaluate({"name": "/tmp/a%20b.tar"})
+        # Pre-fix the escaped ``\%`` degraded to a ``.*`` wildcard, so this
+        # row matched too.
+        assert not Like(Column("name"), pattern).evaluate({"name": "/tmp/aX20b.tar"})
+
+    def test_escaped_underscore_matches_literally(self):
+        assert Like(Column("name"), escape_like("a_b")).evaluate({"name": "a_b"})
+        assert not Like(Column("name"), escape_like("a_b")).evaluate({"name": "axb"})
+
+    def test_lone_backslash_stays_literal(self):
+        assert Like(Column("name"), "C:\\temp%").evaluate({"name": "C:\\temp\\f"})
+
+    def test_wildcard_detection_honors_escapes(self):
+        assert like_has_wildcards("%x%")
+        assert not like_has_wildcards(escape_like("a%b"))
+        assert unescape_like(escape_like("a%b")) == "a%b"
+
+    def test_to_sql_emits_escape_clause_only_when_needed(self):
+        rendered = Like(Column("name"), escape_like("a%b")).to_sql()
+        assert rendered == "name LIKE 'a\\%b' ESCAPE '\\'"
+        assert "ESCAPE" not in Like(Column("name"), "%x%").to_sql()
+
+    def test_equality_lookup_unescapes(self):
+        lookups = equality_lookups(Like(Column("name"), escape_like("a%b")))
+        assert lookups == {"name": "a%b"}
+
+
 class TestCombinators:
     def test_and_or_not(self):
         a = Comparison(Column("size"), ">", Literal(100))
@@ -129,6 +170,16 @@ class TestBetweenAndInList:
     def test_to_sql_rendering(self):
         assert "BETWEEN" in Between(Column("starttime"), 1, 2).to_sql()
         assert "IN ('read', 'write')" in InList(Column("optype"), ("read", "write")).to_sql()
+
+    def test_empty_in_list_renders_valid_sql(self):
+        # ``IN ()`` is a sqlite syntax error; the empty membership test must
+        # render as a constant predicate instead.
+        assert InList(Column("optype"), ()).to_sql() == "1=0"
+        assert InList(Column("optype"), (), negate=True).to_sql() == "1=1"
+
+    def test_empty_in_list_evaluation_matches_rendering(self):
+        assert not InList(Column("optype"), ()).evaluate(ROW)
+        assert InList(Column("optype"), (), negate=True).evaluate(ROW)
 
 
 class TestIndexHints:
